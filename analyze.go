@@ -1,0 +1,218 @@
+package rtbh
+
+import (
+	"time"
+
+	"repro/internal/analysis/anomaly"
+	"repro/internal/analysis/collateral"
+	"repro/internal/analysis/dropstats"
+	"repro/internal/analysis/events"
+	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/pipeline"
+	"repro/internal/analysis/protomix"
+	"repro/internal/analysis/timealign"
+	"repro/internal/analysis/usecase"
+	"repro/internal/analysis/visibility"
+	"repro/internal/radviz"
+	"repro/internal/stats"
+)
+
+// Public aliases so report consumers need no internal imports.
+type (
+	// Event is a merged RTBH event.
+	Event = events.Event
+	// SweepPoint is one merge-threshold sweep result (Fig 10).
+	SweepPoint = events.SweepPoint
+	// LoadResult is the Fig 3 outcome.
+	LoadResult = load.Result
+	// VisibilityResult is the Fig 4 outcome.
+	VisibilityResult = visibility.Result
+	// TimeAlignResult is the Fig 2 outcome.
+	TimeAlignResult = timealign.Result
+	// LengthStat is one Fig 5 row.
+	LengthStat = dropstats.LengthStat
+	// SourceBehaviour is one Fig 7 row.
+	SourceBehaviour = dropstats.SourceBehaviour
+	// SourceClasses is the Fig 7 summary.
+	SourceClasses = dropstats.SourceClasses
+	// TopSourceTypes is the Fig 8 outcome.
+	TopSourceTypes = dropstats.TopSourceTypes
+	// Verdict is a per-event anomaly verdict.
+	Verdict = anomaly.Verdict
+	// ClassCounts is the Table 2 outcome.
+	ClassCounts = anomaly.ClassCounts
+	// ProtocolShares is the §5.4 transport mix.
+	ProtocolShares = protomix.ProtocolShares
+	// Participation is one Fig 15 CDF.
+	Participation = protomix.Participation
+	// AttackScale summarizes per-event source diversity.
+	AttackScale = protomix.AttackScale
+	// HostProfile is one profiled blackholed host (Figs 16-17).
+	HostProfile = hosts.Profile
+	// WhitelistCoverage quantifies the §7.2 whitelisting claim.
+	WhitelistCoverage = hosts.Coverage
+	// TypeTable is the Table 4 outcome.
+	TypeTable = hosts.TypeTable
+	// CollateralResult is the Fig 18 outcome.
+	CollateralResult = collateral.Result
+	// UseCaseResult is the Fig 19 outcome.
+	UseCaseResult = usecase.Result
+	// UseCaseClass is a Fig 19 classification label.
+	UseCaseClass = usecase.Class
+	// ECDF is an empirical CDF.
+	ECDF = stats.ECDF
+	// RadVizPoint is a projected Fig 16 coordinate.
+	RadVizPoint = radviz.Point
+)
+
+// Options tune the analysis; DefaultOptions matches the paper.
+type Options struct {
+	// Delta is the event merge threshold (paper: 10 minutes).
+	Delta time.Duration
+	// Threshold is the EWMA anomaly threshold in standard deviations
+	// (paper: 2.5).
+	Threshold float64
+	// MinActiveDays is the host-profiling criterion (paper: 20).
+	MinActiveDays int
+	// OffsetStep is the Fig 2 grid resolution.
+	OffsetStep time.Duration
+	// SweepDeltas are the Fig 10 thresholds.
+	SweepDeltas []time.Duration
+	// TopSources is the Fig 7/8 population size (paper: 100).
+	TopSources int
+	// VisibilityInterval is the Fig 4 sampling interval.
+	VisibilityInterval time.Duration
+	// MinEventPkts excludes events with fewer samples from the Fig 6
+	// per-event drop-rate CDFs.
+	MinEventPkts int64
+}
+
+// DefaultOptions returns the paper's parameterization.
+func DefaultOptions() Options {
+	sweep := make([]time.Duration, 0, 60)
+	for m := 1; m <= 60; m++ {
+		sweep = append(sweep, time.Duration(m)*time.Minute)
+	}
+	return Options{
+		Delta:              events.DefaultDelta,
+		Threshold:          anomaly.DefaultThreshold,
+		MinActiveDays:      hosts.MinActiveDays,
+		OffsetStep:         10 * time.Millisecond,
+		SweepDeltas:        sweep,
+		TopSources:         100,
+		VisibilityInterval: 30 * time.Minute,
+		MinEventPkts:       10,
+	}
+}
+
+// Report carries the regenerated result of every figure and table in the
+// paper's evaluation. Field names follow the paper's numbering; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+type Report struct {
+	// Cleaning/attribution counters (§3.1).
+	TotalRecords, InternalRecords, AttributedRecords, DroppedRecords int64
+
+	// Events are the merged RTBH events at Options.Delta.
+	Events []*Event
+	// Verdicts are the per-event anomaly verdicts (same order).
+	Verdicts []Verdict
+
+	// Fig2: control/data clock offset MLE.
+	Fig2 *TimeAlignResult
+	// Fig3: parallel-RTBH load series.
+	Fig3 *LoadResult
+	// Fig4: targeted-announcement visibility quantiles.
+	Fig4 *VisibilityResult
+	// Fig5: drop rates by prefix length; Fig5AvgPkts/Bytes are the
+	// dashed averages.
+	Fig5         []LengthStat
+	Fig5AvgPkts  float64
+	Fig5AvgBytes float64
+	// Fig6: per-event drop-rate CDFs for /24 and /32.
+	Fig6Slash24 *ECDF
+	Fig6Slash32 *ECDF
+	// Fig7: top source behaviour and its classification.
+	Fig7        []SourceBehaviour
+	Fig7Classes SourceClasses
+	// Fig8: PeeringDB types of the top sources.
+	Fig8 TopSourceTypes
+	// Fig10: merge-threshold sweep; Fig10LowerBound is delta=infinity.
+	Fig10           []SweepPoint
+	Fig10LowerBound float64
+	// Fig11: cumulative distribution of pre-RTBH slots with data.
+	Fig11PreDataSlots []int
+	Fig11NoData       int
+	// Fig12: anomaly (level, offset) points across all events.
+	Fig12 []anomaly.Anomaly
+	// Fig13: per-feature anomaly amplification factors (events with a
+	// defined factor), plus the share of events whose last slot is the
+	// window maximum.
+	Fig13            [anomaly.NumFeatures][]float64
+	Fig13LastSlotMax float64
+	// Fig14: per-event filterable shares and the fully-filterable rate.
+	Fig14                []float64
+	Fig14FullyFilterable float64
+	// Fig15: AS participation in amplification events.
+	Fig15Origin   Participation
+	Fig15Handover Participation
+	Fig15Scale    AttackScale
+	// Fig16: RadViz projection of host profiles (same order as Fig17).
+	Fig16 []RadVizPoint
+	// Fig17: host profiles with top-port variation and classification.
+	Fig17 []HostProfile
+	// Fig18: collateral damage.
+	Fig18 *CollateralResult
+	// Fig19: use-case classification.
+	Fig19 *UseCaseResult
+	// Table2: pre-RTBH event classes.
+	Table2 ClassCounts
+	// Table3: distribution of distinct amplification protocols per
+	// anomaly event with data; Table3Events is the population size.
+	Table3       [6]float64
+	Table3Events int
+	// Table4: host population types.
+	Table4 TypeTable
+	// Whitelist is the §7.2 extension: per-host share of daily incoming
+	// traffic a top-port whitelist built from earlier days would pass.
+	Whitelist []WhitelistCoverage
+	// Protocol mix over anomaly events with data (§5.4).
+	ProtoShares ProtocolShares
+	// EventsWithData counts events with any during-event samples (§5.4
+	// reports 29%).
+	EventsWithData int
+	// AnomalyAndData counts events with both a preceding anomaly and
+	// during-event data (§5.4 reports 18% of all).
+	AnomalyAndData int
+}
+
+// Analyze runs the full two-pass pipeline and composes the report.
+func (d *Dataset) Analyze(opts Options) (*Report, error) {
+	p, err := pipeline.New(d.Meta, d.Updates, opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.EachFlow(func(rec *flowRecord) error {
+		p.ObservePass1(rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	p.FinishPass1(opts.MinActiveDays)
+	if err := d.EachFlow(func(rec *flowRecord) error {
+		p.ObservePass2(rec)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return composeReport(d, p, opts), nil
+}
+
+// Re-exported use-case classes (Fig 19).
+const (
+	UseCaseOther                    = usecase.ClassOther
+	UseCaseInfrastructureProtection = usecase.ClassInfrastructureProtection
+	UseCaseSquattingProtection      = usecase.ClassSquattingProtection
+	UseCaseZombie                   = usecase.ClassZombie
+	UseCaseContentBlocking          = usecase.ClassContentBlocking
+)

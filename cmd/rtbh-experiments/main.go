@@ -1,0 +1,103 @@
+// Command rtbh-experiments regenerates individual figures and tables of
+// the paper. It either analyzes an existing dataset directory or, with
+// -simulate, generates one on the fly.
+//
+// Usage:
+//
+//	rtbh-experiments -run fig6                 # one experiment
+//	rtbh-experiments -run fig2,fig5,table3     # several
+//	rtbh-experiments -run all -simulate bench  # everything, fresh world
+//	rtbh-experiments -list                     # available experiments
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+func main() {
+	runIDs := flag.String("run", "all", "comma-separated experiment ids (fig2..fig19, table1..table4) or 'all'")
+	data := flag.String("data", "", "dataset directory; empty means -simulate")
+	simulate := flag.String("simulate", "test", "simulate a fresh world at this scale (test, bench, full) when -data is empty")
+	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *list {
+		for _, e := range textreport.All() {
+			fmt.Fprintf(w, "%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	dir := *data
+	if dir == "" {
+		var cfg rtbh.Config
+		switch *simulate {
+		case "test":
+			cfg = rtbh.TestConfig()
+		case "bench":
+			cfg = rtbh.BenchConfig()
+		case "full":
+			cfg = rtbh.DefaultConfig()
+		default:
+			fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown scale %q\n", *simulate)
+			os.Exit(2)
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		tmp, err := os.MkdirTemp("", "rtbh-exp-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Fprintf(os.Stderr, "simulating %s-scale world into %s ...\n", *simulate, tmp)
+		start := time.Now()
+		if _, err := rtbh.Simulate(cfg, tmp); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(start).Round(time.Millisecond))
+		dir = tmp
+	}
+
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	report, err := ds.Analyze(rtbh.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "analysis done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *runIDs == "all" {
+		textreport.RenderAll(w, report)
+		return
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := textreport.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		textreport.RenderOne(w, report, e)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rtbh-experiments: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+package rtbh
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/ip2as"
+	"repro/internal/ipfix"
+	"repro/internal/peeringdb"
+	"repro/internal/scenario"
+)
+
+// Dataset is a loaded measurement dataset: the parsed control plane, the
+// side tables, and a re-iterable flow-record source. Flow records are
+// streamed, never held in memory, so full paper-scale datasets analyze in
+// bounded space.
+type Dataset struct {
+	Meta    *analysis.Metadata
+	Updates []analysis.ControlUpdate
+	// Truth is the simulator's ground truth if present (nil otherwise);
+	// analysis never consumes it, the experiment harness does.
+	Truth *scenario.GroundTruth
+
+	eachFlow func(fn func(*ipfix.FlowRecord) error) error
+}
+
+// OpenDataset loads the dataset written by Simulate from dir.
+func OpenDataset(dir string) (*Dataset, error) {
+	var dm datasetMeta
+	if err := readJSON(filepath.Join(dir, FileMetadata), &dm); err != nil {
+		return nil, err
+	}
+	meta := &analysis.Metadata{
+		SamplingRate: dm.SamplingRate,
+		Start:        dm.Start,
+		End:          dm.End,
+		MemberByMAC:  make(map[ipfix.MAC]uint32, len(dm.Members)),
+		BlackholeMAC: dm.BlackholeMAC,
+		InternalMACs: make(map[ipfix.MAC]bool, len(dm.InternalMACs)),
+	}
+	for _, m := range dm.Members {
+		meta.MemberByMAC[m.MAC] = m.ASN
+	}
+	for _, mac := range dm.InternalMACs {
+		meta.InternalMACs[mac] = true
+	}
+
+	tblFile, err := os.Open(filepath.Join(dir, FileIP2AS))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	meta.IP2AS, err = ip2as.ReadJSON(tblFile)
+	tblFile.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	pdbFile, err := os.Open(filepath.Join(dir, FilePDB))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	meta.PDB, err = peeringdb.ReadJSON(pdbFile)
+	pdbFile.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	mrtFile, err := os.Open(filepath.Join(dir, FileUpdates))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	updates, err := analysis.ParseMRT(mrtFile)
+	mrtFile.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{
+		Meta:    meta,
+		Updates: updates,
+		eachFlow: func(fn func(*ipfix.FlowRecord) error) error {
+			f, err := os.Open(filepath.Join(dir, FileFlows))
+			if err != nil {
+				return fmt.Errorf("rtbh: %w", err)
+			}
+			defer f.Close()
+			rd := ipfix.NewReader(f)
+			for {
+				rec, err := rd.Next()
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+		},
+	}
+
+	// Ground truth is optional: a real-world dataset would not have one.
+	if tf, err := os.Open(filepath.Join(dir, FileTruth)); err == nil {
+		truth, terr := scenario.ReadTruthJSON(tf)
+		tf.Close()
+		if terr != nil {
+			return nil, terr
+		}
+		ds.Truth = truth
+	}
+	return ds, nil
+}
+
+// NewDataset builds an in-memory dataset (tests, examples) from parsed
+// parts. flows must remain unmodified for the dataset's lifetime.
+func NewDataset(meta *analysis.Metadata, updates []analysis.ControlUpdate, flows []ipfix.FlowRecord) *Dataset {
+	return &Dataset{
+		Meta:    meta,
+		Updates: updates,
+		eachFlow: func(fn func(*ipfix.FlowRecord) error) error {
+			for i := range flows {
+				if err := fn(&flows[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// EachFlow streams the flow records to fn; callable repeatedly.
+func (d *Dataset) EachFlow(fn func(*ipfix.FlowRecord) error) error {
+	return d.eachFlow(fn)
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("rtbh: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("rtbh: parsing %s: %w", path, err)
+	}
+	return nil
+}

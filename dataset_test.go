@@ -1,0 +1,155 @@
+package rtbh
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallDataset simulates a tiny world into a fresh directory.
+func smallDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := TestConfig()
+	cfg.Days = 6
+	cfg.EventsTotal = 80
+	cfg.UniqueVictims = 40
+	cfg.Members = 40
+	cfg.RTBHUsers = 8
+	cfg.VictimOriginASes = 10
+	cfg.RemoteOriginASes = 100
+	if _, err := Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSimulateWritesAllFiles(t *testing.T) {
+	dir := smallDataset(t)
+	for _, name := range []string{
+		FileUpdates, FileFlows, FileMetadata, FileIP2AS, FilePDB, FileTruth,
+	} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestOpenDatasetWithoutGroundTruth(t *testing.T) {
+	// A real-world dataset has no truth.json; analysis must still work.
+	dir := smallDataset(t)
+	if err := os.Remove(filepath.Join(dir, FileTruth)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Truth != nil {
+		t.Fatal("phantom ground truth")
+	}
+	opts := DefaultOptions()
+	opts.SweepDeltas = nil
+	opts.OffsetStep = 200 * time.Millisecond
+	if _, err := ds.Analyze(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDatasetMissingFiles(t *testing.T) {
+	dir := smallDataset(t)
+	for _, name := range []string{FileMetadata, FileIP2AS, FilePDB, FileUpdates} {
+		broken := t.TempDir()
+		// Copy everything except one file.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Name() == name {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(broken, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := OpenDataset(broken); err == nil {
+			t.Fatalf("OpenDataset succeeded without %s", name)
+		}
+	}
+}
+
+func TestOpenDatasetCorruptMetadata(t *testing.T) {
+	dir := smallDataset(t)
+	if err := os.WriteFile(filepath.Join(dir, FileMetadata), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDataset(dir); err == nil {
+		t.Fatal("corrupt metadata accepted")
+	}
+}
+
+func TestSimulateRejectsInvalidConfig(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Days = 0
+	if _, err := Simulate(cfg, t.TempDir()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEachFlowRepeatable(t *testing.T) {
+	dir := smallDataset(t)
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func() (n int64) {
+		ds.EachFlow(func(*FlowRecord) error { n++; return nil })
+		return
+	}
+	a, b := count(), count()
+	if a == 0 || a != b {
+		t.Fatalf("EachFlow not repeatable: %d vs %d", a, b)
+	}
+}
+
+func TestInMemoryDataset(t *testing.T) {
+	dir := smallDataset(t)
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []FlowRecord
+	ds.EachFlow(func(r *FlowRecord) error { flows = append(flows, *r); return nil })
+
+	mem := NewDataset(ds.Meta, ds.Updates, flows)
+	opts := DefaultOptions()
+	opts.SweepDeltas = nil
+	opts.OffsetStep = 200 * time.Millisecond
+	r1, err := mem.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ds.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-memory and file-backed datasets must agree exactly.
+	if r1.TotalRecords != r2.TotalRecords || r1.DroppedRecords != r2.DroppedRecords {
+		t.Fatalf("record counters differ: %d/%d vs %d/%d",
+			r1.TotalRecords, r1.DroppedRecords, r2.TotalRecords, r2.DroppedRecords)
+	}
+	if len(r1.Events) != len(r2.Events) || r1.Table2 != r2.Table2 {
+		t.Fatalf("analysis differs: %d/%d events, %+v vs %+v",
+			len(r1.Events), len(r2.Events), r1.Table2, r2.Table2)
+	}
+}

@@ -1,0 +1,78 @@
+// Fine-grained filtering what-if (paper §5.5 / Fig 14): compare RTBH —
+// which drops everything toward the victim, legitimate traffic included —
+// with filtering on the known UDP amplification port list, which drops
+// only attack traffic.
+//
+//	go run ./examples/finegrained-filtering
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	rtbh "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rtbh-filter-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	if _, err := rtbh.Simulate(rtbh.TestConfig(), dir); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := ds.Analyze(rtbh.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("attack events analyzed: %d\n\n", len(report.Fig14))
+
+	fmt.Println("option A - RTBH (what operators deploy today):")
+	fmt.Println("  drops 100% of traffic toward the victim, attack and legitimate alike")
+	fmt.Printf("  measured collateral damage: %d events hit legitimate service ports,\n",
+		report.Fig18.Events)
+	fmt.Printf("  worst case %d sampled packets of legitimate-looking traffic discarded\n\n",
+		report.Fig18.MaxAll)
+
+	fmt.Println("option B - filtering the known UDP amplification port list:")
+	shares := append([]float64(nil), report.Fig14...)
+	sort.Float64s(shares)
+	fully, partial := 0, 0
+	for _, s := range shares {
+		switch {
+		case s >= 0.99:
+			fully++
+		case s >= 0.5:
+			partial++
+		}
+	}
+	fmt.Printf("  events fully mitigated:      %d (%.0f%%, paper: 90%%)\n",
+		fully, 100*float64(fully)/float64(len(shares)))
+	fmt.Printf("  events mitigated >=50%%:      %d\n", partial+fully)
+	fmt.Printf("  events hard to mitigate:     %d (random/rotating ports, multiple transports)\n",
+		len(shares)-partial-fully)
+	fmt.Println("  collateral damage:           none - legitimate flows never use amplification source ports")
+
+	fmt.Println("\nper-event share of attack packets matching the port list:")
+	fmt.Println("  quantile share")
+	for _, q := range []float64{0.05, 0.10, 0.25, 0.50} {
+		idx := int(q * float64(len(shares)-1))
+		fmt.Printf("  %.2f %.3f\n", q, shares[idx])
+	}
+
+	fmt.Println("\nwhy source blacklisting does NOT work instead (paper Fig 15):")
+	fmt.Printf("  %d origin ASes host amplifiers; on average %.0f amplifiers per attack\n",
+		report.Fig15Origin.ASes, report.Fig15Scale.MeanAmplifiers)
+	fmt.Printf("  the most active AS appears in %.0f%% of attacks - but contributes\n",
+		100*report.Fig15Origin.Top10[0])
+	fmt.Println("  only a small traffic share; blocking networks cannot keep up")
+}

@@ -1,0 +1,73 @@
+// The full IMC'19 study in miniature: simulate a measurement period,
+// round-trip the datasets through their on-disk formats (MRT control
+// plane, IPFIX data plane), run the complete analysis, and print every
+// figure and table next to the paper's reported values.
+//
+// Scale is selectable; "bench" takes ~1 minute, "full" reproduces the
+// paper's 104-day period and takes several minutes.
+//
+//	go run ./examples/ixp-study [-scale test|bench|full] [-keep DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+func main() {
+	scale := flag.String("scale", "test", "test, bench, or full (the paper's scale)")
+	keep := flag.String("keep", "", "keep the dataset in this directory instead of a temp dir")
+	flag.Parse()
+
+	var cfg rtbh.Config
+	switch *scale {
+	case "test":
+		cfg = rtbh.TestConfig()
+	case "bench":
+		cfg = rtbh.BenchConfig()
+	case "full":
+		cfg = rtbh.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	dir := *keep
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "rtbh-study-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	fmt.Printf("simulating %d days, %d members, ~%d RTBH events ...\n",
+		cfg.Days, cfg.Members, cfg.EventsTotal)
+	t0 := time.Now()
+	sum, err := rtbh.Simulate(cfg, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  done in %v: %d BGP messages, %d flow records\n",
+		time.Since(t0).Round(time.Second), sum.ControlMsgs, sum.FlowRecords)
+
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyzing ...")
+	t0 = time.Now()
+	report, err := ds.Analyze(rtbh.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  done in %v\n\n", time.Since(t0).Round(time.Second))
+
+	textreport.RenderAll(os.Stdout, report)
+}

@@ -1,0 +1,146 @@
+// Package analysis provides the shared vocabulary of the measurement
+// pipeline that reproduces the paper's study: parsed control-plane
+// updates, dataset metadata (member router MACs, IP-to-AS mapping,
+// PeeringDB), time slotting, and bounded distinct counters used by the
+// streaming aggregators.
+//
+// The pipeline mirrors the paper's methodology:
+//
+//	control plane (MRT)  -> events:    RTBH events via 10-minute merge
+//	                        load:      parallel-RTBH time series (Fig 3)
+//	                        visibility: per-peer filtered shares (Fig 4)
+//	data plane (IPFIX)   -> pipeline:  two streaming passes feeding
+//	                        timealign, dropstats, anomaly, protomix,
+//	                        hosts, collateral
+//	both                 -> usecase:   event classification (Fig 19)
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/ip2as"
+	"repro/internal/ipfix"
+	"repro/internal/mrt"
+	"repro/internal/peeringdb"
+)
+
+// SlotDuration is the analysis time-slot size (the paper aggregates the
+// data plane into five-minute slots).
+const SlotDuration = 5 * time.Minute
+
+// Slot returns the global slot index of t.
+func Slot(t time.Time) int64 { return t.Unix() / int64(SlotDuration/time.Second) }
+
+// SlotStart returns the start time of slot index s.
+func SlotStart(s int64) time.Time {
+	return time.Unix(s*int64(SlotDuration/time.Second), 0).UTC()
+}
+
+// Day returns the UTC day index of t relative to start.
+func Day(start, t time.Time) int {
+	return int(t.Sub(start) / (24 * time.Hour))
+}
+
+// ControlUpdate is one RTBH signaling action extracted from the
+// control-plane archive.
+type ControlUpdate struct {
+	Time     time.Time
+	Peer     uint32 // announcing route-server client
+	Prefix   bgp.Prefix
+	Announce bool
+	OriginAS uint32 // rightmost AS_PATH hop (announcements only)
+	// Communities carried on announcements; used to derive per-peer
+	// visibility of targeted blackholes.
+	Communities bgp.Communities
+}
+
+// ParseMRT extracts RTBH control updates from an MRT stream written by
+// the collector. Announcements must carry the BLACKHOLE community to
+// qualify; withdrawals qualify unconditionally (they carry no
+// attributes). Non-UPDATE records are skipped. The result is sorted by
+// time.
+func ParseMRT(r io.Reader) ([]ControlUpdate, error) {
+	rd := mrt.NewReader(r)
+	var out []ControlUpdate
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		upd, isUpdate, err := rec.DecodeUpdate()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: record at %v: %w", rec.Timestamp, err)
+		}
+		if !isUpdate {
+			continue
+		}
+		for _, p := range upd.Withdrawn {
+			out = append(out, ControlUpdate{
+				Time: rec.Timestamp, Peer: rec.PeerAS, Prefix: p, Announce: false,
+			})
+		}
+		if len(upd.NLRI) > 0 && upd.Attrs.Communities.HasBlackhole() {
+			for _, p := range upd.NLRI {
+				out = append(out, ControlUpdate{
+					Time: rec.Timestamp, Peer: rec.PeerAS, Prefix: p, Announce: true,
+					OriginAS:    upd.Attrs.OriginAS(),
+					Communities: upd.Attrs.Communities.Clone(),
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+// Metadata carries the side tables the analysis joins against, mirroring
+// the sources the paper uses: the IXP's interface database (MAC->member),
+// routing tables (IP->origin AS) and PeeringDB.
+type Metadata struct {
+	// SamplingRate is the data plane's 1:N sampling denominator.
+	SamplingRate int64
+	// Start/End bound the measurement period.
+	Start, End time.Time
+	// MemberByMAC maps router MACs on the peering LAN to member ASNs.
+	MemberByMAC map[ipfix.MAC]uint32
+	// BlackholeMAC is the non-forwarding MAC implementing the drops.
+	BlackholeMAC ipfix.MAC
+	// InternalMACs identify IXP-internal systems whose flows are removed
+	// during cleaning.
+	InternalMACs map[ipfix.MAC]bool
+	// IP2AS resolves origin ASes of traffic sources.
+	IP2AS *ip2as.Table
+	// PDB is the PeeringDB registry.
+	PDB *peeringdb.Registry
+}
+
+// Validate reports missing mandatory metadata.
+func (m *Metadata) Validate() error {
+	switch {
+	case m.SamplingRate < 1:
+		return fmt.Errorf("analysis: sampling rate %d", m.SamplingRate)
+	case len(m.MemberByMAC) == 0:
+		return fmt.Errorf("analysis: no member MAC table")
+	case m.BlackholeMAC == 0:
+		return fmt.Errorf("analysis: blackhole MAC unset")
+	case m.Start.IsZero() || !m.End.After(m.Start):
+		return fmt.Errorf("analysis: invalid period %v..%v", m.Start, m.End)
+	}
+	return nil
+}
+
+// MemberOf resolves a router MAC to its member ASN (0 if unknown).
+func (m *Metadata) MemberOf(mac ipfix.MAC) uint32 { return m.MemberByMAC[mac] }
+
+// IsInternal reports whether the record touches an internal system.
+func (m *Metadata) IsInternal(rec *ipfix.FlowRecord) bool {
+	return m.InternalMACs[rec.SrcMAC] || m.InternalMACs[rec.DstMAC]
+}

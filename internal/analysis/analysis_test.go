@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/ipfix"
+	"repro/internal/mrt"
+)
+
+func TestSlotHelpers(t *testing.T) {
+	t0 := time.Date(2018, 10, 1, 12, 2, 30, 0, time.UTC)
+	s := Slot(t0)
+	start := SlotStart(s)
+	if t0.Before(start) || !t0.Before(start.Add(SlotDuration)) {
+		t.Fatalf("slot %d start %v does not contain %v", s, start, t0)
+	}
+	if Slot(start) != s || Slot(start.Add(SlotDuration-time.Second)) != s {
+		t.Fatal("slot boundaries wrong")
+	}
+	if Slot(start.Add(SlotDuration)) != s+1 {
+		t.Fatal("next slot wrong")
+	}
+	base := time.Date(2018, 9, 26, 0, 0, 0, 0, time.UTC)
+	if Day(base, base.Add(25*time.Hour)) != 1 || Day(base, base) != 0 {
+		t.Fatal("Day wrong")
+	}
+}
+
+func TestParseMRT(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	enc := func(u *bgp.Update) []byte {
+		b, err := bgp.EncodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	t0 := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	// Announcement with blackhole community.
+	w.WriteRecord(&mrt.Record{
+		Timestamp: t0, PeerAS: 100,
+		Message: enc(&bgp.Update{
+			Attrs: bgp.PathAttrs{
+				ASPath: []uint32{100, 777}, NextHop: 1,
+				Communities: bgp.Communities{bgp.Blackhole, bgp.MakeCommunity(0, 300)},
+			},
+			NLRI: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+		}),
+	})
+	// Non-blackhole announcement: skipped.
+	w.WriteRecord(&mrt.Record{
+		Timestamp: t0.Add(time.Second), PeerAS: 100,
+		Message: enc(&bgp.Update{
+			Attrs: bgp.PathAttrs{ASPath: []uint32{100}, NextHop: 1},
+			NLRI:  []bgp.Prefix{bgp.MustParsePrefix("198.51.100.0/24")},
+		}),
+	})
+	// Keepalive: skipped.
+	w.WriteRecord(&mrt.Record{Timestamp: t0.Add(2 * time.Second), PeerAS: 100, Message: bgp.EncodeKeepalive()})
+	// Withdraw.
+	w.WriteRecord(&mrt.Record{
+		Timestamp: t0.Add(3 * time.Second), PeerAS: 100,
+		Message: enc(&bgp.Update{Withdrawn: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")}}),
+	})
+	w.Flush()
+
+	us, err := ParseMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 2 {
+		t.Fatalf("updates = %d, want 2 (announce + withdraw)", len(us))
+	}
+	if !us[0].Announce || us[0].OriginAS != 777 || us[0].Peer != 100 {
+		t.Fatalf("announce = %+v", us[0])
+	}
+	if !us[0].Communities.Contains(bgp.MakeCommunity(0, 300)) {
+		t.Fatal("targeting community lost")
+	}
+	if us[1].Announce || us[1].Prefix.Len != 32 {
+		t.Fatalf("withdraw = %+v", us[1])
+	}
+	if us[1].Time.Before(us[0].Time) {
+		t.Fatal("updates not sorted")
+	}
+}
+
+func TestMetadataValidate(t *testing.T) {
+	good := Metadata{
+		SamplingRate: 10000,
+		Start:        time.Unix(0, 0),
+		End:          time.Unix(1000, 0),
+		MemberByMAC:  map[ipfix.MAC]uint32{1: 100},
+		BlackholeMAC: 2,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.SamplingRate = 0
+	if bad.Validate() == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	bad = good
+	bad.MemberByMAC = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty MAC table accepted")
+	}
+	bad = good
+	bad.End = bad.Start
+	if bad.Validate() == nil {
+		t.Fatal("empty period accepted")
+	}
+}
+
+func TestMetadataHelpers(t *testing.T) {
+	m := Metadata{
+		MemberByMAC:  map[ipfix.MAC]uint32{10: 100},
+		InternalMACs: map[ipfix.MAC]bool{99: true},
+	}
+	if m.MemberOf(10) != 100 || m.MemberOf(11) != 0 {
+		t.Fatal("MemberOf wrong")
+	}
+	if !m.IsInternal(&ipfix.FlowRecord{DstMAC: 99}) {
+		t.Fatal("internal dst not detected")
+	}
+	if !m.IsInternal(&ipfix.FlowRecord{SrcMAC: 99}) {
+		t.Fatal("internal src not detected")
+	}
+	if m.IsInternal(&ipfix.FlowRecord{SrcMAC: 10, DstMAC: 10}) {
+		t.Fatal("member traffic flagged internal")
+	}
+}
+
+func TestBoundedSetExactThenSaturates(t *testing.T) {
+	s := NewBoundedSet(4)
+	for i := 0; i < 4; i++ {
+		s.Add(uint64(i))
+		s.Add(uint64(i)) // duplicates must not count
+	}
+	if s.Count() != 4 || !s.Exact() {
+		t.Fatalf("count = %d exact = %v", s.Count(), s.Exact())
+	}
+	s.Add(99)
+	s.Add(99) // after saturation duplicates DO count (documented overcount)
+	if s.Exact() {
+		t.Fatal("saturated set claims exact")
+	}
+	if s.Count() != 6 {
+		t.Fatalf("saturated count = %d", s.Count())
+	}
+}
+
+func TestBoundedSetZeroValue(t *testing.T) {
+	var s BoundedSet
+	for i := 0; i < 100; i++ {
+		s.Add(uint64(i))
+	}
+	if s.Count() < DefaultBoundedCap {
+		t.Fatalf("zero-value count = %d", s.Count())
+	}
+}
+
+func TestBoundedSetNeverUndercounts(t *testing.T) {
+	f := func(keys []uint64) bool {
+		s := NewBoundedSet(8)
+		distinct := map[uint64]bool{}
+		for _, k := range keys {
+			s.Add(k)
+			distinct[k] = true
+		}
+		if len(distinct) <= 8 {
+			return s.Count() == len(distinct)
+		}
+		return s.Count() >= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopCounter(t *testing.T) {
+	c := NewTopCounter(4)
+	c.Add(80, 10)
+	c.Add(443, 30)
+	c.Add(80, 25)
+	key, count, ok := c.Top()
+	if !ok || key != 80 || count != 35 {
+		t.Fatalf("Top = %d %d %v", key, count, ok)
+	}
+	// Tie resolves to smaller key.
+	c2 := NewTopCounter(4)
+	c2.Add(9, 5)
+	c2.Add(3, 5)
+	if k, _, _ := c2.Top(); k != 3 {
+		t.Fatalf("tie key = %d", k)
+	}
+	// Overflow keys dropped, existing still counted.
+	c3 := NewTopCounter(2)
+	c3.Add(1, 1)
+	c3.Add(2, 1)
+	c3.Add(3, 100)
+	if c3.Len() != 2 {
+		t.Fatalf("len = %d", c3.Len())
+	}
+	if _, _, ok := NewTopCounter(2).Top(); ok {
+		t.Fatal("empty counter has a top")
+	}
+}
+
+func TestHash64Distinctness(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint32(0); a < 30; a++ {
+		for c := uint16(0); c < 30; c++ {
+			h := Hash64(a, a+1, c, c+1, 17)
+			if seen[h] {
+				t.Fatalf("collision at %d %d", a, c)
+			}
+			seen[h] = true
+		}
+	}
+}

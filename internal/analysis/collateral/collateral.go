@@ -1,0 +1,99 @@
+// Package collateral quantifies the collateral damage of RTBH mitigation
+// (paper §6.3, Fig 18): packets addressed to detected servers' stable
+// service ports while an RTBH event for the server was in progress —
+// legitimate-looking traffic that blackholing discards along with the
+// attack. Counts are reported absolutely (the paper deliberately avoids
+// relative shares, which attack volume would dwarf).
+package collateral
+
+import (
+	"sort"
+
+	"repro/internal/analysis/hosts"
+)
+
+// Aggregator counts during-event packets to server top ports. It runs as
+// a second streaming pass, after host profiling has produced the server
+// top-port lists.
+type Aggregator struct {
+	// topPorts maps server IP -> set of proto<<16|port top ports.
+	topPorts map[uint32]map[uint32]bool
+	// perEvent tallies per event ID.
+	perEvent map[int]*counts
+}
+
+type counts struct {
+	all, dropped int64
+}
+
+// New builds an aggregator for the detected server profiles.
+func New(profiles []hosts.Profile) *Aggregator {
+	a := &Aggregator{
+		topPorts: make(map[uint32]map[uint32]bool),
+		perEvent: make(map[int]*counts),
+	}
+	for i := range profiles {
+		p := &profiles[i]
+		if p.Kind != hosts.KindServer || len(p.TopPorts) == 0 {
+			continue
+		}
+		set := make(map[uint32]bool, len(p.TopPorts))
+		for _, tp := range p.TopPorts {
+			set[tp] = true
+		}
+		a.topPorts[p.IP] = set
+	}
+	return a
+}
+
+// Servers returns the number of servers under observation.
+func (a *Aggregator) Servers() int { return len(a.topPorts) }
+
+// Add inspects one sampled packet observed during eventID's window toward
+// dstIP. Packets to a detected server's top ports count as (worst-case)
+// collateral damage; dropped marks packets the blackhole discarded.
+func (a *Aggregator) Add(eventID int, dstIP uint32, dstPort uint16, proto uint8, dropped bool, pkts int64) {
+	set := a.topPorts[dstIP]
+	if set == nil || !set[uint32(proto)<<16|uint32(dstPort)] {
+		return
+	}
+	c := a.perEvent[eventID]
+	if c == nil {
+		c = &counts{}
+		a.perEvent[eventID] = c
+	}
+	c.all += pkts
+	if dropped {
+		c.dropped += pkts
+	}
+}
+
+// Result is the Fig 18 outcome.
+type Result struct {
+	// Events is the number of RTBH events with collateral damage.
+	Events int
+	// AllPkts / DroppedPkts hold the per-event packet counts (sampled)
+	// to server top ports, sorted ascending: the two Fig 18 curves.
+	AllPkts     []int64
+	DroppedPkts []int64
+	// MaxAll is the worst per-event damage observed.
+	MaxAll int64
+}
+
+// Result summarizes the accumulated damage.
+func (a *Aggregator) Result() *Result {
+	res := &Result{}
+	for _, c := range a.perEvent {
+		res.Events++
+		res.AllPkts = append(res.AllPkts, c.all)
+		if c.dropped > 0 {
+			res.DroppedPkts = append(res.DroppedPkts, c.dropped)
+		}
+		if c.all > res.MaxAll {
+			res.MaxAll = c.all
+		}
+	}
+	sort.Slice(res.AllPkts, func(i, j int) bool { return res.AllPkts[i] < res.AllPkts[j] })
+	sort.Slice(res.DroppedPkts, func(i, j int) bool { return res.DroppedPkts[i] < res.DroppedPkts[j] })
+	return res
+}

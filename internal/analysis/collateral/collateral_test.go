@@ -1,0 +1,76 @@
+package collateral
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hosts"
+	"repro/internal/netgen"
+)
+
+const serverIP = 0x0b000001
+
+func serverProfile() hosts.Profile {
+	return hosts.Profile{
+		IP:       serverIP,
+		Kind:     hosts.KindServer,
+		TopPorts: []uint32{uint32(netgen.ProtoTCP)<<16 | 443},
+	}
+}
+
+func TestCollateralCountsTopPortTrafficOnly(t *testing.T) {
+	a := New([]hosts.Profile{serverProfile(), {IP: 99, Kind: hosts.KindClient}})
+	if a.Servers() != 1 {
+		t.Fatalf("servers = %d", a.Servers())
+	}
+	// Top-port traffic during event 1: 5 dropped, 3 forwarded.
+	for i := 0; i < 5; i++ {
+		a.Add(1, serverIP, 443, netgen.ProtoTCP, true, 1)
+	}
+	for i := 0; i < 3; i++ {
+		a.Add(1, serverIP, 443, netgen.ProtoTCP, false, 1)
+	}
+	// Attack traffic on other ports must not count.
+	a.Add(1, serverIP, 40000, netgen.ProtoUDP, true, 100)
+	// Same port number under UDP is a different service.
+	a.Add(1, serverIP, 443, netgen.ProtoUDP, true, 100)
+	// Traffic to a non-server host never counts.
+	a.Add(1, 99, 443, netgen.ProtoTCP, true, 100)
+
+	res := a.Result()
+	if res.Events != 1 {
+		t.Fatalf("events = %d", res.Events)
+	}
+	if len(res.AllPkts) != 1 || res.AllPkts[0] != 8 {
+		t.Fatalf("all = %v", res.AllPkts)
+	}
+	if len(res.DroppedPkts) != 1 || res.DroppedPkts[0] != 5 {
+		t.Fatalf("dropped = %v", res.DroppedPkts)
+	}
+	if res.MaxAll != 8 {
+		t.Fatalf("max = %d", res.MaxAll)
+	}
+}
+
+func TestResultSorted(t *testing.T) {
+	a := New([]hosts.Profile{serverProfile()})
+	a.Add(1, serverIP, 443, netgen.ProtoTCP, false, 9)
+	a.Add(2, serverIP, 443, netgen.ProtoTCP, false, 3)
+	a.Add(3, serverIP, 443, netgen.ProtoTCP, false, 6)
+	res := a.Result()
+	if res.Events != 3 {
+		t.Fatalf("events = %d", res.Events)
+	}
+	if res.AllPkts[0] != 3 || res.AllPkts[1] != 6 || res.AllPkts[2] != 9 {
+		t.Fatalf("not sorted: %v", res.AllPkts)
+	}
+	if len(res.DroppedPkts) != 0 {
+		t.Fatalf("dropped = %v", res.DroppedPkts)
+	}
+}
+
+func TestServersWithoutTopPortsIgnored(t *testing.T) {
+	a := New([]hosts.Profile{{IP: serverIP, Kind: hosts.KindServer}})
+	if a.Servers() != 0 {
+		t.Fatal("top-port-less server registered")
+	}
+}

@@ -1,0 +1,152 @@
+package events
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Match is the attribution of one point in time and destination address
+// to the event structure.
+type Match struct {
+	// Event is the event whose merged window [Start, End] covers the
+	// query (nil if none). Windows include the short on-off gaps.
+	Event *Event
+	// Active reports whether an episode (announced, not withdrawn)
+	// covers the query — the state that determines packet dropping.
+	Active bool
+	// Prefix is the matched blackhole prefix (the longest one with an
+	// active episode if Active, otherwise the longest with a window).
+	Prefix bgp.Prefix
+}
+
+// Index answers time+address attribution queries over a set of events.
+// Build once with NewIndex, then query from the streaming pass.
+type Index struct {
+	periodEnd time.Time
+	// byPrefix holds the per-prefix event lists sorted by start time.
+	byPrefix map[bgp.Prefix][]*Event
+	// lengths lists the distinct prefix lengths present, descending, so
+	// longest-prefix-match scans only real candidates.
+	lengths []uint8
+}
+
+// NewIndex builds the attribution index.
+func NewIndex(evs []*Event, periodEnd time.Time) *Index {
+	ix := &Index{
+		periodEnd: periodEnd,
+		byPrefix:  make(map[bgp.Prefix][]*Event),
+	}
+	seen := make(map[uint8]bool)
+	for _, e := range evs {
+		ix.byPrefix[e.Prefix] = append(ix.byPrefix[e.Prefix], e)
+		seen[e.Prefix.Len] = true
+	}
+	for l := 32; l >= 0; l-- {
+		if seen[uint8(l)] {
+			ix.lengths = append(ix.lengths, uint8(l))
+		}
+	}
+	for p := range ix.byPrefix {
+		lst := ix.byPrefix[p]
+		sort.Slice(lst, func(i, j int) bool { return lst[i].Start().Before(lst[j].Start()) })
+	}
+	return ix
+}
+
+// EverBlackholed returns the longest blackhole prefix covering ip, if any
+// event ever targeted one.
+func (ix *Index) EverBlackholed(ip uint32) (bgp.Prefix, bool) {
+	for _, l := range ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		if _, ok := ix.byPrefix[p]; ok {
+			return p, true
+		}
+	}
+	return bgp.Prefix{}, false
+}
+
+// Lookup attributes (ip, t): the longest prefix with an active episode
+// wins; otherwise the longest with a covering merged window.
+func (ix *Index) Lookup(ip uint32, t time.Time) Match {
+	var windowMatch Match
+	for _, l := range ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		lst, ok := ix.byPrefix[p]
+		if !ok {
+			continue
+		}
+		for _, e := range lst {
+			if t.Before(e.Start()) {
+				break // list sorted by start; later events start later
+			}
+			if t.After(e.End(ix.periodEnd)) {
+				continue
+			}
+			if e.ActiveAt(t, ix.periodEnd) {
+				return Match{Event: e, Active: true, Prefix: p}
+			}
+			if windowMatch.Event == nil {
+				windowMatch = Match{Event: e, Prefix: p}
+			}
+		}
+	}
+	return windowMatch
+}
+
+// PreEventOf returns the events whose 72-hour pre-window covers (ip, t),
+// appending to dst. A record can precede several events of the same or a
+// covering prefix.
+func (ix *Index) PreEventOf(dst []*Event, ip uint32, t time.Time) []*Event {
+	for _, l := range ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		lst, ok := ix.byPrefix[p]
+		if !ok {
+			continue
+		}
+		for _, e := range lst {
+			if !t.Before(e.Start()) {
+				continue
+			}
+			if e.Start().Sub(t) <= PreWindow {
+				dst = append(dst, e)
+			}
+		}
+	}
+	return dst
+}
+
+// Interesting reports whether (ip, t) falls inside any event's analysis
+// range — the pre-window plus the merged event window — and returns the
+// matched (longest) prefix. The anomaly aggregator uses this to bound its
+// slot-feature store.
+func (ix *Index) Interesting(ip uint32, t time.Time) (bgp.Prefix, bool) {
+	for _, l := range ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		lst, ok := ix.byPrefix[p]
+		if !ok {
+			continue
+		}
+		for _, e := range lst {
+			if t.Before(e.Start().Add(-PreWindow)) {
+				break
+			}
+			if !t.After(e.End(ix.periodEnd)) {
+				return p, true
+			}
+		}
+	}
+	return bgp.Prefix{}, false
+}
+
+// Events returns the event lists per prefix (shared; callers must not
+// modify).
+func (ix *Index) EventsFor(p bgp.Prefix) []*Event { return ix.byPrefix[p] }
+
+// PeriodEnd returns the period end used for open-ended events.
+func (ix *Index) PeriodEnd() time.Time { return ix.periodEnd }
+
+// Lengths returns the distinct prefix lengths present, descending.
+// Callers must not modify the slice.
+func (ix *Index) Lengths() []uint8 { return ix.lengths }

@@ -1,0 +1,146 @@
+package events
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/stats"
+)
+
+// randomStream generates a plausible random update stream: a handful of
+// (prefix, peer) pairs with interleaved announce/withdraw actions at
+// increasing times.
+func randomStream(seed uint64, n int) []analysis.ControlUpdate {
+	r := stats.NewRNG(seed)
+	prefixes := []bgp.Prefix{
+		bgp.MustParsePrefix("203.0.113.5/32"),
+		bgp.MustParsePrefix("203.0.113.6/32"),
+		bgp.MustParsePrefix("203.0.113.0/24"),
+	}
+	peers := []uint32{100, 200}
+	t := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	var out []analysis.ControlUpdate
+	for i := 0; i < n; i++ {
+		t = t.Add(time.Duration(10+r.Intn(1200)) * time.Second)
+		u := analysis.ControlUpdate{
+			Time:     t,
+			Peer:     peers[r.Intn(len(peers))],
+			Prefix:   prefixes[r.Intn(len(prefixes))],
+			Announce: r.Bool(0.55),
+		}
+		if u.Announce {
+			u.Communities = bgp.Communities{bgp.Blackhole}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func TestMergeInvariantsProperty(t *testing.T) {
+	end := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed uint64) bool {
+		us := randomStream(seed, 150)
+		evs := Merge(us, DefaultDelta, end)
+		totalAnn := 0
+		for i := range us {
+			if us[i].Announce {
+				totalAnn++
+			}
+		}
+		sumAnn := 0
+		for _, e := range evs {
+			sumAnn += e.Announcements
+			// Episodes strictly ordered, withdraws after announces.
+			prev := time.Time{}
+			for i, ep := range e.Episodes {
+				if !ep.Announce.After(prev) {
+					return false
+				}
+				if ep.Withdraw.IsZero() {
+					// Only the last episode may be open.
+					if i != len(e.Episodes)-1 {
+						return false
+					}
+					prev = end
+				} else {
+					if !ep.Withdraw.After(ep.Announce) {
+						return false
+					}
+					prev = ep.Withdraw
+				}
+			}
+			// Event bounds consistent.
+			if e.Start().After(e.End(end)) {
+				return false
+			}
+			// Gaps inside one event never exceed delta.
+			for i := 1; i < len(e.Episodes); i++ {
+				gap := e.Episodes[i].Announce.Sub(e.Episodes[i-1].Withdraw)
+				if gap > DefaultDelta {
+					return false
+				}
+			}
+		}
+		// Every announcement is attributed to exactly one event.
+		return sumAnn == totalAnn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMonotoneInDeltaProperty(t *testing.T) {
+	end := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed uint64) bool {
+		us := randomStream(seed, 120)
+		prev := -1
+		for _, d := range []time.Duration{time.Minute, 5 * time.Minute, 20 * time.Minute, time.Hour} {
+			n := len(Merge(us, d, end))
+			if prev >= 0 && n > prev {
+				return false // larger delta can only merge more
+			}
+			prev = n
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexLookupConsistentWithEventsProperty(t *testing.T) {
+	end := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed uint64) bool {
+		us := randomStream(seed, 100)
+		evs := Merge(us, DefaultDelta, end)
+		ix := NewIndex(evs, end)
+		r := stats.NewRNG(seed ^ 0xabc)
+		// Probe random times against a direct scan.
+		for probe := 0; probe < 50; probe++ {
+			ip := bgp.MustParsePrefix("203.0.113.5/32").Addr + uint32(r.Intn(3))
+			at := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC).
+				Add(time.Duration(r.Intn(60*24*3600)) * time.Second)
+			m := ix.Lookup(ip, at)
+			// Direct scan: is any event active / windowed at this point?
+			anyActive := false
+			for _, e := range evs {
+				if e.Prefix.Contains(ip) && e.ActiveAt(at, end) {
+					anyActive = true
+				}
+			}
+			if anyActive != m.Active {
+				return false
+			}
+			if m.Active && (m.Event == nil || !m.Event.ActiveAt(at, end)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package hosts profiles blackholed addresses from their legitimate
+// traffic outside RTBH events (paper §6.1-§6.2): the four port-diversity
+// features behind the RadViz projection (Fig 16), the daily top-port
+// variation that separates servers from clients (Fig 17), and the
+// PeeringDB types of the detected populations (Table 4).
+package hosts
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ip2as"
+	"repro/internal/peeringdb"
+)
+
+// MinActiveDays is the paper's conservative detection criterion: a host
+// qualifies only with incoming and outgoing traffic on at least 20
+// distinct days.
+const MinActiveDays = 20
+
+// Feature indices of the RadViz projection (§6.1).
+const (
+	FeatInSrcPorts = iota
+	FeatInDstPorts
+	FeatOutSrcPorts
+	FeatOutDstPorts
+	NumFeatures
+)
+
+// FeatureNames label the RadViz anchors.
+var FeatureNames = [NumFeatures]string{
+	"in-src-ports", "in-dst-ports", "out-src-ports", "out-dst-ports",
+}
+
+// Kind is the host classification outcome.
+type Kind int
+
+// Host classes.
+const (
+	KindUnclassified Kind = iota
+	KindServer
+	KindClient
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindServer:
+		return "server"
+	case KindClient:
+		return "client"
+	default:
+		return "unclassified"
+	}
+}
+
+// dayAgg tracks one host-day.
+type dayAgg struct {
+	hasIn, hasOut bool
+	inTop         *analysis.TopCounter // (proto<<16|port) -> packets
+}
+
+// hostAgg accumulates one host's legitimate traffic.
+type hostAgg struct {
+	days map[int32]*dayAgg
+	// period-level distinct port sets for the four RadViz features.
+	feat [NumFeatures]analysis.BoundedSet
+}
+
+// Aggregator builds host profiles from the streaming pass. Feed it only
+// records outside RTBH activity (including the 10-minute pre-event
+// reaction buffer), for addresses inside ever-blackholed prefixes.
+type Aggregator struct {
+	hosts map[uint32]*hostAgg
+}
+
+// New returns an empty aggregator.
+func New() *Aggregator {
+	return &Aggregator{hosts: make(map[uint32]*hostAgg)}
+}
+
+const featCap = 512
+
+func (a *Aggregator) host(ip uint32) *hostAgg {
+	h := a.hosts[ip]
+	if h == nil {
+		h = &hostAgg{days: make(map[int32]*dayAgg)}
+		for i := range h.feat {
+			h.feat[i] = *analysis.NewBoundedSet(featCap)
+		}
+		a.hosts[ip] = h
+	}
+	return h
+}
+
+func (h *hostAgg) day(d int32) *dayAgg {
+	da := h.days[d]
+	if da == nil {
+		da = &dayAgg{inTop: analysis.NewTopCounter(32)}
+		h.days[d] = da
+	}
+	return da
+}
+
+// AddIncoming records a sampled packet toward host ip on day d.
+func (a *Aggregator) AddIncoming(ip uint32, d int32, srcPort, dstPort uint16, proto uint8, pkts int64) {
+	h := a.host(ip)
+	da := h.day(d)
+	da.hasIn = true
+	da.inTop.Add(uint32(proto)<<16|uint32(dstPort), uint64(pkts))
+	h.feat[FeatInSrcPorts].Add(uint64(srcPort))
+	h.feat[FeatInDstPorts].Add(uint64(dstPort))
+}
+
+// AddOutgoing records a sampled packet from host ip on day d.
+func (a *Aggregator) AddOutgoing(ip uint32, d int32, srcPort, dstPort uint16, proto uint8, pkts int64) {
+	h := a.host(ip)
+	h.day(d).hasOut = true
+	h.feat[FeatOutSrcPorts].Add(uint64(srcPort))
+	h.feat[FeatOutDstPorts].Add(uint64(dstPort))
+}
+
+// Profile is the per-host analysis outcome.
+type Profile struct {
+	IP uint32
+	// ActiveDays counts days with both incoming and outgoing traffic.
+	ActiveDays int
+	// Features are the four RadViz port-diversity counts.
+	Features [NumFeatures]float64
+	// TopPorts are the distinct daily top (proto, port) pairs of
+	// incoming traffic, encoded proto<<16|port.
+	TopPorts []uint32
+	// PortVariation is |distinct top ports| / |days with incoming
+	// traffic|: ~0 for stable servers, ~1 for clients (§6.2).
+	PortVariation float64
+	// Kind is the classification (servers at low variation).
+	Kind Kind
+}
+
+// ClassifyThreshold separates servers (variation below) from clients.
+const ClassifyThreshold = 0.5
+
+// Profiles computes per-host outcomes for hosts meeting minActiveDays
+// (use MinActiveDays for the paper's criterion), sorted by IP.
+func (a *Aggregator) Profiles(minActiveDays int) []Profile {
+	var out []Profile
+	for ip, h := range a.hosts {
+		p := Profile{IP: ip}
+		inDays := 0
+		topSet := map[uint32]bool{}
+		for _, da := range h.days {
+			if da.hasIn {
+				inDays++
+				if key, _, ok := da.inTop.Top(); ok {
+					topSet[key] = true
+				}
+			}
+			if da.hasIn && da.hasOut {
+				p.ActiveDays++
+			}
+		}
+		if p.ActiveDays < minActiveDays {
+			continue
+		}
+		for f := range p.Features {
+			p.Features[f] = float64(h.feat[f].Count())
+		}
+		for k := range topSet {
+			p.TopPorts = append(p.TopPorts, k)
+		}
+		sort.Slice(p.TopPorts, func(i, j int) bool { return p.TopPorts[i] < p.TopPorts[j] })
+		if inDays > 0 {
+			p.PortVariation = float64(len(topSet)) / float64(inDays)
+		}
+		if p.PortVariation <= ClassifyThreshold {
+			p.Kind = KindServer
+		} else {
+			p.Kind = KindClient
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// Hosts returns the number of distinct profiled addresses (before the
+// active-day filter).
+func (a *Aggregator) Hosts() int { return len(a.hosts) }
+
+// TypeTable is Table 4: the PeeringDB type distribution of detected
+// client and server populations.
+type TypeTable struct {
+	Clients, Servers int
+	ClientTypes      map[peeringdb.OrgType]float64
+	ServerTypes      map[peeringdb.OrgType]float64
+}
+
+// Types joins profiles against the routing table and PeeringDB.
+func Types(profiles []Profile, tbl *ip2as.Table, pdb *peeringdb.Registry) TypeTable {
+	res := TypeTable{
+		ClientTypes: make(map[peeringdb.OrgType]float64),
+		ServerTypes: make(map[peeringdb.OrgType]float64),
+	}
+	for i := range profiles {
+		typ := peeringdb.TypeUnknown
+		if asn, ok := tbl.Lookup(profiles[i].IP); ok {
+			typ = pdb.TypeOf(asn)
+		}
+		switch profiles[i].Kind {
+		case KindClient:
+			res.Clients++
+			res.ClientTypes[typ]++
+		case KindServer:
+			res.Servers++
+			res.ServerTypes[typ]++
+		}
+	}
+	for k := range res.ClientTypes {
+		res.ClientTypes[k] /= float64(res.Clients)
+	}
+	for k := range res.ServerTypes {
+		res.ServerTypes[k] /= float64(res.Servers)
+	}
+	return res
+}

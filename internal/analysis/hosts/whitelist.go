@@ -1,0 +1,80 @@
+package hosts
+
+import "sort"
+
+// Whitelist feasibility (paper §7.2): the paper concludes that
+// "detection of legitimate traffic patterns and whitelisting of such
+// patterns during an attack is not possible due to highly variable
+// client traffic". This analysis quantifies that claim: for each
+// detected host, how much of a day's incoming traffic lands on
+// (protocol, port) pairs already seen as top ports on *earlier* days —
+// the coverage an operator's whitelist would achieve during an attack.
+
+// Coverage is one host's whitelist-coverage outcome.
+type Coverage struct {
+	IP uint32
+	// Share is the mean fraction of daily incoming packets that a
+	// whitelist built from all previous days' top ports would have
+	// passed (first observed day excluded — there is nothing to
+	// whitelist from yet).
+	Share float64
+	// Days is the number of days contributing to the mean.
+	Days int
+}
+
+// WhitelistCoverage computes per-host whitelist coverage for hosts with
+// at least minActiveDays active days (the same criterion as Profiles).
+func (a *Aggregator) WhitelistCoverage(minActiveDays int) []Coverage {
+	var out []Coverage
+	for ip, h := range a.hosts {
+		active := 0
+		for _, da := range h.days {
+			if da.hasIn && da.hasOut {
+				active++
+			}
+		}
+		if active < minActiveDays {
+			continue
+		}
+		days := make([]int32, 0, len(h.days))
+		for d, da := range h.days {
+			if da.hasIn {
+				days = append(days, d)
+			}
+		}
+		if len(days) < 2 {
+			continue
+		}
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+
+		seen := map[uint32]bool{}
+		var shareSum float64
+		counted := 0
+		for i, d := range days {
+			da := h.days[d]
+			keys, counts := da.inTop.Entries()
+			if i > 0 {
+				var covered, total uint64
+				for j, k := range keys {
+					total += counts[j]
+					if seen[k] {
+						covered += counts[j]
+					}
+				}
+				if total > 0 {
+					shareSum += float64(covered) / float64(total)
+					counted++
+				}
+			}
+			if key, _, ok := da.inTop.Top(); ok {
+				seen[key] = true
+			}
+		}
+		if counted == 0 {
+			continue
+		}
+		out = append(out, Coverage{IP: ip, Share: shareSum / float64(counted), Days: counted})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}

@@ -1,0 +1,95 @@
+// Package load computes the control-plane load of the RTBH service
+// (paper §3.2, Fig 3): the number of simultaneously active blackhole
+// routes over time, the BGP message rate, and the population of
+// announcing peers and origin ASes.
+package load
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+// Point is one sample of the load time series.
+type Point struct {
+	Time time.Time
+	// Active is the number of blackhole routes active at sample time.
+	Active int
+	// Messages is the number of RTBH-related BGP messages during the
+	// minute ending at Time.
+	Messages int
+}
+
+// Result is the Fig 3 series plus the summary numbers quoted in §3.2.
+type Result struct {
+	// Series sampled per minute.
+	Series []Point
+	// AvgActive and MaxActive summarize the parallel-RTBH count.
+	AvgActive float64
+	MaxActive int
+	// MaxMessagesPerMinute is the peak signaling rate.
+	MaxMessagesPerMinute int
+	// Peers is the number of distinct announcing members; OriginASes the
+	// number of distinct AS_PATH origins.
+	Peers      int
+	OriginASes int
+}
+
+type routeKey struct {
+	prefix bgp.Prefix
+	peer   uint32
+}
+
+// Compute derives the load series from the time-sorted update stream over
+// [start, end), sampling once per minute.
+func Compute(updates []analysis.ControlUpdate, start, end time.Time) *Result {
+	res := &Result{}
+	if !end.After(start) {
+		return res
+	}
+	active := make(map[routeKey]bool)
+	peers := make(map[uint32]bool)
+	origins := make(map[uint32]bool)
+
+	minutes := int(end.Sub(start) / time.Minute)
+	res.Series = make([]Point, 0, minutes)
+
+	ui := 0
+	msgs := 0
+	var sumActive float64
+	for m := 0; m < minutes; m++ {
+		cut := start.Add(time.Duration(m+1) * time.Minute)
+		for ui < len(updates) && updates[ui].Time.Before(cut) {
+			u := &updates[ui]
+			key := routeKey{prefix: u.Prefix, peer: u.Peer}
+			if u.Announce {
+				active[key] = true
+				peers[u.Peer] = true
+				if u.OriginAS != 0 {
+					origins[u.OriginAS] = true
+				}
+			} else {
+				delete(active, key)
+			}
+			msgs++
+			ui++
+		}
+		p := Point{Time: cut, Active: len(active), Messages: msgs}
+		msgs = 0
+		res.Series = append(res.Series, p)
+		sumActive += float64(p.Active)
+		if p.Active > res.MaxActive {
+			res.MaxActive = p.Active
+		}
+		if p.Messages > res.MaxMessagesPerMinute {
+			res.MaxMessagesPerMinute = p.Messages
+		}
+	}
+	if len(res.Series) > 0 {
+		res.AvgActive = sumActive / float64(len(res.Series))
+	}
+	res.Peers = len(peers)
+	res.OriginASes = len(origins)
+	return res
+}

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+var (
+	pA = bgp.MustParsePrefix("203.0.113.5/32")
+	pB = bgp.MustParsePrefix("198.51.100.0/24")
+	t0 = time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func upd(t time.Time, peer uint32, p bgp.Prefix, announce bool, origin uint32) analysis.ControlUpdate {
+	return analysis.ControlUpdate{Time: t, Peer: peer, Prefix: p, Announce: announce, OriginAS: origin}
+}
+
+func TestComputeSeries(t *testing.T) {
+	us := []analysis.ControlUpdate{
+		upd(t0.Add(30*time.Second), 100, pA, true, 777),
+		upd(t0.Add(90*time.Second), 200, pB, true, 778),
+		upd(t0.Add(5*time.Minute), 100, pA, false, 0),
+	}
+	res := Compute(us, t0, t0.Add(10*time.Minute))
+	if len(res.Series) != 10 {
+		t.Fatalf("series length = %d", len(res.Series))
+	}
+	if res.Series[0].Active != 1 || res.Series[0].Messages != 1 {
+		t.Fatalf("minute 0 = %+v", res.Series[0])
+	}
+	if res.Series[1].Active != 2 {
+		t.Fatalf("minute 1 = %+v", res.Series[1])
+	}
+	if res.Series[5].Active != 1 { // withdraw at 5:00 counted in minute 5
+		t.Fatalf("minute 5 = %+v", res.Series[5])
+	}
+	if res.MaxActive != 2 || res.Peers != 2 || res.OriginASes != 2 {
+		t.Fatalf("summary = %+v", res)
+	}
+	if res.AvgActive <= 1 || res.AvgActive >= 2 {
+		t.Fatalf("avg active = %v", res.AvgActive)
+	}
+	if res.MaxMessagesPerMinute != 1 {
+		t.Fatalf("max msgs/min = %d", res.MaxMessagesPerMinute)
+	}
+}
+
+func TestComputeDuplicateAnnouncementsStable(t *testing.T) {
+	us := []analysis.ControlUpdate{
+		upd(t0, 100, pA, true, 777),
+		upd(t0.Add(time.Second), 100, pA, true, 777), // refresh, not +1
+	}
+	res := Compute(us, t0, t0.Add(2*time.Minute))
+	if res.MaxActive != 1 {
+		t.Fatalf("MaxActive = %d, want 1", res.MaxActive)
+	}
+	if res.MaxMessagesPerMinute != 2 {
+		t.Fatalf("msgs = %d", res.MaxMessagesPerMinute)
+	}
+}
+
+func TestComputeEmptyAndDegenerate(t *testing.T) {
+	res := Compute(nil, t0, t0.Add(3*time.Minute))
+	if len(res.Series) != 3 || res.MaxActive != 0 {
+		t.Fatalf("empty result = %+v", res)
+	}
+	res = Compute(nil, t0, t0)
+	if len(res.Series) != 0 {
+		t.Fatal("degenerate period produced samples")
+	}
+}
+
+func TestComputeSamePrefixTwoPeers(t *testing.T) {
+	us := []analysis.ControlUpdate{
+		upd(t0, 100, pA, true, 777),
+		upd(t0.Add(time.Second), 200, pA, true, 777),
+	}
+	res := Compute(us, t0, t0.Add(time.Minute))
+	// Two routes: the same prefix from two peers.
+	if res.MaxActive != 2 {
+		t.Fatalf("MaxActive = %d", res.MaxActive)
+	}
+}

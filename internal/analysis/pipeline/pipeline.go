@@ -1,0 +1,171 @@
+// Package pipeline orchestrates the full data-plane analysis: it joins
+// each sampled flow record against the control-plane event structure
+// exactly once and dispatches the attributed observation to the
+// per-question aggregators (drop statistics, anomaly features, protocol
+// mix, host profiles, time alignment, collateral damage).
+//
+// The pipeline runs in two streaming passes over the flow archive, like
+// the paper's own processing: the first pass needs only the control
+// plane; the second pass (collateral damage) additionally needs the
+// server top-ports detected by the first.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/anomaly"
+	"repro/internal/analysis/collateral"
+	"repro/internal/analysis/dropstats"
+	"repro/internal/analysis/events"
+	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/protomix"
+	"repro/internal/analysis/timealign"
+	"repro/internal/ipfix"
+)
+
+// ReactionBuffer is prepended to each event when selecting legitimate
+// traffic for host profiling (§6.1: a 10-minute reaction time during
+// which traffic is not classified as legitimate).
+const ReactionBuffer = 10 * time.Minute
+
+// Pipeline is the two-pass streaming analyzer.
+type Pipeline struct {
+	Meta   *analysis.Metadata
+	Events []*events.Event
+	Index  *events.Index
+
+	Drop    *dropstats.Aggregator
+	Anomaly *anomaly.Aggregator
+	Proto   *protomix.Aggregator
+	Hosts   *hosts.Aggregator
+	Align   *timealign.Aggregator
+
+	// Collateral is available after StartPass2.
+	Collateral *collateral.Aggregator
+	// Profiles are the host profiles computed by FinishPass1.
+	Profiles []hosts.Profile
+
+	// Counters of the cleaning and attribution steps (§3.1).
+	TotalRecords      int64
+	InternalRecords   int64
+	AttributedRecords int64
+	DroppedRecords    int64
+}
+
+// New builds a pipeline: events are merged from the update stream with
+// the given threshold (events.DefaultDelta for the paper's 10 minutes).
+func New(meta *analysis.Metadata, updates []analysis.ControlUpdate, delta time.Duration) (*Pipeline, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	evs := events.Merge(updates, delta, meta.End)
+	ix := events.NewIndex(evs, meta.End)
+	return &Pipeline{
+		Meta:    meta,
+		Events:  evs,
+		Index:   ix,
+		Drop:    dropstats.New(),
+		Anomaly: anomaly.New(),
+		Proto:   protomix.New(),
+		Hosts:   hosts.New(),
+		Align:   timealign.New(ix),
+	}, nil
+}
+
+// ObservePass1 processes one flow record in the first pass.
+func (p *Pipeline) ObservePass1(rec *ipfix.FlowRecord) {
+	p.TotalRecords++
+	if p.Meta.IsInternal(rec) {
+		p.InternalRecords++
+		return
+	}
+	dropped := rec.DstMAC == p.Meta.BlackholeMAC
+	if dropped {
+		p.DroppedRecords++
+		p.Align.AddDropped(rec.DstIP, rec.Start)
+	}
+	srcMember := p.Meta.MemberOf(rec.SrcMAC)
+	pkts := int64(rec.Packets)
+	bytes := int64(rec.Bytes)
+
+	_, dstBH := p.Index.EverBlackholed(rec.DstIP)
+	_, srcBH := p.Index.EverBlackholed(rec.SrcIP)
+	if !dstBH && !srcBH {
+		return
+	}
+	p.AttributedRecords++
+	day := int32(analysis.Day(p.Meta.Start, rec.Start))
+
+	if dstBH {
+		m := p.Index.Lookup(rec.DstIP, rec.Start)
+		if m.Active {
+			p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
+		}
+		if m.Event != nil {
+			originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)
+			p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
+		}
+		if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
+			p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+		}
+		if m.Event == nil && p.legitAt(rec.DstIP, rec.Start) {
+			p.Hosts.AddIncoming(rec.DstIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+		}
+	}
+	if srcBH {
+		mSrc := p.Index.Lookup(rec.SrcIP, rec.Start)
+		if mSrc.Event == nil && p.legitAt(rec.SrcIP, rec.Start) {
+			p.Hosts.AddOutgoing(rec.SrcIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+		}
+	}
+}
+
+// legitAt reports that no event window starts within the reaction buffer
+// after t (the caller has already checked that t itself is outside any
+// window).
+func (p *Pipeline) legitAt(ip uint32, t time.Time) bool {
+	m := p.Index.Lookup(ip, t.Add(ReactionBuffer))
+	return m.Event == nil
+}
+
+// FinishPass1 computes host profiles (the §6 population) and prepares the
+// collateral aggregator for the second pass. minActiveDays is the
+// detection criterion (hosts.MinActiveDays for the paper's 20).
+func (p *Pipeline) FinishPass1(minActiveDays int) {
+	p.Profiles = p.Hosts.Profiles(minActiveDays)
+	p.Collateral = collateral.New(p.Profiles)
+}
+
+// ObservePass2 processes one flow record in the second pass. It panics if
+// FinishPass1 has not run — that is a programming error, not bad data.
+func (p *Pipeline) ObservePass2(rec *ipfix.FlowRecord) {
+	if p.Collateral == nil {
+		panic("pipeline: ObservePass2 before FinishPass1")
+	}
+	if p.Meta.IsInternal(rec) {
+		return
+	}
+	m := p.Index.Lookup(rec.DstIP, rec.Start)
+	if m.Event == nil {
+		return
+	}
+	dropped := rec.DstMAC == p.Meta.BlackholeMAC
+	p.Collateral.Add(m.Event.ID, rec.DstIP, rec.DstPort, rec.Proto, dropped, int64(rec.Packets))
+}
+
+// CleaningSummary describes the §3.1 data-cleaning outcome.
+func (p *Pipeline) CleaningSummary() string {
+	return fmt.Sprintf("records=%d internal=%d (%.4f%%) attributed=%d dropped=%d",
+		p.TotalRecords, p.InternalRecords,
+		100*float64(p.InternalRecords)/float64(max64(p.TotalRecords, 1)),
+		p.AttributedRecords, p.DroppedRecords)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,307 @@
+// Package protomix analyses the traffic observed during RTBH events
+// (paper §5.4-§5.5): the transport protocol distribution, attribution to
+// known UDP amplification services (Table 3), the potential of
+// fine-grained port-list filtering (Fig 14), and the participation of
+// handover and origin ASes in amplification attacks (Fig 15).
+package protomix
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/netgen"
+)
+
+// maxASesPerEvent bounds the per-event AS sets; real events involve tens
+// of ASes, so the bound is far from binding and exists only as a memory
+// backstop against pathological inputs.
+const maxASesPerEvent = 4096
+
+// eventAgg accumulates one event's during-event traffic.
+type eventAgg struct {
+	udp, tcp, icmp, other int64
+	ampPkts               map[uint16]int64 // amplification source port -> packets
+	nonAmpUDP             int64
+	srcIPs                analysis.BoundedSet
+	originASes            map[uint32]bool
+	handoverASes          map[uint32]bool
+}
+
+// Aggregator collects per-event protocol statistics from the streaming
+// pass. Feed it records that fall inside merged event windows.
+type Aggregator struct {
+	events map[int]*eventAgg
+}
+
+// New returns an empty aggregator.
+func New() *Aggregator {
+	return &Aggregator{events: make(map[int]*eventAgg)}
+}
+
+// Add accumulates one sampled packet observed during eventID's window.
+// originAS is the source's origin AS per the routing table (0 when
+// unresolvable, e.g. spoofed), handoverAS the ingress member.
+func (a *Aggregator) Add(eventID int, proto uint8, srcIP uint32, srcPort uint16, pkts int64, originAS, handoverAS uint32) {
+	ea := a.events[eventID]
+	if ea == nil {
+		ea = &eventAgg{
+			ampPkts:      make(map[uint16]int64),
+			originASes:   make(map[uint32]bool),
+			handoverASes: make(map[uint32]bool),
+			srcIPs:       *analysis.NewBoundedSet(4096),
+		}
+		a.events[eventID] = ea
+	}
+	switch proto {
+	case netgen.ProtoUDP:
+		ea.udp += pkts
+		if netgen.IsAmplificationPort(proto, srcPort) {
+			ea.ampPkts[srcPort] += pkts
+			if originAS != 0 && len(ea.originASes) < maxASesPerEvent {
+				ea.originASes[originAS] = true
+			}
+			if handoverAS != 0 && len(ea.handoverASes) < maxASesPerEvent {
+				ea.handoverASes[handoverAS] = true
+			}
+			ea.srcIPs.Add(uint64(srcIP))
+		} else {
+			ea.nonAmpUDP += pkts
+		}
+	case netgen.ProtoTCP:
+		ea.tcp += pkts
+	case netgen.ProtoICMP:
+		ea.icmp += pkts
+	default:
+		ea.other += pkts
+	}
+}
+
+// ProtocolShares is the §5.4 transport mix over a set of events.
+type ProtocolShares struct {
+	UDP, TCP, ICMP, Other float64
+	Packets               int64
+}
+
+// Shares computes the aggregate protocol mix over the given events (the
+// paper restricts this to events with a preceding anomaly and data).
+func (a *Aggregator) Shares(eventIDs []int) ProtocolShares {
+	var udp, tcp, icmp, other int64
+	for _, id := range eventIDs {
+		if ea := a.events[id]; ea != nil {
+			udp += ea.udp
+			tcp += ea.tcp
+			icmp += ea.icmp
+			other += ea.other
+		}
+	}
+	total := udp + tcp + icmp + other
+	if total == 0 {
+		return ProtocolShares{}
+	}
+	f := func(v int64) float64 { return float64(v) / float64(total) }
+	return ProtocolShares{UDP: f(udp), TCP: f(tcp), ICMP: f(icmp), Other: f(other), Packets: total}
+}
+
+// ampProtocolsOf returns the distinct amplification protocols that carry
+// a non-negligible share of the event's amplification traffic. minShare
+// suppresses stray single samples (the paper conducts the analysis "on a
+// per event basis" to avoid outlier bias).
+func (ea *eventAgg) ampProtocolsOf(minShare float64) int {
+	var total int64
+	for _, v := range ea.ampPkts {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range ea.ampPkts {
+		if float64(v) >= minShare*float64(total) {
+			n++
+		}
+	}
+	return n
+}
+
+// ProtocolCountDist returns the Table 3 distribution: the share of events
+// using exactly k distinct amplification protocols, for k = 0..5+ (the
+// last bucket aggregates 5 and more).
+func (a *Aggregator) ProtocolCountDist(eventIDs []int) (dist [6]float64, counted int) {
+	var counts [6]int
+	for _, id := range eventIDs {
+		ea := a.events[id]
+		if ea == nil {
+			continue
+		}
+		k := ea.ampProtocolsOf(0.02)
+		if k > 5 {
+			k = 5
+		}
+		counts[k]++
+		counted++
+	}
+	if counted == 0 {
+		return dist, 0
+	}
+	for k := range counts {
+		dist[k] = float64(counts[k]) / float64(counted)
+	}
+	return dist, counted
+}
+
+// FilterableShares returns, per event, the share of packets that would be
+// dropped by filtering the known amplification port list (Fig 14),
+// sorted ascending.
+func (a *Aggregator) FilterableShares(eventIDs []int) []float64 {
+	var out []float64
+	for _, id := range eventIDs {
+		ea := a.events[id]
+		if ea == nil {
+			continue
+		}
+		var amp int64
+		for _, v := range ea.ampPkts {
+			amp += v
+		}
+		total := ea.udp + ea.tcp + ea.icmp + ea.other
+		if total == 0 {
+			continue
+		}
+		out = append(out, float64(amp)/float64(total))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// FullyFilterableShare returns the fraction of events whose traffic is
+// covered at least 99% by the amplification port list (the paper's "90%
+// of the RTBH events could be supported completely").
+func (a *Aggregator) FullyFilterableShare(eventIDs []int) float64 {
+	shares := a.FilterableShares(eventIDs)
+	if len(shares) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range shares {
+		if s >= 0.99 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(shares))
+}
+
+// Participation is the Fig 15 result for one AS category.
+type Participation struct {
+	// Shares holds, per participating AS, the fraction of amplification
+	// events it took part in, ascending.
+	Shares []float64
+	// ASes is the number of participating ASes.
+	ASes int
+	// Top10 is the participation share of the ten most frequent ASes,
+	// descending.
+	Top10 []float64
+	// TopAS is the most frequent AS.
+	TopAS uint32
+}
+
+// participationOf tallies per-AS event participation.
+func participationOf(events map[int]*eventAgg, ids []int, pick func(*eventAgg) map[uint32]bool) Participation {
+	perAS := make(map[uint32]int)
+	total := 0
+	for _, id := range ids {
+		ea := events[id]
+		if ea == nil {
+			continue
+		}
+		set := pick(ea)
+		if len(set) == 0 {
+			continue
+		}
+		total++
+		for as := range set {
+			perAS[as]++
+		}
+	}
+	var p Participation
+	if total == 0 {
+		return p
+	}
+	type kv struct {
+		as uint32
+		n  int
+	}
+	all := make([]kv, 0, len(perAS))
+	for as, n := range perAS {
+		all = append(all, kv{as, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].as < all[j].as
+	})
+	p.ASes = len(all)
+	for i, e := range all {
+		share := float64(e.n) / float64(total)
+		if i < 10 {
+			p.Top10 = append(p.Top10, share)
+		}
+		p.Shares = append(p.Shares, share)
+	}
+	if len(all) > 0 {
+		p.TopAS = all[0].as
+	}
+	sort.Float64s(p.Shares)
+	return p
+}
+
+// OriginParticipation returns Fig 15's origin-AS CDF over the given
+// (amplification) events.
+func (a *Aggregator) OriginParticipation(eventIDs []int) Participation {
+	return participationOf(a.events, eventIDs, func(ea *eventAgg) map[uint32]bool { return ea.originASes })
+}
+
+// HandoverParticipation returns Fig 15's handover-AS CDF.
+func (a *Aggregator) HandoverParticipation(eventIDs []int) Participation {
+	return participationOf(a.events, eventIDs, func(ea *eventAgg) map[uint32]bool { return ea.handoverASes })
+}
+
+// AttackScale summarizes the per-event source diversity: mean amplifiers,
+// mean origin ASes and mean handover ASes per amplification event.
+type AttackScale struct {
+	MeanAmplifiers   float64
+	MeanOriginASes   float64
+	MeanHandoverASes float64
+	Events           int
+}
+
+// Scale computes AttackScale over events with amplification traffic.
+func (a *Aggregator) Scale(eventIDs []int) AttackScale {
+	var s AttackScale
+	for _, id := range eventIDs {
+		ea := a.events[id]
+		if ea == nil || len(ea.originASes) == 0 {
+			continue
+		}
+		s.Events++
+		s.MeanAmplifiers += float64(ea.srcIPs.Count())
+		s.MeanOriginASes += float64(len(ea.originASes))
+		s.MeanHandoverASes += float64(len(ea.handoverASes))
+	}
+	if s.Events > 0 {
+		s.MeanAmplifiers /= float64(s.Events)
+		s.MeanOriginASes /= float64(s.Events)
+		s.MeanHandoverASes /= float64(s.Events)
+	}
+	return s
+}
+
+// EventsWithData returns the IDs with any during-event traffic.
+func (a *Aggregator) EventsWithData() []int {
+	ids := make([]int, 0, len(a.events))
+	for id := range a.events {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

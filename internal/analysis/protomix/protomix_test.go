@@ -1,0 +1,142 @@
+package protomix
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+func TestSharesUDPDominant(t *testing.T) {
+	a := New()
+	for i := 0; i < 995; i++ {
+		a.Add(1, netgen.ProtoUDP, uint32(i), 389, 1, 500, 100)
+	}
+	for i := 0; i < 3; i++ {
+		a.Add(1, netgen.ProtoTCP, uint32(i), 40000, 1, 0, 100)
+	}
+	a.Add(1, netgen.ProtoICMP, 1, 0, 1, 0, 100)
+	a.Add(1, 47, 1, 0, 1, 0, 100) // GRE -> other
+
+	s := a.Shares([]int{1})
+	if math.Abs(s.UDP-0.995) > 1e-9 || s.Packets != 1000 {
+		t.Fatalf("shares = %+v", s)
+	}
+	if s.TCP <= 0 || s.ICMP <= 0 || s.Other <= 0 {
+		t.Fatalf("minor shares zero: %+v", s)
+	}
+	// Missing events are skipped.
+	if s2 := a.Shares([]int{1, 999}); s2.Packets != 1000 {
+		t.Fatalf("missing event changed totals: %+v", s2)
+	}
+}
+
+func TestProtocolCountDist(t *testing.T) {
+	a := New()
+	// Event 1: two protocols (NTP + DNS).
+	for i := 0; i < 100; i++ {
+		a.Add(1, netgen.ProtoUDP, uint32(i), 123, 1, 500, 100)
+		a.Add(1, netgen.ProtoUDP, uint32(i), 53, 1, 500, 100)
+	}
+	// Event 2: one protocol plus a single stray packet on another port
+	// (the 2% noise floor must suppress it).
+	for i := 0; i < 100; i++ {
+		a.Add(2, netgen.ProtoUDP, uint32(i), 11211, 1, 500, 100)
+	}
+	a.Add(2, netgen.ProtoUDP, 7, 19, 1, 500, 100)
+	// Event 3: no amplification traffic at all.
+	for i := 0; i < 50; i++ {
+		a.Add(3, netgen.ProtoUDP, uint32(i), 40000, 1, 0, 100)
+	}
+
+	dist, counted := a.ProtocolCountDist([]int{1, 2, 3})
+	if counted != 3 {
+		t.Fatalf("counted = %d", counted)
+	}
+	if math.Abs(dist[2]-1.0/3) > 1e-9 || math.Abs(dist[1]-1.0/3) > 1e-9 || math.Abs(dist[0]-1.0/3) > 1e-9 {
+		t.Fatalf("dist = %v", dist)
+	}
+}
+
+func TestFilterableShares(t *testing.T) {
+	a := New()
+	// Event 1: 100% amplification -> fully filterable.
+	for i := 0; i < 100; i++ {
+		a.Add(1, netgen.ProtoUDP, uint32(i), 389, 1, 500, 100)
+	}
+	// Event 2: half random-port UDP.
+	for i := 0; i < 50; i++ {
+		a.Add(2, netgen.ProtoUDP, uint32(i), 123, 1, 500, 100)
+		a.Add(2, netgen.ProtoUDP, uint32(i), 40000, 1, 0, 100)
+	}
+	shares := a.FilterableShares([]int{1, 2})
+	if len(shares) != 2 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if math.Abs(shares[0]-0.5) > 1e-9 || shares[1] != 1.0 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if got := a.FullyFilterableShare([]int{1, 2}); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("fully filterable = %v", got)
+	}
+}
+
+func TestParticipationSkew(t *testing.T) {
+	a := New()
+	// AS 9000 participates in all 10 events; others once each.
+	for ev := 0; ev < 10; ev++ {
+		a.Add(ev, netgen.ProtoUDP, uint32(ev*100), 123, 1, 9000, 500)
+		a.Add(ev, netgen.ProtoUDP, uint32(ev*100+1), 123, 1, uint32(100+ev), uint32(600+ev))
+	}
+	p := a.OriginParticipation(a.EventsWithData())
+	if p.ASes != 11 {
+		t.Fatalf("origin ASes = %d", p.ASes)
+	}
+	if p.TopAS != 9000 || p.Top10[0] != 1.0 {
+		t.Fatalf("top AS = %d share %v", p.TopAS, p.Top10)
+	}
+	// CDF sorted ascending, last element is the top share.
+	if p.Shares[len(p.Shares)-1] != 1.0 || p.Shares[0] != 0.1 {
+		t.Fatalf("shares = %v", p.Shares)
+	}
+	h := a.HandoverParticipation(a.EventsWithData())
+	if h.ASes != 11 { // 500 in all events, 600..609 once each
+		t.Fatalf("handover ASes = %d", h.ASes)
+	}
+}
+
+func TestParticipationIgnoresUnresolvedSources(t *testing.T) {
+	a := New()
+	a.Add(1, netgen.ProtoUDP, 1, 123, 1, 0, 0) // spoofed: no origin, no member
+	p := a.OriginParticipation([]int{1})
+	if p.ASes != 0 {
+		t.Fatalf("unresolved source counted: %+v", p)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := New()
+	for i := 0; i < 300; i++ {
+		a.Add(1, netgen.ProtoUDP, uint32(i), 123, 1, uint32(100+i%30), uint32(600+i%10))
+	}
+	s := a.Scale([]int{1})
+	if s.Events != 1 {
+		t.Fatalf("events = %d", s.Events)
+	}
+	if s.MeanAmplifiers < 290 || s.MeanAmplifiers > 310 {
+		t.Fatalf("amplifiers = %v", s.MeanAmplifiers)
+	}
+	if s.MeanOriginASes != 30 || s.MeanHandoverASes != 10 {
+		t.Fatalf("scale = %+v", s)
+	}
+}
+
+func TestEventsWithDataSorted(t *testing.T) {
+	a := New()
+	a.Add(5, netgen.ProtoUDP, 1, 123, 1, 0, 0)
+	a.Add(2, netgen.ProtoUDP, 1, 123, 1, 0, 0)
+	ids := a.EventsWithData()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+}

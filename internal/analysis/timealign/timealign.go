@@ -1,0 +1,152 @@
+// Package timealign estimates the clock offset between the control-plane
+// and data-plane measurement systems (paper §3.1, Fig 2) by maximum
+// likelihood: the candidate offset under which the largest share of
+// blackholed (dropped) packets falls inside an active blackhole interval
+// recorded on the control plane.
+//
+// Instead of re-testing every record at every candidate offset, the
+// aggregator converts each dropped record into the interval of offsets
+// under which it overlaps an active episode; the likelihood curve is then
+// a sweep over interval endpoints, O(n log n) overall.
+package timealign
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/analysis/events"
+	"repro/internal/bgp"
+)
+
+// SearchRange bounds the offsets considered. NTP-synchronized collectors
+// disagree by milliseconds to a couple of seconds at worst.
+const SearchRange = 2 * time.Second
+
+// Aggregator accumulates dropped-record offset intervals.
+type Aggregator struct {
+	index *events.Index
+	// starts/ends hold the per-record valid-offset interval bounds in
+	// seconds (clipped to the search range). Intervals are merged per
+	// record, so each record contributes at most once to any offset.
+	starts, ends []float64
+	total        int64
+	scratch      []span
+}
+
+type span struct{ lo, hi float64 }
+
+// New returns an aggregator attributing against ix.
+func New(ix *events.Index) *Aggregator {
+	return &Aggregator{index: ix}
+}
+
+// AddDropped registers one dropped record with destination dstIP observed
+// at t (data-plane clock). Episodes of every covering blackhole prefix
+// can explain the drop: a host may be blackholed as a /32 at one time and
+// as part of a covering /24 at another. Overlapping explanations are
+// merged so that the likelihood stays a proper fraction.
+func (a *Aggregator) AddDropped(dstIP uint32, t time.Time) {
+	a.total++
+	a.scratch = a.scratch[:0]
+	for _, length := range a.index.Lengths() {
+		a.collect(bgp.MakePrefix(dstIP, length), t)
+	}
+	if len(a.scratch) == 0 {
+		return
+	}
+	sort.Slice(a.scratch, func(i, j int) bool { return a.scratch[i].lo < a.scratch[j].lo })
+	cur := a.scratch[0]
+	for _, s := range a.scratch[1:] {
+		if s.lo <= cur.hi {
+			if s.hi > cur.hi {
+				cur.hi = s.hi
+			}
+			continue
+		}
+		a.starts = append(a.starts, cur.lo)
+		a.ends = append(a.ends, cur.hi)
+		cur = s
+	}
+	a.starts = append(a.starts, cur.lo)
+	a.ends = append(a.ends, cur.hi)
+}
+
+func (a *Aggregator) collect(prefix bgp.Prefix, t time.Time) {
+	lo := t.Add(-SearchRange)
+	hi := t.Add(SearchRange)
+	for _, e := range a.index.EventsFor(prefix) {
+		if e.Start().After(hi) {
+			break
+		}
+		if e.End(a.index.PeriodEnd()).Before(lo) {
+			continue
+		}
+		for _, ep := range e.Episodes {
+			wd := ep.Withdraw
+			if wd.IsZero() {
+				wd = a.index.PeriodEnd()
+			}
+			if ep.Announce.After(hi) || wd.Before(lo) {
+				continue
+			}
+			// Offsets delta with t+delta in [announce, wd).
+			dLo := ep.Announce.Sub(t).Seconds()
+			dHi := wd.Sub(t).Seconds()
+			if dLo < -SearchRange.Seconds() {
+				dLo = -SearchRange.Seconds()
+			}
+			// Clip the (exclusive) upper bound slightly beyond the search
+			// range so that an interval extending past the range still
+			// covers the range's edge grid point.
+			if dHi > SearchRange.Seconds() {
+				dHi = SearchRange.Seconds() + 1
+			}
+			if dHi <= dLo {
+				continue
+			}
+			a.scratch = append(a.scratch, span{lo: dLo, hi: dHi})
+		}
+	}
+}
+
+// Point is one sample of the likelihood curve.
+type Point struct {
+	Offset  time.Duration
+	Overlap float64 // share of dropped records active under this offset
+}
+
+// Result is the Fig 2 outcome.
+type Result struct {
+	Curve       []Point
+	BestOffset  time.Duration
+	BestOverlap float64
+	Dropped     int64
+}
+
+// Estimate evaluates the likelihood over a uniform grid of the given step
+// and returns the curve and its maximum.
+func (a *Aggregator) Estimate(step time.Duration) *Result {
+	res := &Result{Dropped: a.total}
+	if a.total == 0 || step <= 0 {
+		return res
+	}
+	starts := append([]float64(nil), a.starts...)
+	ends := append([]float64(nil), a.ends...)
+	sort.Float64s(starts)
+	sort.Float64s(ends)
+
+	for off := -SearchRange; off <= SearchRange; off += step {
+		d := off.Seconds()
+		// Records whose interval contains d: starts <= d < ends.
+		nStart := sort.SearchFloat64s(starts, d+1e-12)
+		nEnd := sort.SearchFloat64s(ends, d+1e-12)
+		count := nStart - nEnd
+		p := Point{Offset: off, Overlap: float64(count) / float64(a.total)}
+		res.Curve = append(res.Curve, p)
+		if p.Overlap > res.BestOverlap {
+			res.BestOverlap = p.Overlap
+			res.BestOffset = off
+		}
+	}
+	return res
+}

@@ -1,0 +1,139 @@
+package usecase
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis/anomaly"
+	"repro/internal/analysis/events"
+	"repro/internal/bgp"
+)
+
+var (
+	t0   = time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	pEnd = time.Date(2019, 1, 11, 0, 0, 0, 0, time.UTC)
+)
+
+func ev(id int, prefix string, dur time.Duration, open bool) *events.Event {
+	e := &events.Event{
+		ID:            id,
+		Prefix:        bgp.MustParsePrefix(prefix),
+		Peer:          100,
+		OriginAS:      uint32(1000 + id),
+		Announcements: 1,
+	}
+	ep := events.Episode{Announce: t0}
+	if !open {
+		ep.Withdraw = t0.Add(dur)
+	}
+	e.Episodes = []events.Episode{ep}
+	return e
+}
+
+func TestClassifyInfrastructureProtection(t *testing.T) {
+	evs := []*events.Event{ev(0, "203.0.113.5/32", time.Hour, false)}
+	vs := []anomaly.Verdict{{EventID: 0, HasPreData: true, Within10Min: true, HasEventData: true, EventPackets: 5000}}
+	res := Classify(evs, vs, pEnd)
+	if res.Counts[ClassInfrastructureProtection] != 1 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	if res.Shares[ClassInfrastructureProtection] != 1.0 {
+		t.Fatalf("shares = %v", res.Shares)
+	}
+}
+
+func TestClassifyZombie(t *testing.T) {
+	evs := []*events.Event{
+		ev(0, "203.0.113.5/32", 30*24*time.Hour, false), // long, quiet /32
+		ev(1, "203.0.113.6/32", 0, true),                // open-ended quiet /32
+		ev(2, "203.0.113.7/32", 2*time.Hour, false),     // short quiet: NOT zombie
+	}
+	vs := []anomaly.Verdict{
+		{EventID: 0}, {EventID: 1}, {EventID: 2},
+	}
+	res := Classify(evs, vs, pEnd)
+	if res.Counts[ClassZombie] != 2 {
+		t.Fatalf("zombies = %d (%v)", res.Counts[ClassZombie], res.Counts)
+	}
+	if res.Counts[ClassOther] != 1 {
+		t.Fatalf("other = %d", res.Counts[ClassOther])
+	}
+	// Only the short quiet event stays "other" with <10 packets; the two
+	// zombies are already accounted for by their own class.
+	if res.LowTrafficHostShare != 1.0/3 {
+		t.Fatalf("low traffic share = %v", res.LowTrafficHostShare)
+	}
+}
+
+func TestClassifySquatting(t *testing.T) {
+	e1 := ev(0, "40.0.0.0/22", 60*24*time.Hour, false)
+	e2 := ev(1, "40.0.4.0/24", 0, true)
+	e2.OriginAS = e1.OriginAS // same AS announces both
+	evs := []*events.Event{e1, e2}
+	vs := []anomaly.Verdict{{EventID: 0}, {EventID: 1}}
+	res := Classify(evs, vs, pEnd)
+	if res.Counts[ClassSquattingProtection] != 2 {
+		t.Fatalf("squatting = %v", res.Counts)
+	}
+	if res.SquatPrefixes != 2 || res.SquatASes != 1 {
+		t.Fatalf("squat prefixes=%d ases=%d", res.SquatPrefixes, res.SquatASes)
+	}
+}
+
+func TestClassifyContentBlocking(t *testing.T) {
+	evs := []*events.Event{ev(0, "203.0.113.5/32", 30*24*time.Hour, false)}
+	vs := []anomaly.Verdict{{EventID: 0, HasPreData: true, HasEventData: true, EventPackets: 10000}}
+	res := Classify(evs, vs, pEnd)
+	if res.Counts[ClassContentBlocking] != 1 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+}
+
+func TestClassifySquattingRequiresQuietPrefix(t *testing.T) {
+	// A long /24 with lots of traffic is not squatting protection.
+	evs := []*events.Event{ev(0, "40.0.0.0/24", 60*24*time.Hour, false)}
+	vs := []anomaly.Verdict{{EventID: 0, HasPreData: true, HasEventData: true, EventPackets: 100000}}
+	res := Classify(evs, vs, pEnd)
+	if res.Counts[ClassSquattingProtection] != 0 {
+		t.Fatalf("busy /24 classified as squatting: %v", res.Counts)
+	}
+}
+
+func TestDurationsRecorded(t *testing.T) {
+	evs := []*events.Event{ev(0, "203.0.113.5/32", time.Hour, false)}
+	vs := []anomaly.Verdict{{EventID: 0, HasPreData: true, Within10Min: true}}
+	res := Classify(evs, vs, pEnd)
+	ds := res.Durations[ClassInfrastructureProtection]
+	if len(ds) != 1 || ds[0] != time.Hour {
+		t.Fatalf("durations = %v", ds)
+	}
+	if len(res.PerEvent) != 1 || res.PerEvent[0].Class != ClassInfrastructureProtection {
+		t.Fatalf("per event = %v", res.PerEvent)
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	if len(Table1) != 3 {
+		t.Fatalf("Table 1 rows = %d", len(Table1))
+	}
+	for _, row := range Table1 {
+		if row.UseCase == "" || row.PrefixLength == "" || row.Duration == "" {
+			t.Fatalf("incomplete row: %+v", row)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassOther:                    "other",
+		ClassInfrastructureProtection: "infrastructure-protection",
+		ClassSquattingProtection:      "squatting-protection",
+		ClassZombie:                   "zombie",
+		ClassContentBlocking:          "content-blocking",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+var t0 = time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func ann(t time.Time, peer uint32, prefix string, excludes ...uint32) analysis.ControlUpdate {
+	cs := bgp.Communities{bgp.Blackhole}
+	for _, e := range excludes {
+		cs = append(cs, bgp.MakeCommunity(0, uint16(e)))
+	}
+	return analysis.ControlUpdate{
+		Time: t, Peer: peer, Prefix: bgp.MustParsePrefix(prefix),
+		Announce: true, Communities: cs,
+	}
+}
+
+func wd(t time.Time, peer uint32, prefix string) analysis.ControlUpdate {
+	return analysis.ControlUpdate{Time: t, Peer: peer, Prefix: bgp.MustParsePrefix(prefix)}
+}
+
+func TestUntargetedBlackholesFullyVisible(t *testing.T) {
+	peers := []uint32{100, 200, 300, 400}
+	us := []analysis.ControlUpdate{
+		ann(t0, 100, "203.0.113.5/32"),
+		ann(t0.Add(time.Minute), 100, "203.0.113.6/32"),
+	}
+	res := Compute(us, peers, t0, t0.Add(time.Hour), 10*time.Minute)
+	if res.PeakMax != 0 || res.PeakP50 != 0 {
+		t.Fatalf("untargeted peaks = %+v", res)
+	}
+	if res.TargetedShare != 0 {
+		t.Fatalf("targeted share = %v", res.TargetedShare)
+	}
+}
+
+func TestTargetedExclusionCountsForExcludedPeer(t *testing.T) {
+	peers := []uint32{100, 200, 300, 400}
+	us := []analysis.ControlUpdate{
+		ann(t0, 100, "203.0.113.5/32", 300),
+		ann(t0.Add(time.Second), 100, "203.0.113.6/32"),
+	}
+	res := Compute(us, peers, t0, t0.Add(20*time.Minute), 10*time.Minute)
+	// Peer 300 misses 1 of 2 actives -> max 0.5; everyone else 0.
+	if math.Abs(res.PeakMax-0.5) > 1e-9 {
+		t.Fatalf("PeakMax = %v, want 0.5", res.PeakMax)
+	}
+	if res.PeakP50 != 0 {
+		t.Fatalf("PeakP50 = %v, want 0 (median peer unaffected)", res.PeakP50)
+	}
+	if math.Abs(res.TargetedShare-0.5) > 1e-9 {
+		t.Fatalf("TargetedShare = %v", res.TargetedShare)
+	}
+}
+
+func TestWithdrawRestoresVisibility(t *testing.T) {
+	peers := []uint32{100, 200}
+	us := []analysis.ControlUpdate{
+		ann(t0, 100, "203.0.113.5/32", 200),
+		wd(t0.Add(11*time.Minute), 100, "203.0.113.5/32"),
+		ann(t0.Add(12*time.Minute), 100, "203.0.113.6/32"),
+	}
+	res := Compute(us, peers, t0, t0.Add(30*time.Minute), 10*time.Minute)
+	if math.Abs(res.Series[0].Max-1.0) > 1e-9 { // only the hidden route active
+		t.Fatalf("sample 0 = %+v", res.Series[0])
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.Max != 0 || last.Active != 1 {
+		t.Fatalf("final sample = %+v", last)
+	}
+}
+
+func TestReannouncementReplacesAudience(t *testing.T) {
+	peers := []uint32{100, 200, 300}
+	us := []analysis.ControlUpdate{
+		ann(t0, 100, "203.0.113.5/32", 200),
+		// Re-announce without exclusions: 200 sees it again.
+		ann(t0.Add(time.Minute), 100, "203.0.113.5/32"),
+	}
+	res := Compute(us, peers, t0, t0.Add(10*time.Minute), 5*time.Minute)
+	if res.Series[0].Max != 0 {
+		t.Fatalf("audience not replaced: %+v", res.Series[0])
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if res := Compute(nil, nil, t0, t0.Add(time.Hour), time.Minute); len(res.Series) != 0 {
+		t.Fatal("no peers should produce no series")
+	}
+	if res := Compute(nil, []uint32{1}, t0, t0, time.Minute); len(res.Series) != 0 {
+		t.Fatal("empty period should produce no series")
+	}
+}
+
+func TestQuantileSeriesOrdering(t *testing.T) {
+	// Max >= P99 >= P50 always.
+	peers := make([]uint32, 50)
+	for i := range peers {
+		peers[i] = uint32(100 + i)
+	}
+	var us []analysis.ControlUpdate
+	for i := 0; i < 30; i++ {
+		excl := []uint32{}
+		for j := 0; j < i%7; j++ {
+			excl = append(excl, peers[(i+j)%len(peers)])
+		}
+		us = append(us, ann(t0.Add(time.Duration(i)*time.Minute), 100,
+			bgp.MakePrefix(0xCB007100+uint32(i), 32).String(), excl...))
+	}
+	res := Compute(us, peers, t0, t0.Add(time.Hour), 5*time.Minute)
+	for _, p := range res.Series {
+		if p.Max < p.P99-1e-9 || p.P99 < p.P50-1e-9 {
+			t.Fatalf("quantile ordering violated: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package bgp
+
+import "testing"
+
+// BenchmarkEncodeUpdate measures RTBH announcement serialization.
+func BenchmarkEncodeUpdate(b *testing.B) {
+	u := sampleUpdateForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeUpdate(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeUpdate measures the collector-side parse path.
+func BenchmarkDecodeUpdate(b *testing.B) {
+	enc, err := EncodeUpdate(sampleUpdateForBench())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodeMessage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sampleUpdateForBench() *Update {
+	return &Update{
+		Attrs: PathAttrs{
+			Origin:      OriginIGP,
+			ASPath:      []uint32{64500, 65550},
+			NextHop:     0xc0000242,
+			Communities: Communities{Blackhole, NoExport, MakeCommunity(0, 1234)},
+		},
+		NLRI: []Prefix{MustParsePrefix("203.0.113.5/32")},
+	}
+}
+
+// BenchmarkPrefixLookup measures the map-key hot path.
+func BenchmarkPrefixContains(b *testing.B) {
+	p := MustParsePrefix("203.0.113.0/24")
+	hit := 0
+	for i := 0; i < b.N; i++ {
+		if p.Contains(0xcb007100 + uint32(i)&0xff) {
+			hit++
+		}
+	}
+	_ = hit
+}

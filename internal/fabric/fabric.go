@@ -1,0 +1,209 @@
+// Package fabric simulates the IXP switching platform: member routers
+// identified by their MAC addresses on the peering LAN, the special
+// non-forwarding blackhole MAC that implements RTBH packet dropping, and
+// the member-facing edge sampling that produces the data-plane record
+// stream.
+//
+// Traffic enters the fabric as packet batches (aggregates of packets that
+// share headers within a time slot). For each batch the fabric:
+//
+//  1. consults the route server for the ingress member's forwarding
+//     decision toward the destination (drop fraction per that member's
+//     accepted blackhole routes),
+//  2. samples the batch at 1:N (binomial thinning),
+//  3. emits one flow record per sampled packet, with the destination MAC
+//     set to the blackhole MAC for dropped packets or the egress member's
+//     router MAC otherwise.
+//
+// Record timestamps carry a configurable clock offset relative to the
+// control plane, modeling the NTP skew between measurement systems that
+// the paper estimates with a maximum-likelihood fit (Fig 2).
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ipfix"
+	"repro/internal/routeserver"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+// BlackholeMAC is the layer-2 address that does not forward: packets
+// addressed to it are dropped by the switching platform. The locally
+// administered unicast prefix 0x06 avoids collisions with member MACs.
+const BlackholeMAC ipfix.MAC = 0x06_00_00_00_06_66
+
+// InternalMAC identifies the IXP's internal systems (route server,
+// monitoring). The paper removes flows from/to internal devices (0.01% of
+// records) before analysis; the simulator emits a small share of such
+// flows so the cleaning step has something to clean.
+const InternalMAC ipfix.MAC = 0x06_00_00_00_00_01
+
+// MemberMAC derives the deterministic router MAC of a member AS on the
+// peering LAN (locally administered, unicast).
+func MemberMAC(asn uint32) ipfix.MAC {
+	return ipfix.MAC(0x02_00_00_00_00_00 | uint64(asn)&0xffffffff)
+}
+
+// Batch is an aggregate of Packets packets sharing the same headers
+// (modulo the optional per-packet variation hooks) within a time slot.
+type Batch struct {
+	// Time is the slot start; sampled packets are timestamped uniformly
+	// within [Time, Time+Duration).
+	Time     time.Time
+	Duration time.Duration
+	// IngressAS is the member that hands the traffic into the IXP (the
+	// paper's "handover AS"); EgressAS is the member toward the
+	// destination.
+	IngressAS, EgressAS uint32
+	// Packet headers.
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+	// PacketSize is the size of each packet in bytes.
+	PacketSize int
+	// Packets is the number of packets in the aggregate.
+	Packets int64
+	// VaryPorts, if non-nil, supplies per-sampled-packet ports (attacks
+	// on random or rotating ports; ephemeral client source ports).
+	VaryPorts func(r *stats.RNG) (src, dst uint16)
+	// VarySrcIP, if non-nil, supplies per-sampled-packet source
+	// addresses (reflector pools; spoofed floods).
+	VarySrcIP func(r *stats.RNG) uint32
+	// Internal marks IXP-internal traffic (destination is an internal
+	// system, not a member).
+	Internal bool
+	// BilateralDropFraction models blackholing agreed outside the route
+	// server (private/bilateral RTBH): the ingress member resolves its
+	// own blackhole next hop to the blackhole MAC regardless of
+	// route-server state. The paper attributes ~5% of dropped bytes to
+	// such sources. The effective drop fraction is the maximum of this
+	// and the route-server-derived fraction.
+	BilateralDropFraction float64
+}
+
+// Stats aggregates ground-truth counters maintained by the fabric,
+// independent of sampling. The experiment harness uses them to validate
+// what the sampled analysis recovers.
+type Stats struct {
+	PacketsIn      int64 // total packets offered
+	PacketsDropped int64 // packets sent to the blackhole MAC (expected value, rounded per batch)
+	BytesIn        int64
+	BytesDropped   int64
+	RecordsSampled int64
+}
+
+// Fabric is the switching platform simulation. Not safe for concurrent
+// use; the simulator drives it from its single event loop.
+type Fabric struct {
+	rs      *routeserver.Server
+	sampler *sampling.Sampler
+	rng     *stats.RNG
+	emit    func(*ipfix.FlowRecord) error
+	// ClockOffset is added to every data-plane timestamp, modeling NTP
+	// skew between the control- and data-plane measurement systems.
+	ClockOffset time.Duration
+
+	stats Stats
+}
+
+// New creates a fabric attached to route server rs, sampling at 1:rate,
+// emitting sampled flow records through emit.
+func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("fabric: nil route server")
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("fabric: nil record sink")
+	}
+	s, err := sampling.New(rate, rng.Fork(0xfab))
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{rs: rs, sampler: s, rng: rng.Fork(0x5eed), emit: emit}, nil
+}
+
+// Stats returns the ground-truth counters accumulated so far.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Inject offers a packet batch to the fabric. It updates ground-truth
+// counters and emits sampled flow records.
+func (f *Fabric) Inject(b *Batch) error {
+	if b.Packets <= 0 {
+		return nil
+	}
+	if b.PacketSize <= 0 {
+		return fmt.Errorf("fabric: batch with packet size %d", b.PacketSize)
+	}
+
+	dropFrac := 0.0
+	if !b.Internal {
+		dropFrac = f.rs.DropFraction(b.IngressAS, b.DstIP)
+		if b.BilateralDropFraction > dropFrac {
+			dropFrac = b.BilateralDropFraction
+			if dropFrac > 1 {
+				dropFrac = 1
+			}
+		}
+	}
+
+	f.stats.PacketsIn += b.Packets
+	f.stats.BytesIn += b.Packets * int64(b.PacketSize)
+	expectedDropped := int64(dropFrac*float64(b.Packets) + 0.5)
+	f.stats.PacketsDropped += expectedDropped
+	f.stats.BytesDropped += expectedDropped * int64(b.PacketSize)
+
+	n := f.sampler.Sample(b.Packets)
+	if n == 0 {
+		return nil
+	}
+	f.stats.RecordsSampled += n
+
+	egressMAC := MemberMAC(b.EgressAS)
+	if b.Internal {
+		egressMAC = InternalMAC
+	}
+	hasFlowSpec := f.rs.NumFlowSpecRules() > 0
+	dur := b.Duration
+	if dur <= 0 {
+		dur = time.Nanosecond
+	}
+	for i := int64(0); i < n; i++ {
+		rec := ipfix.FlowRecord{
+			SrcMAC:  MemberMAC(b.IngressAS),
+			DstMAC:  egressMAC,
+			SrcIP:   b.SrcIP,
+			DstIP:   b.DstIP,
+			SrcPort: b.SrcPort,
+			DstPort: b.DstPort,
+			Proto:   b.Proto,
+			Packets: 1,
+			Bytes:   uint64(b.PacketSize),
+		}
+		off := time.Duration(f.rng.Int63n(int64(dur)))
+		rec.Start = b.Time.Add(off + f.ClockOffset)
+		if b.VaryPorts != nil {
+			rec.SrcPort, rec.DstPort = b.VaryPorts(f.rng)
+		}
+		if b.VarySrcIP != nil {
+			rec.SrcIP = b.VarySrcIP(f.rng)
+		}
+		if !b.Internal {
+			switch {
+			case f.rng.Bool(dropFrac):
+				rec.DstMAC = BlackholeMAC
+			case hasFlowSpec && f.rs.MatchFlowSpec(b.IngressAS, rec.DstIP, rec.Proto, rec.SrcPort, rec.DstPort):
+				// Fine-grained discard: only the matching packets die.
+				rec.DstMAC = BlackholeMAC
+				f.stats.PacketsDropped++
+				f.stats.BytesDropped += int64(b.PacketSize)
+			}
+		}
+		if err := f.emit(&rec); err != nil {
+			return fmt.Errorf("fabric: emitting record: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package ip2as provides longest-prefix-match IP-to-origin-AS mapping.
+// The paper determines the origin AS of attack sources ("the AS hosting
+// the amplifier", §5.5) and of blackholed hosts (§6.2) from routing data;
+// this package is that lookup, fed from the simulator's address plan and
+// serialized alongside the datasets.
+package ip2as
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bgp"
+)
+
+// Entry maps one prefix to its origin AS.
+type Entry struct {
+	Prefix string `json:"prefix"`
+	ASN    uint32 `json:"asn"`
+}
+
+// Table performs longest-prefix-match lookups. Build with Add, then call
+// Lookup; Add and Lookup may be interleaved. The zero value is empty and
+// usable.
+type Table struct {
+	byLen   [33]map[bgp.Prefix]uint32
+	entries int
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{} }
+
+// Add inserts prefix -> asn, replacing any existing identical prefix.
+func (t *Table) Add(p bgp.Prefix, asn uint32) {
+	if t.byLen[p.Len] == nil {
+		t.byLen[p.Len] = make(map[bgp.Prefix]uint32)
+	}
+	if _, dup := t.byLen[p.Len][p]; !dup {
+		t.entries++
+	}
+	t.byLen[p.Len][p] = asn
+}
+
+// Lookup returns the origin AS of the longest prefix covering addr, or
+// (0, false) when no prefix matches.
+func (t *Table) Lookup(addr uint32) (uint32, bool) {
+	for length := 32; length >= 0; length-- {
+		m := t.byLen[length]
+		if len(m) == 0 {
+			continue
+		}
+		if asn, ok := m[bgp.MakePrefix(addr, uint8(length))]; ok {
+			return asn, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.entries }
+
+// Entries returns all entries sorted by (address, length).
+func (t *Table) Entries() []Entry {
+	var keys []bgp.Prefix
+	for length := 0; length <= 32; length++ {
+		for p := range t.byLen[length] {
+			keys = append(keys, p)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Addr != keys[j].Addr {
+			return keys[i].Addr < keys[j].Addr
+		}
+		return keys[i].Len < keys[j].Len
+	})
+	out := make([]Entry, len(keys))
+	for i, p := range keys {
+		out[i] = Entry{Prefix: p.String(), ASN: t.byLen[p.Len][p]}
+	}
+	return out
+}
+
+// WriteJSON serializes the table.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Entries())
+}
+
+// ReadJSON parses a table written by WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var entries []Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("ip2as: %w", err)
+	}
+	t := New()
+	for _, e := range entries {
+		p, err := bgp.ParsePrefix(e.Prefix)
+		if err != nil {
+			return nil, fmt.Errorf("ip2as: entry %q: %w", e.Prefix, err)
+		}
+		t.Add(p, e.ASN)
+	}
+	return t, nil
+}

@@ -1,0 +1,58 @@
+package ipfix
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkWriteRecord measures flow-record export throughput.
+func BenchmarkWriteRecord(b *testing.B) {
+	w := NewWriter(io.Discard, 1)
+	rec := benchRecord()
+	b.ReportAllocs()
+	b.SetBytes(flowRecordLen)
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteRecord(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadRecord measures flow-record parse throughput.
+func BenchmarkReadRecord(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	rec := benchRecord()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		w.WriteRecord(&rec)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(flowRecordLen)
+	b.ResetTimer()
+	rd := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		_, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			rd = NewReader(bytes.NewReader(data))
+			if _, err = rd.Next(); err != nil {
+				b.Fatal(err)
+			}
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecord() FlowRecord {
+	return FlowRecord{
+		Start: time.UnixMilli(1538000000123), SrcMAC: 0x020123, DstMAC: 0x066666,
+		SrcIP: 0x50000001, DstIP: 0x28000005, SrcPort: 389, DstPort: 40000,
+		Proto: 17, Packets: 1, Bytes: 1400,
+	}
+}

@@ -1,0 +1,158 @@
+package ipfix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reader decodes an IPFIX stream into FlowRecords. It learns templates
+// from template sets as they appear and decodes data sets against them;
+// data sets whose template has not been seen yet are an error for file
+// streams (unlike UDP export, files carry templates in-band and in order).
+type Reader struct {
+	r         *bufio.Reader
+	templates map[uint16]*template
+	queue     []FlowRecord
+	hdr       [msgHeaderLen]byte
+	body      []byte
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{
+		r:         bufio.NewReaderSize(r, 1<<16),
+		templates: make(map[uint16]*template),
+	}
+}
+
+// Next returns the next flow record, or io.EOF at end of stream.
+func (rd *Reader) Next() (*FlowRecord, error) {
+	for len(rd.queue) == 0 {
+		if err := rd.readMessage(); err != nil {
+			return nil, err
+		}
+	}
+	rec := rd.queue[0]
+	rd.queue = rd.queue[1:]
+	return &rec, nil
+}
+
+func (rd *Reader) readMessage() error {
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("ipfix: truncated message header: %w", err)
+		}
+		return err
+	}
+	version := binary.BigEndian.Uint16(rd.hdr[0:2])
+	if version != ipfixVersion {
+		return fmt.Errorf("ipfix: unsupported version %d", version)
+	}
+	length := int(binary.BigEndian.Uint16(rd.hdr[2:4]))
+	if length < msgHeaderLen {
+		return fmt.Errorf("ipfix: message length %d below header size", length)
+	}
+	bodyLen := length - msgHeaderLen
+	if cap(rd.body) < bodyLen {
+		rd.body = make([]byte, bodyLen)
+	}
+	body := rd.body[:bodyLen]
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return fmt.Errorf("ipfix: truncated message body: %w", err)
+	}
+
+	for len(body) > 0 {
+		if len(body) < setHeaderLen {
+			return fmt.Errorf("ipfix: truncated set header")
+		}
+		setID := binary.BigEndian.Uint16(body[0:2])
+		setLen := int(binary.BigEndian.Uint16(body[2:4]))
+		if setLen < setHeaderLen || setLen > len(body) {
+			return fmt.Errorf("ipfix: invalid set length %d (remaining %d)", setLen, len(body))
+		}
+		content := body[setHeaderLen:setLen]
+		switch {
+		case setID == templateSetID:
+			if err := rd.parseTemplateSet(content); err != nil {
+				return err
+			}
+		case setID >= 256:
+			if err := rd.parseDataSet(setID, content); err != nil {
+				return err
+			}
+		default:
+			// Options template sets (id 3) and reserved ids are skipped.
+		}
+		body = body[setLen:]
+	}
+	return nil
+}
+
+func (rd *Reader) parseTemplateSet(b []byte) error {
+	for len(b) >= 4 {
+		id := binary.BigEndian.Uint16(b[0:2])
+		count := int(binary.BigEndian.Uint16(b[2:4]))
+		b = b[4:]
+		if id < 256 {
+			return fmt.Errorf("ipfix: template id %d below 256", id)
+		}
+		if len(b) < 4*count {
+			return fmt.Errorf("ipfix: truncated template record")
+		}
+		t := &template{fields: make([]templateField, 0, count)}
+		for i := 0; i < count; i++ {
+			fid := binary.BigEndian.Uint16(b[4*i:])
+			flen := binary.BigEndian.Uint16(b[4*i+2:])
+			if fid&0x8000 != 0 {
+				return fmt.Errorf("ipfix: enterprise-specific element %d not supported", fid&0x7fff)
+			}
+			if flen == 0xffff {
+				return fmt.Errorf("ipfix: variable-length element %d not supported", fid)
+			}
+			t.fields = append(t.fields, templateField{id: fid, length: flen})
+			t.recordLen += int(flen)
+		}
+		if t.recordLen == 0 {
+			return fmt.Errorf("ipfix: template %d with zero record length", id)
+		}
+		rd.templates[id] = t
+		b = b[4*count:]
+	}
+	return nil
+}
+
+func (rd *Reader) parseDataSet(id uint16, b []byte) error {
+	t, ok := rd.templates[id]
+	if !ok {
+		return fmt.Errorf("ipfix: data set references unknown template %d", id)
+	}
+	// Trailing bytes shorter than one record are padding (RFC 7011 §3.3.1).
+	for len(b) >= t.recordLen {
+		var rec FlowRecord
+		if err := t.decode(b[:t.recordLen], &rec); err != nil {
+			return err
+		}
+		rd.queue = append(rd.queue, rec)
+		b = b[t.recordLen:]
+	}
+	return nil
+}
+
+// ReadAll drains the stream. Intended for tests and small datasets.
+func ReadAll(r io.Reader) ([]FlowRecord, error) {
+	rd := NewReader(r)
+	var out []FlowRecord
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, *rec)
+	}
+}

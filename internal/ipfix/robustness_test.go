@@ -1,0 +1,44 @@
+package ipfix
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestReaderNeverPanicsOnCorruption feeds the reader random corruptions
+// of a valid stream: every read must return records or an error, never
+// panic.
+func TestReaderNeverPanicsOnCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1)
+	w.BatchSize = 4
+	for i := 0; i < 64; i++ {
+		rec := sampleRecord(i)
+		if err := w.WriteRecord(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	valid := buf.Bytes()
+
+	r := stats.NewRNG(0xc0ffee)
+	for trial := 0; trial < 5000; trial++ {
+		data := append([]byte(nil), valid...)
+		switch trial % 3 {
+		case 0:
+			for k := 0; k < 1+r.Intn(6); k++ {
+				data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+			}
+		case 1:
+			data = data[:r.Intn(len(data)+1)]
+		default:
+			data = make([]byte, r.Intn(200))
+			for i := range data {
+				data[i] = byte(r.Uint64())
+			}
+		}
+		_, _ = ReadAll(bytes.NewReader(data)) // must not panic
+	}
+}

@@ -1,0 +1,125 @@
+package ipfix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"time"
+)
+
+// Writer streams FlowRecords as IPFIX messages. The template set is
+// emitted in the first message and re-emitted every templateResendEvery
+// messages, matching exporter practice for datagram transports and making
+// the file stream seekable-in-the-large (a reader starting at most
+// templateResendEvery messages in will find a template).
+type Writer struct {
+	w       *bufio.Writer
+	c       io.Closer
+	domain  uint32
+	seq     uint32
+	msgs    int
+	pending []FlowRecord
+	buf     []byte
+	// BatchSize is the number of records accumulated per message.
+	// Defaults to 1024; tests may lower it.
+	BatchSize int
+}
+
+const templateResendEvery = 512
+
+// NewWriter creates a Writer exporting on observation domain id domain.
+// If w is an io.Closer, Close closes it.
+func NewWriter(w io.Writer, domain uint32) *Writer {
+	wr := &Writer{
+		w:         bufio.NewWriterSize(w, 1<<16),
+		domain:    domain,
+		BatchSize: 1024,
+	}
+	if c, ok := w.(io.Closer); ok {
+		wr.c = c
+	}
+	return wr
+}
+
+// WriteRecord queues r for export, flushing a full message when the batch
+// fills.
+func (w *Writer) WriteRecord(r *FlowRecord) error {
+	w.pending = append(w.pending, *r)
+	if len(w.pending) >= w.BatchSize || len(w.pending) >= maxRecordsPerMsg {
+		return w.emit()
+	}
+	return nil
+}
+
+// Flush writes any pending records and flushes the underlying buffer.
+func (w *Writer) Flush() error {
+	if len(w.pending) > 0 {
+		if err := w.emit(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// Close flushes and closes the destination if it is an io.Closer.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// emit writes one IPFIX message containing (optionally) the template set
+// and all pending data records.
+func (w *Writer) emit() error {
+	includeTemplate := w.msgs%templateResendEvery == 0
+	w.msgs++
+
+	b := w.buf[:0]
+	// Message header; length patched below.
+	b = binary.BigEndian.AppendUint16(b, ipfixVersion)
+	b = append(b, 0, 0) // length placeholder
+	exportTime := uint32(0)
+	if len(w.pending) > 0 {
+		exportTime = uint32(w.pending[len(w.pending)-1].Start.Unix())
+	} else {
+		exportTime = uint32(time.Now().Unix())
+	}
+	b = binary.BigEndian.AppendUint32(b, exportTime)
+	b = binary.BigEndian.AppendUint32(b, w.seq)
+	b = binary.BigEndian.AppendUint32(b, w.domain)
+
+	if includeTemplate {
+		// Template set: set id 2, one template record.
+		setStart := len(b)
+		b = binary.BigEndian.AppendUint16(b, templateSetID)
+		b = append(b, 0, 0) // set length placeholder
+		b = binary.BigEndian.AppendUint16(b, flowTemplateID)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(flowTemplate)))
+		for _, f := range flowTemplate {
+			b = binary.BigEndian.AppendUint16(b, f.id)
+			b = binary.BigEndian.AppendUint16(b, f.length)
+		}
+		binary.BigEndian.PutUint16(b[setStart+2:], uint16(len(b)-setStart))
+	}
+
+	if len(w.pending) > 0 {
+		setStart := len(b)
+		b = binary.BigEndian.AppendUint16(b, flowTemplateID)
+		b = append(b, 0, 0)
+		for i := range w.pending {
+			b = appendRecord(b, &w.pending[i])
+		}
+		binary.BigEndian.PutUint16(b[setStart+2:], uint16(len(b)-setStart))
+		w.seq += uint32(len(w.pending))
+		w.pending = w.pending[:0]
+	}
+
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	w.buf = b
+	_, err := w.w.Write(b)
+	return err
+}

@@ -1,0 +1,205 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func testUpdate(t *testing.T) []byte {
+	t.Helper()
+	enc, err := bgp.EncodeUpdate(&bgp.Update{
+		Attrs: bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      []uint32{64500},
+			NextHop:     0x0a000001,
+			Communities: bgp.Communities{bgp.Blackhole},
+		},
+		NLRI: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.9/32")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ts := time.Date(2018, 10, 3, 14, 30, 12, 345678000, time.UTC)
+	rec := &Record{
+		Timestamp: ts,
+		PeerAS:    64500,
+		LocalAS:   65500,
+		PeerIP:    0xc0000201,
+		LocalIP:   0xc0000202,
+		Message:   testUpdate(t),
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records, want 3", len(got))
+	}
+	g := got[0]
+	if !g.Timestamp.Equal(ts) {
+		t.Fatalf("timestamp %v, want %v (microsecond precision)", g.Timestamp, ts)
+	}
+	if g.PeerAS != 64500 || g.LocalAS != 65500 || g.PeerIP != rec.PeerIP || g.LocalIP != rec.LocalIP {
+		t.Fatalf("session fields mismatch: %+v", g)
+	}
+	u, isUpdate, err := g.DecodeUpdate()
+	if err != nil || !isUpdate {
+		t.Fatalf("DecodeUpdate: %v %v", isUpdate, err)
+	}
+	if !u.Attrs.Communities.HasBlackhole() {
+		t.Fatal("blackhole community lost through MRT round trip")
+	}
+}
+
+func TestTimestampMicrosecondPrecision(t *testing.T) {
+	f := func(sec uint32, usecRaw uint32) bool {
+		usec := usecRaw % 1000000
+		ts := time.Unix(int64(sec), int64(usec)*1000).UTC()
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		msg := bgp.EncodeKeepalive()
+		if err := w.WriteRecord(&Record{Timestamp: ts, Message: msg}); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		recs, err := ReadAll(&buf)
+		return err == nil && len(recs) == 1 && recs[0].Timestamp.Equal(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderSkipsForeignRecordTypes(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a TABLE_DUMP_V2 (type 13) record which must be skipped.
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint32(hdr[0:4], 1538000000)
+	binary.BigEndian.PutUint16(hdr[4:6], 13)
+	binary.BigEndian.PutUint16(hdr[6:8], 2)
+	binary.BigEndian.PutUint32(hdr[8:12], 5)
+	buf.Write(hdr)
+	buf.Write([]byte{1, 2, 3, 4, 5})
+
+	w := NewWriter(&buf)
+	rec := &Record{Timestamp: time.Unix(1538000100, 0), Message: bgp.EncodeKeepalive()}
+	if err := w.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d records, want 1 (foreign type skipped)", len(got))
+	}
+}
+
+func TestReaderRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord(&Record{Timestamp: time.Unix(0, 0), Message: bgp.EncodeKeepalive()})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	_, err := ReadAll(bytes.NewReader(data))
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated stream not rejected: %v", err)
+	}
+}
+
+func TestReaderRejectsImplausibleLength(t *testing.T) {
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint16(hdr[4:6], typeBGP4MPET)
+	binary.BigEndian.PutUint16(hdr[6:8], subtypeMessageAS4)
+	binary.BigEndian.PutUint32(hdr[8:12], 1<<24)
+	_, err := ReadAll(bytes.NewReader(hdr))
+	if err == nil {
+		t.Fatal("giant record length accepted")
+	}
+}
+
+func TestWriterRejectsShortMessage(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteRecord(&Record{Message: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("short BGP message accepted")
+	}
+}
+
+func TestDecodeUpdateNonUpdate(t *testing.T) {
+	rec := &Record{Message: bgp.EncodeKeepalive()}
+	u, isUpdate, err := rec.DecodeUpdate()
+	if err != nil || isUpdate || u != nil {
+		t.Fatalf("keepalive misclassified: %v %v %v", u, isUpdate, err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	got, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %v %v", got, err)
+	}
+}
+
+func TestManyRecordsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msg := testUpdate(t)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		err := w.WriteRecord(&Record{
+			Timestamp: time.Unix(int64(1538000000+i), int64(i%1000000)*1000),
+			PeerAS:    uint32(64000 + i%100),
+			Message:   msg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	rd := NewReader(&buf)
+	count := 0
+	var prev time.Time
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Timestamp.Before(prev) {
+			t.Fatal("timestamps out of order after round trip")
+		}
+		prev = rec.Timestamp
+		count++
+	}
+	if count != n {
+		t.Fatalf("read %d records, want %d", count, n)
+	}
+}

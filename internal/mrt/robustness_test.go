@@ -1,0 +1,44 @@
+package mrt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/stats"
+)
+
+// TestReaderNeverPanicsOnCorruption stresses the MRT reader with random
+// corruptions, truncations, and pure noise.
+func TestReaderNeverPanicsOnCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msg := bgp.EncodeKeepalive()
+	for i := 0; i < 32; i++ {
+		if err := w.WriteRecord(&Record{Timestamp: time.Unix(int64(i), 0), Message: msg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	valid := buf.Bytes()
+
+	r := stats.NewRNG(0xdead)
+	for trial := 0; trial < 5000; trial++ {
+		data := append([]byte(nil), valid...)
+		switch trial % 3 {
+		case 0:
+			for k := 0; k < 1+r.Intn(6); k++ {
+				data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+			}
+		case 1:
+			data = data[:r.Intn(len(data)+1)]
+		default:
+			data = make([]byte, r.Intn(200))
+			for i := range data {
+				data[i] = byte(r.Uint64())
+			}
+		}
+		_, _ = ReadAll(bytes.NewReader(data)) // must not panic
+	}
+}

@@ -1,0 +1,95 @@
+package routeserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// BenchmarkProcessAnnounceWithdraw measures one RTBH on-off cycle at the
+// route server with 200 peers.
+func BenchmarkProcessAnnounceWithdraw(b *testing.B) {
+	s := New(64500, 1)
+	for i := uint32(0); i < 200; i++ {
+		pol := DefaultPolicy()
+		if i%3 == 0 {
+			pol = BlackholeReadyPolicy()
+		}
+		if err := s.AddPeer(Peer{ASN: 1000 + i, IP: i, Policy: pol}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ann := &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			ASPath: []uint32{1000}, NextHop: 1,
+			Communities: bgp.Communities{bgp.Blackhole},
+		},
+		NLRI: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+	}
+	wd := &bgp.Update{Withdrawn: ann.NLRI}
+	ts := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Process(ts, 1000, ann); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Process(ts, 1000, wd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDropFraction measures the fabric's forwarding-decision lookup.
+func BenchmarkDropFraction(b *testing.B) {
+	s := New(64500, 1)
+	s.AddPeer(Peer{ASN: 1000, Policy: BlackholeReadyPolicy()})
+	s.AddPeer(Peer{ASN: 1001, Policy: BlackholeReadyPolicy()})
+	ann := &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			ASPath: []uint32{1000}, NextHop: 1,
+			Communities: bgp.Communities{bgp.Blackhole},
+		},
+		NLRI: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+	}
+	if _, err := s.Process(time.Unix(0, 0), 1000, ann); err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += s.DropFraction(1001, 0xcb007105)
+	}
+	_ = sink
+}
+
+// BenchmarkMatchFlowSpec measures the per-packet fine-grained matching
+// cost with a realistic installed rule count.
+func BenchmarkMatchFlowSpec(b *testing.B) {
+	s := New(64500, 1)
+	s.AddPeer(Peer{ASN: 1000, Policy: DefaultPolicy()})
+	s.AddPeer(Peer{ASN: 1001, Policy: Policy{Standard: AcceptFull, FlowSpec: AcceptFull}})
+	for i := 0; i < 50; i++ {
+		err := s.ProcessFlowSpec(time.Unix(0, 0), 1000, &bgp.FlowSpecUpdate{
+			Announced: []*bgp.FlowRule{{
+				Dst:      bgp.MakePrefix(0xcb007100+uint32(i), 32),
+				HasDst:   true,
+				Protos:   []uint8{17},
+				SrcPorts: []uint16{123, 389},
+			}},
+			ExtComms: []bgp.ExtCommunity{bgp.TrafficRateDiscard},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if s.MatchFlowSpec(1001, 0xcb007100+uint32(i%64), 17, 123, 40000) {
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -1,0 +1,159 @@
+package routeserver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// FlowSpec support: the fine-grained alternative to RTBH that the paper
+// evaluates the potential of (§5.5) and names among the advanced
+// mitigation options (§1). A member announces discard rules (destination
+// prefix + protocol/port matches with the traffic-rate-0 action); peers
+// whose policy enables FlowSpec install them and drop only matching
+// packets, leaving the victim's legitimate traffic untouched.
+//
+// Adoption mirrors reality: Policy.FlowSpec defaults to AcceptNone, so a
+// deployment must opt peers in explicitly.
+
+// fsKey identifies an installed rule by origin and its canonical wire
+// encoding (two semantically equal rules encode identically).
+type fsKey struct {
+	origin uint32
+	wire   string
+}
+
+// fsRoute is an installed FlowSpec discard rule.
+type fsRoute struct {
+	rule     *bgp.FlowRule
+	accepted map[uint32]bool
+}
+
+// fsState lazily extends the Server with FlowSpec tables.
+type fsState struct {
+	rules map[fsKey]*fsRoute
+	// perPeer holds each member's accepted rules for the fabric's
+	// per-packet matching.
+	perPeer map[uint32][]*bgp.FlowRule
+}
+
+func (s *Server) fs() *fsState {
+	if s.flowspec == nil {
+		s.flowspec = &fsState{
+			rules:   make(map[fsKey]*fsRoute),
+			perPeer: make(map[uint32][]*bgp.FlowRule),
+		}
+	}
+	return s.flowspec
+}
+
+// ProcessFlowSpec handles a FlowSpec UPDATE from peerAS: withdrawals
+// first, then announcements. Announced discard rules must carry the
+// traffic-rate-0 action and a destination prefix (the route server
+// validates that rules target the announcer's space in a real deployment;
+// the simulator enforces presence only).
+func (s *Server) ProcessFlowSpec(ts time.Time, peerAS uint32, upd *bgp.FlowSpecUpdate) error {
+	ps, ok := s.peers[peerAS]
+	if !ok {
+		return fmt.Errorf("routeserver: flowspec update from unknown peer AS%d", peerAS)
+	}
+	s.msgsProcessed++
+	if s.collector != nil {
+		raw, err := bgp.EncodeFlowSpecUpdate(upd)
+		if err != nil {
+			return fmt.Errorf("routeserver: archiving flowspec from AS%d: %w", peerAS, err)
+		}
+		s.collector(ts, peerAS, ps.peer.IP, raw)
+	}
+
+	fs := s.fs()
+	for _, r := range upd.Withdrawn {
+		s.withdrawFlowSpec(peerAS, r)
+	}
+	if len(upd.Announced) == 0 {
+		return nil
+	}
+	if !upd.Discards() {
+		return fmt.Errorf("routeserver: AS%d announced flowspec without discard action", peerAS)
+	}
+	for _, r := range upd.Announced {
+		if !r.HasDst {
+			return fmt.Errorf("routeserver: AS%d announced flowspec rule without destination prefix", peerAS)
+		}
+		key, err := flowKey(peerAS, r)
+		if err != nil {
+			return err
+		}
+		if old, exists := fs.rules[key]; exists {
+			s.releaseFlowSpec(old)
+		}
+		rt := &fsRoute{rule: r, accepted: make(map[uint32]bool)}
+		for _, target := range s.peerOrder {
+			if target == peerAS {
+				continue
+			}
+			if s.peers[target].peer.Policy.FlowSpec == AcceptFull {
+				rt.accepted[target] = true
+				fs.perPeer[target] = append(fs.perPeer[target], r)
+			}
+		}
+		fs.rules[key] = rt
+	}
+	return nil
+}
+
+func flowKey(origin uint32, r *bgp.FlowRule) (fsKey, error) {
+	wire, err := bgp.EncodeFlowRule(r)
+	if err != nil {
+		return fsKey{}, fmt.Errorf("routeserver: invalid flowspec rule: %w", err)
+	}
+	return fsKey{origin: origin, wire: string(wire)}, nil
+}
+
+func (s *Server) withdrawFlowSpec(origin uint32, r *bgp.FlowRule) {
+	fs := s.fs()
+	key, err := flowKey(origin, r)
+	if err != nil {
+		return
+	}
+	if rt, ok := fs.rules[key]; ok {
+		s.releaseFlowSpec(rt)
+		delete(fs.rules, key)
+	}
+}
+
+func (s *Server) releaseFlowSpec(rt *fsRoute) {
+	fs := s.fs()
+	for target := range rt.accepted {
+		lst := fs.perPeer[target]
+		for i, r := range lst {
+			if r == rt.rule {
+				fs.perPeer[target] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// MatchFlowSpec reports whether one of peerAS's installed discard rules
+// matches the packet.
+func (s *Server) MatchFlowSpec(peerAS uint32, dstIP uint32, proto uint8, srcPort, dstPort uint16) bool {
+	if s.flowspec == nil {
+		return false
+	}
+	for _, r := range s.flowspec.perPeer[peerAS] {
+		if r.Matches(dstIP, proto, srcPort, dstPort) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumFlowSpecRules returns the number of installed rules.
+func (s *Server) NumFlowSpecRules() int {
+	if s.flowspec == nil {
+		return 0
+	}
+	return len(s.flowspec.rules)
+}

@@ -1,0 +1,153 @@
+package routeserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+func fsServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(rsASN, 1)
+	pols := map[uint32]Policy{
+		100: {Standard: AcceptFull, FlowSpec: AcceptFull},
+		200: {Standard: AcceptFull, FlowSpec: AcceptFull},
+		300: DefaultPolicy(), // no FlowSpec support
+	}
+	for asn, pol := range pols {
+		if err := s.AddPeer(Peer{ASN: asn, IP: asn, Policy: pol}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func discardRule(prefix string, srcPorts ...uint16) *bgp.FlowRule {
+	return &bgp.FlowRule{
+		Dst:      bgp.MustParsePrefix(prefix),
+		HasDst:   true,
+		Protos:   []uint8{17},
+		SrcPorts: srcPorts,
+	}
+}
+
+func announceFS(t *testing.T, s *Server, peer uint32, rules ...*bgp.FlowRule) {
+	t.Helper()
+	err := s.ProcessFlowSpec(time.Unix(0, 0), peer, &bgp.FlowSpecUpdate{
+		Announced: rules,
+		ExtComms:  []bgp.ExtCommunity{bgp.TrafficRateDiscard},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowSpecInstallAndMatch(t *testing.T) {
+	s := fsServer(t)
+	announceFS(t, s, 100, discardRule("203.0.113.5/32", 123, 389))
+	if s.NumFlowSpecRules() != 1 {
+		t.Fatalf("rules = %d", s.NumFlowSpecRules())
+	}
+	victim := bgp.MustParsePrefix("203.0.113.5/32").Addr
+
+	// Supporting peer drops matching reflection traffic...
+	if !s.MatchFlowSpec(200, victim, 17, 123, 44444) {
+		t.Fatal("NTP reflection not matched at supporting peer")
+	}
+	// ... but not the victim's legitimate web traffic.
+	if s.MatchFlowSpec(200, victim, 6, 33333, 443) {
+		t.Fatal("legitimate TCP matched")
+	}
+	// Peers without FlowSpec support keep forwarding everything.
+	if s.MatchFlowSpec(300, victim, 17, 123, 44444) {
+		t.Fatal("non-supporting peer matched")
+	}
+	// The originator does not receive its own rule.
+	if s.MatchFlowSpec(100, victim, 17, 123, 44444) {
+		t.Fatal("originator matched its own rule")
+	}
+}
+
+func TestFlowSpecWithdraw(t *testing.T) {
+	s := fsServer(t)
+	rule := discardRule("203.0.113.5/32", 123)
+	announceFS(t, s, 100, rule)
+	err := s.ProcessFlowSpec(time.Unix(1, 0), 100, &bgp.FlowSpecUpdate{Withdrawn: []*bgp.FlowRule{rule}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFlowSpecRules() != 0 {
+		t.Fatalf("rules after withdraw = %d", s.NumFlowSpecRules())
+	}
+	victim := bgp.MustParsePrefix("203.0.113.5/32").Addr
+	if s.MatchFlowSpec(200, victim, 17, 123, 44444) {
+		t.Fatal("withdrawn rule still matches")
+	}
+}
+
+func TestFlowSpecReannounceReplaces(t *testing.T) {
+	s := fsServer(t)
+	rule := discardRule("203.0.113.5/32", 123)
+	announceFS(t, s, 100, rule)
+	announceFS(t, s, 100, rule) // identical wire form: replace, not duplicate
+	if s.NumFlowSpecRules() != 1 {
+		t.Fatalf("rules = %d", s.NumFlowSpecRules())
+	}
+	// The per-peer list must not contain duplicates either: withdrawing
+	// once must remove the match entirely.
+	s.ProcessFlowSpec(time.Unix(1, 0), 100, &bgp.FlowSpecUpdate{Withdrawn: []*bgp.FlowRule{rule}})
+	victim := bgp.MustParsePrefix("203.0.113.5/32").Addr
+	if s.MatchFlowSpec(200, victim, 17, 123, 44444) {
+		t.Fatal("replaced rule left a stale entry")
+	}
+}
+
+func TestFlowSpecValidation(t *testing.T) {
+	s := fsServer(t)
+	// Unknown peer.
+	err := s.ProcessFlowSpec(time.Unix(0, 0), 999, &bgp.FlowSpecUpdate{})
+	if err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+	// Missing discard action.
+	err = s.ProcessFlowSpec(time.Unix(0, 0), 100, &bgp.FlowSpecUpdate{
+		Announced: []*bgp.FlowRule{discardRule("203.0.113.5/32", 123)},
+	})
+	if err == nil {
+		t.Fatal("announcement without discard action accepted")
+	}
+	// Missing destination prefix.
+	err = s.ProcessFlowSpec(time.Unix(0, 0), 100, &bgp.FlowSpecUpdate{
+		Announced: []*bgp.FlowRule{{Protos: []uint8{17}}},
+		ExtComms:  []bgp.ExtCommunity{bgp.TrafficRateDiscard},
+	})
+	if err == nil {
+		t.Fatal("rule without destination accepted")
+	}
+}
+
+func TestFlowSpecCollectorArchivesMessages(t *testing.T) {
+	s := fsServer(t)
+	var got int
+	s.SetCollector(func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
+		if _, ok, err := bgp.DecodeFlowSpecUpdate(msg); err != nil || !ok {
+			t.Errorf("archived message not a flowspec update: %v", err)
+		}
+		got++
+	})
+	announceFS(t, s, 100, discardRule("203.0.113.5/32", 123))
+	if got != 1 {
+		t.Fatalf("collector calls = %d", got)
+	}
+}
+
+func TestMatchFlowSpecEmptyServer(t *testing.T) {
+	s := fsServer(t)
+	if s.MatchFlowSpec(100, 1, 17, 123, 1) {
+		t.Fatal("empty server matched")
+	}
+	if s.NumFlowSpecRules() != 0 {
+		t.Fatal("phantom rules")
+	}
+}

@@ -1,0 +1,290 @@
+package routeserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// BlackholeNextHop is the well-known next-hop address whose layer-2
+// resolution on the switching fabric is the non-forwarding blackhole MAC.
+// 192.0.2.66 follows the RFC 7999 documentation convention.
+var BlackholeNextHop = func() uint32 {
+	a, err := bgp.ParseAddr("192.0.2.66")
+	if err != nil {
+		panic(err)
+	}
+	return a
+}()
+
+// Peer is one route-server client (an IXP member AS).
+type Peer struct {
+	// ASN identifies the member. The simulator assigns 16-bit ASNs so
+	// that the community-based targeting scheme can address every peer.
+	ASN uint32
+	// IP is the peering-LAN address of the member's router.
+	IP uint32
+	// Policy is the member's import policy for route-server routes.
+	Policy Policy
+}
+
+// routeKey identifies a route in the server's RIB: the same prefix may be
+// blackholed by several members simultaneously.
+type routeKey struct {
+	origin uint32
+	prefix bgp.Prefix
+}
+
+// route is an installed blackhole route.
+type route struct {
+	key      routeKey
+	attrs    bgp.PathAttrs
+	targets  map[uint32]bool // peers the route was announced to
+	accepted map[uint32]bool // targets whose policy installed it
+	since    time.Time
+}
+
+// peerState tracks one member's view: which blackhole prefixes its routers
+// have installed, with reference counts (several origins may blackhole the
+// same prefix) and per-length counters for longest-prefix matching.
+type peerState struct {
+	peer     Peer
+	rib      map[bgp.Prefix]int // accepted blackhole prefixes -> refcount
+	lenCount [33]int            // how many entries exist per prefix length
+}
+
+// Announcement summarizes the outcome of processing one NLRI: to whom the
+// route was distributed and who accepted it. The simulator uses it for
+// ground truth; the fabric queries live state instead.
+type Announcement struct {
+	Prefix   bgp.Prefix
+	Origin   uint32
+	Targets  []uint32
+	Accepted []uint32
+}
+
+// Collector receives every BGP message the route server exchanges with a
+// member, timestamped — the MRT archiving hook.
+type Collector func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte)
+
+// Server is the route server. It is not safe for concurrent use; the
+// simulator drives it from a single event loop, as a production route
+// server's BGP best-path process is also single-threaded per table.
+type Server struct {
+	// ASN is the route server's AS number (16-bit for community targeting).
+	ASN uint16
+	// IP is the route server's peering-LAN address.
+	IP uint32
+
+	peers     map[uint32]*peerState
+	peerOrder []uint32 // sorted, for deterministic iteration
+	rib       map[routeKey]*route
+	flowspec  *fsState
+	collector Collector
+
+	// stats
+	msgsProcessed int
+}
+
+// New creates a route server operating as AS asn.
+func New(asn uint16, ip uint32) *Server {
+	return &Server{
+		ASN:   asn,
+		IP:    ip,
+		peers: make(map[uint32]*peerState),
+		rib:   make(map[routeKey]*route),
+	}
+}
+
+// SetCollector installs the archive hook (may be nil to disable).
+func (s *Server) SetCollector(c Collector) { s.collector = c }
+
+// AddPeer registers a member session. Adding an existing ASN is an error:
+// the route server has exactly one session per member.
+func (s *Server) AddPeer(p Peer) error {
+	if p.ASN == 0 || p.ASN > 0xffff {
+		return fmt.Errorf("routeserver: peer ASN %d outside the 16-bit range used for targeting", p.ASN)
+	}
+	if _, dup := s.peers[p.ASN]; dup {
+		return fmt.Errorf("routeserver: duplicate peer AS%d", p.ASN)
+	}
+	s.peers[p.ASN] = &peerState{peer: p, rib: make(map[bgp.Prefix]int)}
+	s.peerOrder = append(s.peerOrder, p.ASN)
+	sort.Slice(s.peerOrder, func(i, j int) bool { return s.peerOrder[i] < s.peerOrder[j] })
+	return nil
+}
+
+// Peers returns the member ASNs in ascending order.
+func (s *Server) Peers() []uint32 {
+	return append([]uint32(nil), s.peerOrder...)
+}
+
+// NumPeers returns the number of registered members.
+func (s *Server) NumPeers() int { return len(s.peers) }
+
+// Process handles one UPDATE received from peerAS at time ts: withdrawals
+// first (RFC 4271 ordering), then announcements. Announced prefixes must
+// carry the BLACKHOLE community — this route server instance implements
+// the blackholing service, and non-blackhole routes are outside the scope
+// of the study, so they are rejected with an error.
+func (s *Server) Process(ts time.Time, peerAS uint32, upd *bgp.Update) ([]Announcement, error) {
+	ps, ok := s.peers[peerAS]
+	if !ok {
+		return nil, fmt.Errorf("routeserver: update from unknown peer AS%d", peerAS)
+	}
+	s.msgsProcessed++
+
+	if s.collector != nil {
+		raw, err := bgp.EncodeUpdate(upd)
+		if err != nil {
+			return nil, fmt.Errorf("routeserver: archiving update from AS%d: %w", peerAS, err)
+		}
+		s.collector(ts, peerAS, ps.peer.IP, raw)
+	}
+
+	for _, p := range upd.Withdrawn {
+		s.withdraw(peerAS, p)
+	}
+
+	var anns []Announcement
+	if len(upd.NLRI) > 0 {
+		if !upd.Attrs.Communities.HasBlackhole() {
+			return nil, fmt.Errorf("routeserver: AS%d announced %v without BLACKHOLE community", peerAS, upd.NLRI[0])
+		}
+		targets := targetPeers(s.ASN, upd.Attrs.Communities, s.peerOrder, peerAS)
+		for _, p := range upd.NLRI {
+			anns = append(anns, s.announce(ts, peerAS, p, upd.Attrs, targets))
+		}
+	}
+	return anns, nil
+}
+
+func (s *Server) announce(ts time.Time, origin uint32, prefix bgp.Prefix, attrs bgp.PathAttrs, targets map[uint32]bool) Announcement {
+	key := routeKey{origin: origin, prefix: prefix}
+	if old, exists := s.rib[key]; exists {
+		// Implicit withdraw: replace, releasing old acceptances.
+		s.releaseAccepted(old)
+	}
+
+	rt := &route{
+		key:      key,
+		attrs:    attrs.Clone(),
+		targets:  make(map[uint32]bool, len(targets)),
+		accepted: make(map[uint32]bool),
+		since:    ts,
+	}
+	// The route server rewrites the next hop to the blackhole.
+	rt.attrs.NextHop = BlackholeNextHop
+
+	ann := Announcement{Prefix: prefix, Origin: origin}
+	for _, target := range s.peerOrder {
+		if !targets[target] {
+			continue
+		}
+		rt.targets[target] = true
+		ann.Targets = append(ann.Targets, target)
+		tps := s.peers[target]
+		if tps.peer.Policy.Accepts(prefix.Len) {
+			rt.accepted[target] = true
+			ann.Accepted = append(ann.Accepted, target)
+			if tps.rib[prefix] == 0 {
+				tps.lenCount[prefix.Len]++
+			}
+			tps.rib[prefix]++
+		}
+	}
+	s.rib[key] = rt
+	return ann
+}
+
+func (s *Server) withdraw(origin uint32, prefix bgp.Prefix) {
+	key := routeKey{origin: origin, prefix: prefix}
+	rt, ok := s.rib[key]
+	if !ok {
+		return // withdrawing a route we never installed is a no-op
+	}
+	s.releaseAccepted(rt)
+	delete(s.rib, key)
+}
+
+func (s *Server) releaseAccepted(rt *route) {
+	for target := range rt.accepted {
+		tps := s.peers[target]
+		if tps == nil {
+			continue
+		}
+		if c := tps.rib[rt.key.prefix]; c > 1 {
+			tps.rib[rt.key.prefix] = c - 1
+		} else if c == 1 {
+			delete(tps.rib, rt.key.prefix)
+			tps.lenCount[rt.key.prefix.Len]--
+		}
+	}
+}
+
+// DropFraction returns the fraction of traffic from member peerAS toward
+// dstIP that the member's routers send to the blackhole, per its installed
+// routes and import policy: the longest matching accepted prefix decides.
+func (s *Server) DropFraction(peerAS uint32, dstIP uint32) float64 {
+	ps, ok := s.peers[peerAS]
+	if !ok {
+		return 0
+	}
+	for length := 32; length >= 0; length-- {
+		if ps.lenCount[length] == 0 {
+			continue
+		}
+		p := bgp.MakePrefix(dstIP, uint8(length))
+		if ps.rib[p] > 0 {
+			return ps.peer.Policy.fraction(uint8(length))
+		}
+	}
+	return 0
+}
+
+// VisibleTo reports whether peerAS currently has any announcement for
+// prefix in its Adj-RIB-In (regardless of whether its policy accepts it).
+func (s *Server) VisibleTo(peerAS uint32, prefix bgp.Prefix) bool {
+	for key, rt := range s.rib {
+		if key.prefix == prefix && rt.targets[peerAS] {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveRoutes returns the currently installed blackhole routes as
+// (origin, prefix) pairs in deterministic order.
+func (s *Server) ActiveRoutes() []Announcement {
+	out := make([]Announcement, 0, len(s.rib))
+	for key, rt := range s.rib {
+		ann := Announcement{Prefix: key.prefix, Origin: key.origin}
+		for _, p := range s.peerOrder {
+			if rt.targets[p] {
+				ann.Targets = append(ann.Targets, p)
+			}
+			if rt.accepted[p] {
+				ann.Accepted = append(ann.Accepted, p)
+			}
+		}
+		out = append(out, ann)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Origin != out[j].Origin {
+			return out[i].Origin < out[j].Origin
+		}
+		if out[i].Prefix.Addr != out[j].Prefix.Addr {
+			return out[i].Prefix.Addr < out[j].Prefix.Addr
+		}
+		return out[i].Prefix.Len < out[j].Prefix.Len
+	})
+	return out
+}
+
+// NumActiveRoutes returns the number of installed blackhole routes.
+func (s *Server) NumActiveRoutes() int { return len(s.rib) }
+
+// MessagesProcessed returns the number of UPDATE messages handled.
+func (s *Server) MessagesProcessed() int { return s.msgsProcessed }

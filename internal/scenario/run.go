@@ -1,0 +1,544 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/fabric"
+	"repro/internal/ipfix"
+	"repro/internal/netgen"
+	"repro/internal/routeserver"
+	"repro/internal/stats"
+)
+
+// Sinks receives the simulation's measurement streams.
+type Sinks struct {
+	// Control receives every BGP message at the route server (wired to
+	// an MRT writer in production use). May be nil.
+	Control routeserver.Collector
+	// Flow receives every sampled flow record (wired to an IPFIX
+	// writer). Required.
+	Flow func(*ipfix.FlowRecord) error
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	World         *World
+	FabricStats   fabric.Stats
+	ControlMsgs   int
+	Announcements int // UPDATE messages announcing RTBH prefixes
+	Withdrawals   int // UPDATE messages withdrawing RTBH prefixes
+	FlowRecords   int64
+}
+
+// attackSlotDuration is the granularity at which attack traffic is
+// generated; matching the analysis slot size keeps boundary noise small.
+const attackSlotDuration = 5 * time.Minute
+
+// controlMsg is one scheduled BGP action.
+type controlMsg struct {
+	t        time.Time
+	event    *Event
+	announce bool
+}
+
+// Run executes the planned world chronologically, feeding the route
+// server, the switching fabric and the sinks.
+func Run(w *World, sinks Sinks) (*Result, error) {
+	if sinks.Flow == nil {
+		return nil, fmt.Errorf("scenario: Sinks.Flow is required")
+	}
+	res := &Result{World: w}
+	rng := stats.NewRNG(w.Cfg.Seed ^ 0x52554e)
+
+	rs := routeserver.New(w.RSASN, w.RSIP)
+	for _, m := range w.Members {
+		if err := rs.AddPeer(routeserver.Peer{ASN: m.ASN, IP: m.IP, Policy: m.Policy}); err != nil {
+			return nil, err
+		}
+	}
+	if sinks.Control != nil {
+		rs.SetCollector(sinks.Control)
+	}
+
+	flowCount := int64(0)
+	fb, err := fabric.New(rs, w.Cfg.SamplingRate, rng.Fork(1), func(rec *ipfix.FlowRecord) error {
+		flowCount++
+		return sinks.Flow(rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fb.ClockOffset = w.Cfg.ClockOffset
+
+	// Index control messages and attack slots by day.
+	days := w.Cfg.Days
+	ctlByDay := make([][]controlMsg, days)
+	dayIndex := func(t time.Time) int {
+		d := int(t.Sub(w.Cfg.Start) / (24 * time.Hour))
+		if d < 0 {
+			d = 0
+		}
+		if d >= days {
+			d = days - 1
+		}
+		return d
+	}
+	for _, e := range w.Events {
+		for _, ep := range e.Episodes {
+			ctlByDay[dayIndex(ep.Announce)] = append(ctlByDay[dayIndex(ep.Announce)],
+				controlMsg{t: ep.Announce, event: e, announce: true})
+			if !ep.Withdraw.IsZero() {
+				ctlByDay[dayIndex(ep.Withdraw)] = append(ctlByDay[dayIndex(ep.Withdraw)],
+					controlMsg{t: ep.Withdraw, event: e, announce: false})
+			}
+		}
+	}
+
+	addSessionResets(w, ctlByDay, dayIndex, rng.Fork(3))
+
+	attacksByDay := make([][]*Event, days)
+	for _, e := range w.Events {
+		if e.Attack == nil {
+			continue
+		}
+		first := dayIndex(e.Attack.Start)
+		last := dayIndex(e.Attack.End())
+		for d := first; d <= last; d++ {
+			attacksByDay[d] = append(attacksByDay[d], e)
+		}
+	}
+
+	// Per-event lazily built attack vectors, released once an attack is
+	// over to bound reflector-pool memory.
+	vectors := make(map[int][]netgen.Vector)
+	attackEnds := make(map[int]time.Time)
+	// Per-host episode transition times for batch splitting.
+	transitions := hostTransitions(w)
+
+	genRNG := rng.Fork(2)
+	var batches []fabric.Batch
+	for d := 0; d < days; d++ {
+		dayStart := w.Cfg.Start.AddDate(0, 0, d)
+		batches = batches[:0]
+		batches = appendBaselineBatches(batches, w, d, dayStart, transitions, genRNG)
+		batches = appendAttackBatches(batches, w, attacksByDay[d], dayStart, vectors, genRNG)
+		batches = appendInternalBatches(batches, w, dayStart, genRNG)
+
+		ctl := ctlByDay[d]
+		sort.SliceStable(ctl, func(i, j int) bool { return ctl[i].t.Before(ctl[j].t) })
+		sort.SliceStable(batches, func(i, j int) bool { return batches[i].Time.Before(batches[j].Time) })
+
+		// Release vector pools of attacks that ended before this day.
+		for id, e := range attackEnds {
+			if e.Before(dayStart) {
+				delete(vectors, id)
+				delete(attackEnds, id)
+			}
+		}
+		for _, e := range attacksByDay[d] {
+			attackEnds[e.ID] = e.Attack.End()
+		}
+
+		ci, bi := 0, 0
+		for ci < len(ctl) || bi < len(batches) {
+			// Control messages win ties so that a batch starting exactly
+			// at an announcement sees the new state.
+			if ci < len(ctl) && (bi >= len(batches) || !batches[bi].Time.Before(ctl[ci].t)) {
+				if err := processControl(rs, res, ctl[ci], w, genRNG); err != nil {
+					return nil, err
+				}
+				ci++
+				continue
+			}
+			if err := fb.Inject(&batches[bi]); err != nil {
+				return nil, err
+			}
+			bi++
+		}
+	}
+
+	res.FabricStats = fb.Stats()
+	res.ControlMsgs = rs.MessagesProcessed()
+	res.FlowRecords = flowCount
+	return res, nil
+}
+
+// processControl issues one announce/withdraw to the route server.
+func processControl(rs *routeserver.Server, res *Result, cm controlMsg, w *World, r *stats.RNG) error {
+	e := cm.event
+	upd := &bgp.Update{}
+	if cm.announce {
+		comms := bgp.Communities{bgp.Blackhole}
+		if r.Bool(0.5) {
+			comms = append(comms, bgp.NoExport)
+		}
+		for _, excl := range e.TargetedExclude {
+			comms = append(comms, bgp.MakeCommunity(0, uint16(excl)))
+		}
+		path := []uint32{e.Peer}
+		if e.OriginAS != e.Peer {
+			path = append(path, e.OriginAS)
+		}
+		upd.Attrs = bgp.PathAttrs{
+			Origin:      bgp.OriginIGP,
+			ASPath:      path,
+			NextHop:     routeserver.BlackholeNextHop,
+			Communities: comms,
+		}
+		upd.NLRI = []bgp.Prefix{e.Prefix}
+		res.Announcements++
+	} else {
+		upd.Withdrawn = []bgp.Prefix{e.Prefix}
+		res.Withdrawals++
+	}
+	_, err := rs.Process(cm.t, e.Peer, upd)
+	return err
+}
+
+// hostTransitions collects, per host index, the sorted set of times at
+// which the blackholing state of the host's address may change. Baseline
+// batches are split at these times so that their samples see the correct
+// forwarding decision. Besides the host's own /32 events, covering
+// shorter-prefix events (a /24 blackhole blankets every host in the
+// subnet) contribute transitions too.
+func hostTransitions(w *World) map[int][]time.Time {
+	out := make(map[int][]time.Time)
+	appendEpisodes := func(host int, e *Event) {
+		for _, ep := range e.Episodes {
+			out[host] = append(out[host], ep.Announce)
+			if !ep.Withdraw.IsZero() {
+				out[host] = append(out[host], ep.Withdraw)
+			}
+		}
+	}
+	var wide []*Event // events on prefixes shorter than /32
+	for _, e := range w.Events {
+		if e.Prefix.Len < 32 {
+			wide = append(wide, e)
+		}
+		if e.Host >= 0 && e.Prefix.Len == 32 {
+			appendEpisodes(e.Host, e)
+		}
+	}
+	for hi, h := range w.Hosts {
+		for _, e := range wide {
+			if e.Prefix.Contains(h.IP) {
+				appendEpisodes(hi, e)
+			}
+		}
+	}
+	for h := range out {
+		ts := out[h]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+		out[h] = ts
+	}
+	return out
+}
+
+// splitBatch splits b at the given transition times, dividing the packet
+// count proportionally to sub-interval duration. Batches untouched by any
+// transition are appended unchanged.
+func splitBatch(dst []fabric.Batch, b fabric.Batch, transitions []time.Time) []fabric.Batch {
+	end := b.Time.Add(b.Duration)
+	var cuts []time.Time
+	for _, t := range transitions {
+		if t.After(b.Time) && t.Before(end) {
+			cuts = append(cuts, t)
+		}
+	}
+	if len(cuts) == 0 {
+		return append(dst, b)
+	}
+	prev := b.Time
+	total := float64(b.Duration)
+	remaining := b.Packets
+	for i := 0; i <= len(cuts); i++ {
+		var segEnd time.Time
+		if i < len(cuts) {
+			segEnd = cuts[i]
+		} else {
+			segEnd = end
+		}
+		seg := b
+		seg.Time = prev
+		seg.Duration = segEnd.Sub(prev)
+		if i < len(cuts) {
+			seg.Packets = int64(float64(b.Packets) * float64(seg.Duration) / total)
+		} else {
+			seg.Packets = remaining
+		}
+		remaining -= seg.Packets
+		if seg.Packets > 0 && seg.Duration > 0 {
+			dst = append(dst, seg)
+		}
+		prev = segEnd
+	}
+	return dst
+}
+
+// appendBaselineBatches emits the legitimate and scan traffic of all hosts
+// active on day d, split at blackholing transitions.
+func appendBaselineBatches(dst []fabric.Batch, w *World, d int, dayStart time.Time,
+	transitions map[int][]time.Time, r *stats.RNG) []fabric.Batch {
+	var raw []fabric.Batch
+	for hi, h := range w.Hosts {
+		if d >= len(h.ActiveDays) {
+			continue
+		}
+		raw = raw[:0]
+		if h.ActiveDays[d] {
+			switch {
+			case h.Server != nil:
+				raw = h.Server.DayBatches(raw, dayStart, w.RemotePool, r)
+			case h.Client != nil:
+				raw = h.Client.DayBatches(raw, dayStart, w.RemotePool, r)
+			default:
+				// A quiet host's stray active day: a trickle of traffic.
+				peer := w.VictimASes[h.VictimAS].Peer
+				raw = append(raw, fabric.Batch{
+					Time: dayStart, Duration: 24 * time.Hour,
+					IngressAS: w.RemotePool.Handover(r), EgressAS: peer,
+					SrcIP: w.RemotePool.Addr(r), DstIP: h.IP,
+					SrcPort: 443, DstPort: netgen.EphemeralPort(r),
+					Proto: netgen.ProtoTCP, PacketSize: 600,
+					Packets: 2000 + r.Int63n(8000),
+				})
+			}
+		}
+		if h.ScanDailyPackets > 0 && r.Bool(0.3) {
+			peer := w.VictimASes[h.VictimAS].Peer
+			raw = netgen.ScanBatches(raw, dayStart, h.IP, peer, h.ScanDailyPackets, w.RemotePool, r)
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		tr := transitions[hi]
+		for _, b := range raw {
+			dst = splitBatch(dst, b, tr)
+		}
+	}
+	return dst
+}
+
+// appendAttackBatches emits attack traffic slots for day d.
+func appendAttackBatches(dst []fabric.Batch, w *World, attacks []*Event, dayStart time.Time,
+	vectors map[int][]netgen.Vector, r *stats.RNG) []fabric.Batch {
+	dayEnd := dayStart.Add(24 * time.Hour)
+	var slotBuf []fabric.Batch
+	for _, e := range attacks {
+		a := e.Attack
+		vs, ok := vectors[e.ID]
+		if !ok {
+			vs = buildVectors(w, e, r)
+			vectors[e.ID] = vs
+		}
+		if len(vs) == 0 {
+			continue
+		}
+		victimIP := victimAddr(w, e)
+		victimAS := e.Peer
+
+		// The host's own transitions bound drop-decision error; attack
+		// slots are split at them like baseline batches.
+		var tr []time.Time
+		for _, ep := range e.Episodes {
+			tr = append(tr, ep.Announce)
+			if !ep.Withdraw.IsZero() {
+				tr = append(tr, ep.Withdraw)
+			}
+		}
+		sort.Slice(tr, func(i, j int) bool { return tr[i].Before(tr[j]) })
+
+		start := a.Start
+		if start.Before(dayStart) {
+			start = dayStart
+		}
+		end := a.End()
+		if end.After(dayEnd) {
+			end = dayEnd
+		}
+		// Bilateral (non-route-server) blackholing is an agreement with a
+		// single neighbor: one designated handover member drops the
+		// event's traffic regardless of route-server state.
+		var bilateralAS uint32
+		for t := start; t.Before(end); t = t.Add(attackSlotDuration) {
+			slotEnd := t.Add(attackSlotDuration)
+			if slotEnd.After(end) {
+				slotEnd = end
+			}
+			dur := slotEnd.Sub(t)
+			if dur <= 0 {
+				break
+			}
+			pps := a.PPS * (0.8 + 0.4*r.Float64())
+			perVector := pps / float64(len(vs))
+			slotBuf = slotBuf[:0]
+			for _, v := range vs {
+				slotBuf = v.Batches(slotBuf, t, dur, perVector, victimIP, victimAS, r)
+			}
+			if e.Bilateral && bilateralAS == 0 && len(slotBuf) > 0 {
+				bilateralAS = slotBuf[0].IngressAS
+			}
+			// The bilateral neighbor reacts like the victim does: its
+			// dropping starts with the first announcement, not with the
+			// attack itself.
+			bilateralLive := e.Bilateral && !t.Before(e.Start())
+			for i := range slotBuf {
+				if bilateralLive && slotBuf[i].IngressAS == bilateralAS {
+					slotBuf[i].BilateralDropFraction = 1
+				}
+				dst = splitBatch(dst, slotBuf[i], tr)
+			}
+		}
+	}
+	return dst
+}
+
+// victimAddr returns the concrete attacked address of an event: the host
+// address, or an address inside the prefix for hostless events.
+func victimAddr(w *World, e *Event) uint32 {
+	if e.Host >= 0 {
+		return w.Hosts[e.Host].IP
+	}
+	return e.Prefix.Addr + 1
+}
+
+// buildVectors materializes the attack's vector set: reflector pools per
+// origin AS for amplification, and transit handovers for direct floods.
+func buildVectors(w *World, e *Event, r *stats.RNG) []netgen.Vector {
+	a := e.Attack
+	var out []netgen.Vector
+
+	if len(a.Protocols) > 0 {
+		nAmp := int(r.Poisson(float64(w.Cfg.MeanAmplifiersPerAttack)))
+		if nAmp < len(a.OriginASes) {
+			nAmp = len(a.OriginASes)
+		}
+		perAS := nAmp / len(a.OriginASes)
+		if perAS == 0 {
+			perAS = 1
+		}
+		var pool []netgen.Reflector
+		for _, asIdx := range a.OriginASes {
+			ras := w.RemoteASes[asIdx]
+			for i := 0; i < perAS; i++ {
+				ip := ras.Block.Addr + uint32(r.Int63n(int64(ras.Block.NumAddresses())))
+				pool = append(pool, netgen.Reflector{IP: ip, OriginAS: ras.ASN, HandoverAS: ras.Handover})
+			}
+		}
+		for _, proto := range a.Protocols {
+			out = append(out, &netgen.AmplificationVector{Protocol: proto, Reflectors: pool})
+		}
+	}
+
+	transit := make([]uint32, 0, 3)
+	for i := 0; i < 3 && i < len(w.RemotePool.Handovers); i++ {
+		transit = append(transit, w.RemotePool.Handovers[r.Intn(len(w.RemotePool.Handovers))])
+	}
+	if a.SYNFlood {
+		out = append(out, &netgen.SYNFloodVector{Handovers: transit, DstPorts: []uint16{80, 443}})
+	}
+	if a.ExtraRandomPort {
+		if r.Bool(0.5) {
+			out = append(out, &netgen.RandomPortUDPVector{Handovers: transit})
+		} else {
+			out = append(out, &netgen.RotatingPortVector{Handovers: transit})
+		}
+	}
+	return out
+}
+
+// appendInternalBatches emits the small share of IXP-internal flows that
+// the paper removes during data cleaning.
+func appendInternalBatches(dst []fabric.Batch, w *World, dayStart time.Time, r *stats.RNG) []fabric.Batch {
+	if w.Cfg.InternalTrafficShare <= 0 {
+		return dst
+	}
+	// Rough daily packet volume of the relevant traffic, from which the
+	// internal share is derived.
+	busy := len(w.Hosts) / 3
+	daily := float64(busy) * 2 * float64(w.Cfg.BaselineDailyPackets)
+	pkts := int64(daily * w.Cfg.InternalTrafficShare)
+	// Keep internal traffic visible even in miniature test worlds: at
+	// least ~0.4 expected samples per day.
+	if floor := 2 * w.Cfg.SamplingRate / 5; pkts < floor {
+		pkts = floor
+	}
+	for i := 0; i < 2; i++ {
+		dst = append(dst, fabric.Batch{
+			Time: dayStart.Add(time.Duration(i) * 12 * time.Hour), Duration: 12 * time.Hour,
+			IngressAS: w.Members[r.Intn(len(w.Members))].ASN,
+			EgressAS:  0,
+			SrcIP:     w.RSIP, DstIP: w.RSIP + 1,
+			SrcPort: 179, DstPort: netgen.EphemeralPort(r),
+			Proto: netgen.ProtoTCP, PacketSize: 100,
+			Packets:  pkts / 2,
+			Internal: true,
+		})
+	}
+	return dst
+}
+
+// addSessionResets injects BGP session flaps: a handful of times over the
+// period, one of the heaviest RTBH users re-announces its entire active
+// blackhole set within a minute. These bursts produce the message-rate
+// spikes of the paper's Fig 3 while leaving event structure untouched
+// (re-announcements of active routes merge into the same event).
+func addSessionResets(w *World, ctlByDay [][]controlMsg, dayIndex func(time.Time) int, r *stats.RNG) {
+	// The three peers with the most events are reset candidates.
+	counts := make(map[uint32]int)
+	for _, e := range w.Events {
+		counts[e.Peer]++
+	}
+	type pc struct {
+		peer uint32
+		n    int
+	}
+	var peers []pc
+	for p, n := range counts {
+		peers = append(peers, pc{p, n})
+	}
+	sort.Slice(peers, func(i, j int) bool {
+		if peers[i].n != peers[j].n {
+			return peers[i].n > peers[j].n
+		}
+		return peers[i].peer < peers[j].peer
+	})
+	if len(peers) > 3 {
+		peers = peers[:3]
+	}
+	if len(peers) == 0 {
+		return
+	}
+
+	period := w.Cfg.End().Sub(w.Cfg.Start)
+	nResets := max(2, w.Cfg.Days/15)
+	for i := 0; i < nResets; i++ {
+		peer := peers[r.Intn(len(peers))].peer
+		// Leave margin at the period edges.
+		at := w.Cfg.Start.Add(time.Duration(0.05*float64(period)) +
+			time.Duration(r.Float64()*0.9*float64(period)))
+		for _, e := range w.Events {
+			if e.Peer != peer {
+				continue
+			}
+			// Re-announce only routes solidly inside an active episode.
+			for _, ep := range e.Episodes {
+				wd := ep.Withdraw
+				if wd.IsZero() {
+					wd = w.Cfg.End()
+				}
+				if !at.After(ep.Announce) || !at.Add(2*time.Minute).Before(wd) {
+					continue
+				}
+				t := at.Add(time.Duration(r.Int63n(int64(50 * time.Second))))
+				ctlByDay[dayIndex(t)] = append(ctlByDay[dayIndex(t)],
+					controlMsg{t: t, event: e, announce: true})
+				break
+			}
+		}
+	}
+}

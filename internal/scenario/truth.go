@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ipfix"
+)
+
+// MemberInfo is the dataset-side description of one IXP member: the
+// mapping from router MAC to AS that the paper obtains from the IXP's
+// interface database.
+type MemberInfo struct {
+	ASN  uint32    `json:"asn"`
+	IP   string    `json:"ip"`
+	MAC  ipfix.MAC `json:"mac"`
+	Type string    `json:"type"`
+}
+
+// TruthEvent is the ground-truth record of one planned RTBH event.
+type TruthEvent struct {
+	ID         int       `json:"id"`
+	Class      string    `json:"class"`
+	Prefix     string    `json:"prefix"`
+	Peer       uint32    `json:"peer"`
+	OriginAS   uint32    `json:"origin_as"`
+	HostKind   string    `json:"host_kind,omitempty"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end,omitempty"` // zero = active at period end
+	Episodes   int       `json:"episodes"`
+	Attack     bool      `json:"attack"`
+	AmpPorts   []uint16  `json:"amp_ports,omitempty"`
+	Filterable bool      `json:"filterable,omitempty"`
+	Targeted   bool      `json:"targeted,omitempty"`
+	Bilateral  bool      `json:"bilateral,omitempty"`
+}
+
+// GroundTruth is the machine-readable summary of a planned world used to
+// validate what the analysis pipeline recovers.
+type GroundTruth struct {
+	Seed          uint64         `json:"seed"`
+	Start         time.Time      `json:"start"`
+	Days          int            `json:"days"`
+	SamplingRate  int64          `json:"sampling_rate"`
+	ClockOffsetMS int64          `json:"clock_offset_ms"`
+	Members       []MemberInfo   `json:"members"`
+	RSASN         uint16         `json:"rs_asn"`
+	Events        []TruthEvent   `json:"events"`
+	ClassCounts   map[string]int `json:"class_counts"`
+	HostKinds     map[string]int `json:"host_kinds"`
+}
+
+// Truth builds the ground-truth summary of a planned world.
+func Truth(w *World) *GroundTruth {
+	gt := &GroundTruth{
+		Seed:          w.Cfg.Seed,
+		Start:         w.Cfg.Start,
+		Days:          w.Cfg.Days,
+		SamplingRate:  w.Cfg.SamplingRate,
+		ClockOffsetMS: w.Cfg.ClockOffset.Milliseconds(),
+		RSASN:         w.RSASN,
+		ClassCounts:   make(map[string]int),
+		HostKinds:     make(map[string]int),
+	}
+	for _, m := range w.Members {
+		gt.Members = append(gt.Members, MemberInfo{
+			ASN:  m.ASN,
+			IP:   formatAddr(m.IP),
+			MAC:  fabric.MemberMAC(m.ASN),
+			Type: string(m.PDBType),
+		})
+	}
+	for _, h := range w.Hosts {
+		gt.HostKinds[h.Kind.String()]++
+	}
+	for _, e := range w.Events {
+		te := TruthEvent{
+			ID:        e.ID,
+			Class:     e.Class.String(),
+			Prefix:    e.Prefix.String(),
+			Peer:      e.Peer,
+			OriginAS:  e.OriginAS,
+			Start:     e.Start(),
+			Episodes:  len(e.Episodes),
+			Attack:    e.Attack != nil,
+			Targeted:  len(e.TargetedExclude) > 0,
+			Bilateral: e.Bilateral,
+		}
+		if end, ok := e.End(); ok {
+			te.End = end
+		}
+		if e.Host >= 0 {
+			te.HostKind = w.Hosts[e.Host].Kind.String()
+		}
+		if e.Attack != nil {
+			for _, p := range e.Attack.Protocols {
+				te.AmpPorts = append(te.AmpPorts, p.Port)
+			}
+			te.Filterable = len(e.Attack.Protocols) > 0 && !e.Attack.ExtraRandomPort && !e.Attack.SYNFlood
+		}
+		gt.ClassCounts[te.Class]++
+		gt.Events = append(gt.Events, te)
+	}
+	return gt
+}
+
+// WriteJSON serializes the ground truth.
+func (gt *GroundTruth) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(gt)
+}
+
+// ReadTruthJSON parses a ground truth written by WriteJSON.
+func ReadTruthJSON(r io.Reader) (*GroundTruth, error) {
+	var gt GroundTruth
+	if err := json.NewDecoder(r).Decode(&gt); err != nil {
+		return nil, fmt.Errorf("scenario: ground truth: %w", err)
+	}
+	return &gt, nil
+}
+
+func formatAddr(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "testing"
+
+// BenchmarkEWMAObserve measures the per-slot detector cost: the anomaly
+// analysis runs five of these per slot per event window.
+func BenchmarkEWMAObserve(b *testing.B) {
+	e := NewEWMA(288, 2.5)
+	r := NewRNG(1)
+	for i := 0; i < 288; i++ {
+		e.Observe(r.Float64() * 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(float64(i & 0xff))
+	}
+}
+
+// BenchmarkBinomialSampling measures the 1:10000 thinning hot path.
+func BenchmarkBinomialSampling(b *testing.B) {
+	r := NewRNG(2)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(1_000_000, 0.0001)
+	}
+	_ = sink
+}
+
+// BenchmarkRNGUint64 measures the base generator.
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(3)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

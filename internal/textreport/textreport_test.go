@@ -1,0 +1,122 @@
+package textreport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/analysis/usecase"
+	"repro/internal/stats"
+)
+
+// emptyReport builds a structurally valid but dataless report: every
+// renderer must tolerate it without panicking (real-world datasets can be
+// arbitrarily sparse).
+func emptyReport() *rtbh.Report {
+	cfg := rtbh.TestConfig()
+	return &rtbh.Report{
+		Fig2:        &rtbh.TimeAlignResult{},
+		Fig3:        &rtbh.LoadResult{},
+		Fig4:        &rtbh.VisibilityResult{},
+		Fig18:       &rtbh.CollateralResult{},
+		Fig19:       usecase.Classify(nil, nil, cfg.End()),
+		Fig6Slash24: stats.NewECDF(nil),
+		Fig6Slash32: stats.NewECDF(nil),
+	}
+}
+
+func TestAllExperimentsHaveUniqueIDsAndMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Render == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every figure and table of the evaluation is present.
+	for _, id := range []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "table1", "table2", "table3", "table4",
+		"whitelist",
+	} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e, ok := ByID("fig6"); !ok || e.ID != "fig6" {
+		t.Fatalf("ByID(fig6) = %+v, %v", e, ok)
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestRenderAllToleratesEmptyReport(t *testing.T) {
+	var buf bytes.Buffer
+	RenderAll(&buf, emptyReport())
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, strings.ToUpper(e.ID)+":") {
+			t.Fatalf("output missing header for %s", e.ID)
+		}
+		if !strings.Contains(out, e.Paper[:20]) {
+			t.Fatalf("output missing paper note for %s", e.ID)
+		}
+	}
+}
+
+func TestRenderOneHeaders(t *testing.T) {
+	e, _ := ByID("table2")
+	var buf bytes.Buffer
+	RenderOne(&buf, emptyReport(), e)
+	if !strings.Contains(buf.String(), "== TABLE2:") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}
+
+// TestRenderAllWithRealReport exercises the populated rendering paths
+// against an actual (tiny) simulated dataset.
+func TestRenderAllWithRealReport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := rtbh.TestConfig()
+	cfg.Days = 6
+	cfg.EventsTotal = 80
+	cfg.UniqueVictims = 40
+	cfg.Members = 40
+	cfg.RTBHUsers = 8
+	cfg.VictimOriginASes = 10
+	cfg.RemoteOriginASes = 100
+	if _, err := rtbh.Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rtbh.DefaultOptions()
+	opts.OffsetStep = 100 * time.Millisecond
+	report, err := ds.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderAll(&buf, report)
+	out := buf.String()
+	for _, want := range []string{
+		"best offset", "parallel RTBHs", "average drop rate",
+		"pre-RTBH windows", "class events share", "transport mix",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("populated output missing %q", want)
+		}
+	}
+}

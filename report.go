@@ -1,0 +1,118 @@
+package rtbh
+
+import (
+	"repro/internal/analysis/anomaly"
+	"repro/internal/analysis/events"
+	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/pipeline"
+	"repro/internal/analysis/usecase"
+	"repro/internal/analysis/visibility"
+	"repro/internal/ipfix"
+	"repro/internal/radviz"
+)
+
+// flowRecord aliases the canonical data-plane record.
+type flowRecord = ipfix.FlowRecord
+
+// FlowRecord is the public name of the sampled-packet record type.
+type FlowRecord = ipfix.FlowRecord
+
+// composeReport assembles every figure/table from the finished pipeline.
+func composeReport(d *Dataset, p *pipeline.Pipeline, opts Options) *Report {
+	r := &Report{
+		TotalRecords:      p.TotalRecords,
+		InternalRecords:   p.InternalRecords,
+		AttributedRecords: p.AttributedRecords,
+		DroppedRecords:    p.DroppedRecords,
+		Events:            p.Events,
+	}
+
+	// Control-plane figures.
+	r.Fig3 = load.Compute(d.Updates, d.Meta.Start, d.Meta.End)
+	peers := make([]uint32, 0, len(d.Meta.MemberByMAC))
+	for _, asn := range d.Meta.MemberByMAC {
+		peers = append(peers, asn)
+	}
+	r.Fig4 = visibility.Compute(d.Updates, peers, d.Meta.Start, d.Meta.End, opts.VisibilityInterval)
+	r.Fig10, r.Fig10LowerBound = sweep(d, opts)
+
+	// Data-plane: time alignment.
+	r.Fig2 = p.Align.Estimate(opts.OffsetStep)
+
+	// Drop statistics.
+	r.Fig5 = p.Drop.ByLength()
+	r.Fig5AvgPkts, r.Fig5AvgBytes = p.Drop.AverageDropRate()
+	r.Fig6Slash24 = p.Drop.DropRateCDF(24, opts.MinEventPkts)
+	r.Fig6Slash32 = p.Drop.DropRateCDF(32, opts.MinEventPkts)
+	r.Fig7 = p.Drop.TopSources(opts.TopSources)
+	r.Fig7Classes = p.Drop.ClassifyTopSources(opts.TopSources)
+	r.Fig8 = p.Drop.TypesOfTopSources(opts.TopSources, d.Meta.PDB)
+
+	// Anomaly analysis.
+	r.Verdicts = p.Anomaly.Analyze(p.Events, d.Meta.End, opts.Threshold)
+	r.Table2 = anomaly.Classify(r.Verdicts)
+	lastMax, withPreData := 0, 0
+	var anomalyAndDataIDs []int
+	for i := range r.Verdicts {
+		v := &r.Verdicts[i]
+		if v.HasPreData {
+			withPreData++
+			r.Fig11PreDataSlots = append(r.Fig11PreDataSlots, v.PreDataSlots)
+		} else {
+			r.Fig11NoData++
+		}
+		r.Fig12 = append(r.Fig12, v.Anomalies...)
+		for f := range v.AmpFactor {
+			if v.AmpFactor[f] > 0 {
+				r.Fig13[f] = append(r.Fig13[f], v.AmpFactor[f])
+			}
+		}
+		if v.AmpFactor[anomaly.FeatPackets] > 0 && v.LastSlotIsMax {
+			lastMax++
+		}
+		if v.HasEventData {
+			r.EventsWithData++
+			if v.Within10Min {
+				r.AnomalyAndData++
+				anomalyAndDataIDs = append(anomalyAndDataIDs, v.EventID)
+			}
+		}
+	}
+	// Per §5.3, the share is over events with pre-window data.
+	if withPreData > 0 {
+		r.Fig13LastSlotMax = float64(lastMax) / float64(withPreData)
+	}
+
+	// Protocol mix, filtering potential and AS participation over events
+	// with a preceding anomaly and during-event data (§5.4-§5.5).
+	r.ProtoShares = p.Proto.Shares(anomalyAndDataIDs)
+	r.Table3, r.Table3Events = p.Proto.ProtocolCountDist(anomalyAndDataIDs)
+	r.Fig14 = p.Proto.FilterableShares(anomalyAndDataIDs)
+	r.Fig14FullyFilterable = p.Proto.FullyFilterableShare(anomalyAndDataIDs)
+	r.Fig15Origin = p.Proto.OriginParticipation(anomalyAndDataIDs)
+	r.Fig15Handover = p.Proto.HandoverParticipation(anomalyAndDataIDs)
+	r.Fig15Scale = p.Proto.Scale(anomalyAndDataIDs)
+
+	// Host profiling.
+	r.Whitelist = p.Hosts.WhitelistCoverage(opts.MinActiveDays)
+	r.Fig17 = p.Profiles
+	proj := radviz.New(hosts.NumFeatures)
+	for i := range p.Profiles {
+		r.Fig16 = append(r.Fig16, proj.Project(p.Profiles[i].Features[:]))
+	}
+	r.Table4 = hosts.Types(p.Profiles, d.Meta.IP2AS, d.Meta.PDB)
+
+	// Collateral damage and use cases.
+	r.Fig18 = p.Collateral.Result()
+	r.Fig19 = usecase.Classify(p.Events, r.Verdicts, d.Meta.End)
+	return r
+}
+
+// sweep runs the Fig 10 merge-threshold sweep.
+func sweep(d *Dataset, opts Options) ([]SweepPoint, float64) {
+	if len(opts.SweepDeltas) == 0 {
+		return nil, 0
+	}
+	return events.Sweep(d.Updates, opts.SweepDeltas, d.Meta.End)
+}

@@ -1,0 +1,171 @@
+package rtbh
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ipfix"
+	"repro/internal/mrt"
+	"repro/internal/scenario"
+)
+
+// Dataset file names inside a dataset directory.
+const (
+	FileUpdates  = "updates.mrt"
+	FileFlows    = "flows.ipfix"
+	FileMetadata = "metadata.json"
+	FileIP2AS    = "ip2as.json"
+	FilePDB      = "peeringdb.json"
+	FileTruth    = "truth.json"
+)
+
+// SimulationSummary reports what a simulation produced.
+type SimulationSummary struct {
+	Events         int
+	Hosts          int
+	Members        int
+	ControlMsgs    int
+	Announcements  int
+	Withdrawals    int
+	FlowRecords    int64
+	PacketsIn      int64
+	PacketsDropped int64
+}
+
+// datasetMeta is the JSON schema of metadata.json: everything an analyst
+// legitimately has (no ground truth).
+type datasetMeta struct {
+	SamplingRate int64        `json:"sampling_rate"`
+	Start        time.Time    `json:"start"`
+	End          time.Time    `json:"end"`
+	BlackholeMAC ipfix.MAC    `json:"blackhole_mac"`
+	InternalMACs []ipfix.MAC  `json:"internal_macs"`
+	RSASN        uint16       `json:"rs_asn"`
+	Members      []memberMeta `json:"members"`
+}
+
+type memberMeta struct {
+	ASN uint32    `json:"asn"`
+	MAC ipfix.MAC `json:"mac"`
+}
+
+// Simulate plans and runs the world described by cfg and writes the
+// dataset into dir (created if missing): the MRT control-plane archive,
+// the IPFIX flow archive, metadata, the IP-to-AS table, the PeeringDB
+// snapshot, and the ground truth.
+func Simulate(cfg Config, dir string) (*SimulationSummary, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	w, err := scenario.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	mrtFile, err := os.Create(filepath.Join(dir, FileUpdates))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	defer mrtFile.Close()
+	mrtW := mrt.NewWriter(mrtFile)
+
+	flowFile, err := os.Create(filepath.Join(dir, FileFlows))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	defer flowFile.Close()
+	flowW := ipfix.NewWriter(flowFile, 1)
+
+	res, err := scenario.Run(w, scenario.Sinks{
+		Control: func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
+			rec := mrt.Record{
+				Timestamp: ts, PeerAS: peerAS, LocalAS: uint32(w.RSASN),
+				PeerIP: peerIP, LocalIP: w.RSIP, Message: msg,
+			}
+			// The run aborts on the first sink error via the flow sink;
+			// control write errors surface at Flush below.
+			_ = mrtW.WriteRecord(&rec)
+		},
+		Flow: flowW.WriteRecord,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mrtW.Flush(); err != nil {
+		return nil, fmt.Errorf("rtbh: flushing MRT: %w", err)
+	}
+	if err := flowW.Flush(); err != nil {
+		return nil, fmt.Errorf("rtbh: flushing IPFIX: %w", err)
+	}
+
+	if err := writeJSON(filepath.Join(dir, FileMetadata), metaOf(w)); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(dir, FileIP2AS), w.IP2AS.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(dir, FilePDB), w.PDB.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(dir, FileTruth), scenario.Truth(w).WriteJSON); err != nil {
+		return nil, err
+	}
+
+	st := res.FabricStats
+	return &SimulationSummary{
+		Events:         len(w.Events),
+		Hosts:          len(w.Hosts),
+		Members:        len(w.Members),
+		ControlMsgs:    res.ControlMsgs,
+		Announcements:  res.Announcements,
+		Withdrawals:    res.Withdrawals,
+		FlowRecords:    res.FlowRecords,
+		PacketsIn:      st.PacketsIn,
+		PacketsDropped: st.PacketsDropped,
+	}, nil
+}
+
+func metaOf(w *scenario.World) datasetMeta {
+	m := datasetMeta{
+		SamplingRate: w.Cfg.SamplingRate,
+		Start:        w.Cfg.Start,
+		End:          w.Cfg.End(),
+		BlackholeMAC: fabric.BlackholeMAC,
+		InternalMACs: []ipfix.MAC{fabric.InternalMAC},
+		RSASN:        w.RSASN,
+	}
+	for _, mem := range w.Members {
+		m.Members = append(m.Members, memberMeta{ASN: mem.ASN, MAC: fabric.MemberMAC(mem.ASN)})
+	}
+	return m
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rtbh: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("rtbh: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rtbh: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("rtbh: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
