@@ -1,6 +1,7 @@
 package rtbh
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/analysis/anomaly"
@@ -86,6 +87,11 @@ type Options struct {
 	// MinEventPkts excludes events with fewer samples from the Fig 6
 	// per-event drop-rate CDFs.
 	MinEventPkts int64
+	// Workers is the number of parallel pipeline shards: 0 selects
+	// runtime.GOMAXPROCS, 1 runs the plain sequential pipeline. Both
+	// paths produce byte-identical reports (see DESIGN.md, "Parallel
+	// pipeline").
+	Workers int
 }
 
 // DefaultOptions returns the paper's parameterization.
@@ -186,8 +192,33 @@ type Report struct {
 	AnomalyAndData int
 }
 
-// Analyze runs the full two-pass pipeline and composes the report.
+// Analyze runs the full two-pass pipeline and composes the report. With
+// Options.Workers != 1 the passes run on the sharded parallel pipeline;
+// the report is byte-identical either way.
 func (d *Dataset) Analyze(opts Options) (*Report, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return d.analyzeSequential(opts)
+	}
+	pp, err := pipeline.NewParallel(d.Meta, d.Updates, opts.Delta, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := pp.RunPass1(d.EachFlow); err != nil {
+		return nil, err
+	}
+	pp.FinishPass1(opts.MinActiveDays)
+	if err := pp.RunPass2(d.EachFlow); err != nil {
+		return nil, err
+	}
+	return composeReport(d, pp.Pipeline(), opts), nil
+}
+
+// analyzeSequential is the single-goroutine reference path (-workers=1).
+func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 	p, err := pipeline.New(d.Meta, d.Updates, opts.Delta)
 	if err != nil {
 		return nil, err

@@ -11,7 +11,9 @@ package rtbh
 // the paper's 104-day period.
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -571,6 +573,90 @@ func BenchmarkAnalyzeFull(b *testing.B) {
 		if _, err := ds.Analyze(opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchFlows caches the shared dataset's flow archive in memory so the
+// pipeline benchmarks time aggregation, not file decoding.
+var benchFlows struct {
+	once sync.Once
+	recs []FlowRecord
+	err  error
+}
+
+func loadBenchFlows(b *testing.B, ds *Dataset) []FlowRecord {
+	b.Helper()
+	benchFlows.once.Do(func() {
+		benchFlows.err = ds.EachFlow(func(rec *FlowRecord) error {
+			benchFlows.recs = append(benchFlows.recs, *rec)
+			return nil
+		})
+	})
+	if benchFlows.err != nil {
+		b.Fatal(benchFlows.err)
+	}
+	return benchFlows.recs
+}
+
+// runPipelineBench times both streaming passes over the in-memory archive
+// at the given worker count (0 = sequential pipeline, no dispatch layer).
+func runPipelineBench(b *testing.B, workers int) {
+	ds, _, _, opts := benchSetup(b)
+	recs := loadBenchFlows(b, ds)
+	src := func(fn func(*FlowRecord) error) error {
+		for i := range recs {
+			if err := fn(&recs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers == 0 {
+			p, err := pipeline.New(ds.Meta, ds.Updates, opts.Delta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range recs {
+				p.ObservePass1(&recs[j])
+			}
+			p.FinishPass1(opts.MinActiveDays)
+			for j := range recs {
+				p.ObservePass2(&recs[j])
+			}
+		} else {
+			pp, err := pipeline.NewParallel(ds.Meta, ds.Updates, opts.Delta, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pp.RunPass1(src); err != nil {
+				b.Fatal(err)
+			}
+			pp.FinishPass1(opts.MinActiveDays)
+			if err := pp.RunPass2(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(2*len(recs))*float64(b.N)/secs, "records/s")
+	}
+}
+
+// BenchmarkPipelineSequential is the two-pass baseline: the plain
+// Pipeline with no sharding or dispatch overhead.
+func BenchmarkPipelineSequential(b *testing.B) { runPipelineBench(b, 0) }
+
+// BenchmarkPipelineParallel times the sharded runner across worker
+// counts. workers=1 isolates the dispatch overhead; higher counts show
+// the scaling headroom (bounded by GOMAXPROCS on the machine).
+func BenchmarkPipelineParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runPipelineBench(b, workers)
+		})
 	}
 }
 

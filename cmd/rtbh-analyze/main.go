@@ -25,6 +25,7 @@ func main() {
 	threshold := flag.Float64("threshold", 2.5, "EWMA anomaly threshold in standard deviations")
 	minDays := flag.Int("min-days", 20, "minimum active days for host profiling")
 	offsetStep := flag.Duration("offset-step", 10*time.Millisecond, "time-offset MLE grid step")
+	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	ds, err := rtbh.OpenDataset(*data)
@@ -37,6 +38,7 @@ func main() {
 	opts.Threshold = *threshold
 	opts.MinActiveDays = *minDays
 	opts.OffsetStep = *offsetStep
+	opts.Workers = *workers
 
 	start := time.Now()
 	report, err := ds.Analyze(opts)

@@ -28,6 +28,7 @@ func main() {
 	simulate := flag.String("simulate", "test", "simulate a fresh world at this scale (test, bench, full) when -data is empty")
 	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	w := bufio.NewWriter(os.Stdout)
@@ -76,7 +77,9 @@ func main() {
 		fail(err)
 	}
 	start := time.Now()
-	report, err := ds.Analyze(rtbh.DefaultOptions())
+	opts := rtbh.DefaultOptions()
+	opts.Workers = *workers
+	report, err := ds.Analyze(opts)
 	if err != nil {
 		fail(err)
 	}

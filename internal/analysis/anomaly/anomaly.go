@@ -96,6 +96,27 @@ func (a *Aggregator) Add(prefix bgp.Prefix, t time.Time, srcIP uint32, srcPort, 
 // Slots returns the number of populated feature slots.
 func (a *Aggregator) Slots() int { return len(a.slots) }
 
+// Merge folds o's feature slots into a. Slots present in only one
+// aggregator are adopted; colliding slots sum their counters and merge
+// their bounded distinct sets. The parallel pipeline shards records so
+// that all samples of one (prefix, slot) land in one shard, making the
+// merged state identical to a sequential pass. o must not be used
+// afterwards.
+func (a *Aggregator) Merge(o *Aggregator) {
+	for k, osf := range o.slots {
+		sf := a.slots[k]
+		if sf == nil {
+			a.slots[k] = osf
+			continue
+		}
+		sf.packets += osf.packets
+		sf.nonTCP += osf.nonTCP
+		sf.flows.Merge(&osf.flows)
+		sf.srcIPs.Merge(&osf.srcIPs)
+		sf.dstPorts.Merge(&osf.dstPorts)
+	}
+}
+
 // features returns the five feature values of a slot (zeros if empty).
 func (a *Aggregator) features(prefix bgp.Prefix, slot int64) [NumFeatures]float64 {
 	sf := a.slots[slotKey{prefix: prefix, slot: slot}]

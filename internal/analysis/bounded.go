@@ -51,6 +51,19 @@ func (s *BoundedSet) Add(key uint64) {
 // Count returns the (possibly saturated) distinct count.
 func (s *BoundedSet) Count() int { return len(s.keys) + int(s.saturated) }
 
+// Merge folds o into s: o's recorded keys are replayed as Adds and o's
+// saturated tail carries over. The result is exact whenever neither set
+// saturated and the union fits the capacity; beyond that it inherits
+// Add's saturation overestimate. The parallel pipeline only merges sets
+// whose key populations are disjoint by shard routing, where Merge
+// reproduces the sequential outcome exactly.
+func (s *BoundedSet) Merge(o *BoundedSet) {
+	for _, k := range o.keys {
+		s.Add(k)
+	}
+	s.saturated += o.saturated
+}
+
 // Exact reports whether the count is exact (the set never saturated).
 func (s *BoundedSet) Exact() bool { return s.saturated == 0 }
 
@@ -97,6 +110,16 @@ func (c *TopCounter) Add(key uint32, n uint64) {
 	if len(c.keys) < c.cap {
 		c.keys = append(c.keys, key)
 		c.counts = append(c.counts, n)
+	}
+}
+
+// Merge folds o's counts into c, replaying them as Adds. Exact whenever
+// the union of keys fits the capacity; beyond that it inherits Add's
+// drop-unseen behaviour. As with BoundedSet.Merge, the parallel pipeline
+// only merges counters fed from disjoint shards.
+func (c *TopCounter) Merge(o *TopCounter) {
+	for i, k := range o.keys {
+		c.Add(k, o.counts[i])
 	}
 }
 

@@ -68,6 +68,21 @@ func (a *Aggregator) Add(eventID int, dstIP uint32, dstPort uint16, proto uint8,
 	}
 }
 
+// Merge folds o's per-event damage tallies into a, summing colliding
+// events. Both aggregators must have been built from the same profiles.
+// o must not be used afterwards.
+func (a *Aggregator) Merge(o *Aggregator) {
+	for id, oc := range o.perEvent {
+		c := a.perEvent[id]
+		if c == nil {
+			a.perEvent[id] = oc
+			continue
+		}
+		c.all += oc.all
+		c.dropped += oc.dropped
+	}
+}
+
 // Result is the Fig 18 outcome.
 type Result struct {
 	// Events is the number of RTBH events with collateral damage.

@@ -46,6 +46,13 @@ func (c *Counter) DropRateBytes() float64 {
 	return float64(c.DroppedBytes) / float64(t)
 }
 
+func (c *Counter) merge(o *Counter) {
+	c.DroppedPkts += o.DroppedPkts
+	c.ForwardedPkts += o.ForwardedPkts
+	c.DroppedBytes += o.DroppedBytes
+	c.ForwardedBytes += o.ForwardedBytes
+}
+
 func (c *Counter) add(dropped bool, pkts, bytes int64) {
 	if dropped {
 		c.DroppedPkts += pkts
@@ -99,6 +106,31 @@ func (a *Aggregator) Add(eventID int, prefixLen uint8, srcMember uint32, dropped
 			a.bySource[srcMember] = sc
 		}
 		sc.add(dropped, pkts, bytes)
+	}
+}
+
+// Merge folds o's tallies into a; counters are summed, per-event and
+// per-source maps union-merged. Merging is commutative and associative,
+// so shard aggregators combine into the exact state a single sequential
+// aggregator would hold. o must not be used afterwards: a may adopt its
+// internal structures.
+func (a *Aggregator) Merge(o *Aggregator) {
+	for l := range o.byLen {
+		a.byLen[l].merge(&o.byLen[l])
+	}
+	for id, oc := range o.byEvent {
+		if ec := a.byEvent[id]; ec != nil {
+			ec.c.merge(&oc.c)
+		} else {
+			a.byEvent[id] = oc
+		}
+	}
+	for m, oc := range o.bySource {
+		if sc := a.bySource[m]; sc != nil {
+			sc.merge(oc)
+		} else {
+			a.bySource[m] = oc
+		}
 	}
 }
 

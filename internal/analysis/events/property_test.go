@@ -111,6 +111,98 @@ func TestMergeMonotoneInDeltaProperty(t *testing.T) {
 	}
 }
 
+// naiveLookup is the O(events) reference implementation of Index.Lookup:
+// scan every event, prefer active episodes over mere windows, longer
+// prefixes over shorter, earlier starts over later.
+func naiveLookup(evs []*Event, end time.Time, ip uint32, at time.Time) Match {
+	var best Match
+	better := func(e *Event, active bool) bool {
+		if best.Event == nil {
+			return true
+		}
+		if active != best.Active {
+			return active
+		}
+		if e.Prefix.Len != best.Prefix.Len {
+			return e.Prefix.Len > best.Prefix.Len
+		}
+		return e.Start().Before(best.Event.Start())
+	}
+	for _, e := range evs {
+		if !e.Prefix.Contains(ip) {
+			continue
+		}
+		if at.Before(e.Start()) || at.After(e.End(end)) {
+			continue
+		}
+		active := e.ActiveAt(at, end)
+		if better(e, active) {
+			best = Match{Event: e, Active: active, Prefix: e.Prefix}
+		}
+	}
+	return best
+}
+
+// nestedStream is like randomStream but over nested prefixes of several
+// lengths, so longest-prefix-match precedence is actually exercised.
+func nestedStream(seed uint64, n int) []analysis.ControlUpdate {
+	r := stats.NewRNG(seed)
+	prefixes := []bgp.Prefix{
+		bgp.MustParsePrefix("203.0.113.5/32"),
+		bgp.MustParsePrefix("203.0.113.6/32"),
+		bgp.MustParsePrefix("203.0.113.0/26"),
+		bgp.MustParsePrefix("203.0.113.0/24"),
+		bgp.MustParsePrefix("203.0.0.0/16"),
+	}
+	peers := []uint32{100, 200, 300}
+	t := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	var out []analysis.ControlUpdate
+	for i := 0; i < n; i++ {
+		t = t.Add(time.Duration(10+r.Intn(2000)) * time.Second)
+		u := analysis.ControlUpdate{
+			Time:     t,
+			Peer:     peers[r.Intn(len(peers))],
+			Prefix:   prefixes[r.Intn(len(prefixes))],
+			Announce: r.Bool(0.55),
+		}
+		if u.Announce {
+			u.Communities = bgp.Communities{bgp.Blackhole}
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// TestIndexLookupMatchesNaiveProperty checks the indexed Lookup against
+// the naive linear scan over the full Match (event identity, active flag,
+// and matched prefix), across nested prefixes and random probe points.
+func TestIndexLookupMatchesNaiveProperty(t *testing.T) {
+	end := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	base := time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed uint64) bool {
+		us := nestedStream(seed, 200)
+		evs := Merge(us, DefaultDelta, end)
+		ix := NewIndex(evs, end)
+		r := stats.NewRNG(seed ^ 0x10de)
+		for probe := 0; probe < 200; probe++ {
+			ip := bgp.MustParsePrefix("203.0.113.0/24").Addr + uint32(r.Intn(8))
+			if r.Bool(0.1) {
+				ip = uint32(r.Uint64()) // mostly misses
+			}
+			at := base.Add(time.Duration(r.Intn(95*24*3600)) * time.Second)
+			got, want := ix.Lookup(ip, at), naiveLookup(evs, end, ip, at)
+			if got != want {
+				t.Logf("seed %d: Lookup(%08x, %v) = %+v, naive = %+v", seed, ip, at, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIndexLookupConsistentWithEventsProperty(t *testing.T) {
 	end := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
 	f := func(seed uint64) bool {

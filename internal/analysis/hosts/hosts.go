@@ -120,6 +120,35 @@ func (a *Aggregator) AddOutgoing(ip uint32, d int32, srcPort, dstPort uint16, pr
 	h.feat[FeatOutDstPorts].Add(uint64(dstPort))
 }
 
+// Merge folds o's host aggregates into a. Hosts present in only one
+// aggregator are adopted; colliding hosts union their day maps (OR-ing
+// direction flags, merging top-port counters) and merge their feature
+// sets. The parallel pipeline shards records by host address so that all
+// traffic of one host lands in one shard, making the merged state
+// identical to a sequential pass. o must not be used afterwards.
+func (a *Aggregator) Merge(o *Aggregator) {
+	for ip, oh := range o.hosts {
+		h := a.hosts[ip]
+		if h == nil {
+			a.hosts[ip] = oh
+			continue
+		}
+		for d, oda := range oh.days {
+			da := h.days[d]
+			if da == nil {
+				h.days[d] = oda
+				continue
+			}
+			da.hasIn = da.hasIn || oda.hasIn
+			da.hasOut = da.hasOut || oda.hasOut
+			da.inTop.Merge(oda.inTop)
+		}
+		for f := range h.feat {
+			h.feat[f].Merge(&oh.feat[f])
+		}
+	}
+}
+
 // Profile is the per-host analysis outcome.
 type Profile struct {
 	IP uint32

@@ -1,0 +1,230 @@
+// Parallel execution of the two-pass analysis: flow records fan out in
+// batches to N workers, each owning a private shard of every aggregator;
+// after a pass the shards merge into the exact state the sequential
+// pipeline would have produced.
+//
+// Determinism argument. Every piece of order-sensitive aggregator state
+// is keyed by an address inside a blackholed prefix: anomaly slots by
+// the matched prefix, protocol mixes and drop counters by the event (and
+// thus its prefix), host profiles by the host address, collateral damage
+// by the event. Records are partitioned by the top minLen bits of the
+// relevant address, where minLen is the shortest blackhole prefix length
+// present — so every address inside any one blackholed prefix maps to
+// the same shard, and all records feeding one keyed aggregate arrive at
+// one shard in stream order. Shard-local state is therefore bit-identical
+// to the sequential aggregator's state for those keys, and Merge is a
+// disjoint map union plus commutative counter sums. Records touching
+// destination-keyed and source-keyed state are dispatched to both owning
+// shards with a role mask, counted once by the destination role.
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/collateral"
+	"repro/internal/ipfix"
+)
+
+// DefaultBatchSize is the number of records per dispatch batch; batching
+// amortizes channel synchronization over ~200KB of records.
+const DefaultBatchSize = 4096
+
+// Source streams flow records to fn, exactly like Dataset.EachFlow. The
+// runner re-invokes it once per pass.
+type Source func(fn func(*ipfix.FlowRecord) error) error
+
+// roles a record plays in its shard: destination-keyed processing
+// (counters, drop/proto/anomaly/align/incoming-host state) and
+// source-keyed processing (outgoing-host state).
+const (
+	roleDst = 1 << iota
+	roleSrc
+)
+
+type batchEntry struct {
+	rec  ipfix.FlowRecord
+	role uint8
+}
+
+// Parallel runs the two-pass analysis across worker-owned aggregator
+// shards. Build with NewParallel, then RunPass1, FinishPass1, RunPass2,
+// and read results from Pipeline().
+type Parallel struct {
+	workers   int
+	batchSize int
+	// shift positions the shard key at the top minLen bits of an address.
+	shift uint
+	// merged accumulates the combined state; shards hold per-worker state.
+	merged *Pipeline
+	shards []*Pipeline
+
+	pool sync.Pool
+}
+
+// NewParallel builds a parallel pipeline with the given worker count
+// (<= 0 selects runtime.GOMAXPROCS). workers == 1 is valid and useful to
+// exercise the batching path; for the plain sequential pipeline use New.
+func NewParallel(meta *analysis.Metadata, updates []analysis.ControlUpdate, delta time.Duration, workers int) (*Parallel, error) {
+	p, err := New(meta, updates, delta)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pp := &Parallel{
+		workers:   workers,
+		batchSize: DefaultBatchSize,
+		merged:    p,
+	}
+	if ls := p.Index.Lengths(); len(ls) > 0 {
+		pp.shift = uint(32 - ls[len(ls)-1])
+	}
+	for i := 0; i < workers; i++ {
+		pp.shards = append(pp.shards, p.newShard())
+	}
+	return pp, nil
+}
+
+// Workers returns the number of worker shards.
+func (pp *Parallel) Workers() int { return pp.workers }
+
+// Pipeline returns the merged pipeline. Its aggregators are complete for
+// a pass once the corresponding Run/Finish call returned.
+func (pp *Parallel) Pipeline() *Pipeline { return pp.merged }
+
+// shardOf maps an address to its owning shard. Addresses inside the same
+// blackholed prefix always collapse to the same key (see the package
+// comment), so all state for one prefix/event/host is shard-local.
+func (pp *Parallel) shardOf(ip uint32) int {
+	key := uint64(ip >> pp.shift)
+	// splitmix64 finalizer: spreads adjacent prefixes across shards.
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return int(key % uint64(pp.workers))
+}
+
+// RunPass1 streams src through the shards and merges first-pass state
+// into the merged pipeline.
+func (pp *Parallel) RunPass1(src Source) error {
+	if err := pp.run(src, 1); err != nil {
+		return err
+	}
+	for _, sh := range pp.shards {
+		pp.merged.mergePass1(sh)
+	}
+	// Shards are consumed: replace their pass-1 aggregators so a later
+	// misuse cannot double-count into adopted structures.
+	for i, sh := range pp.shards {
+		pp.shards[i] = sh.newShard()
+	}
+	return nil
+}
+
+// FinishPass1 computes host profiles on the merged state and equips every
+// shard with a collateral aggregator over the detected servers.
+func (pp *Parallel) FinishPass1(minActiveDays int) {
+	pp.merged.FinishPass1(minActiveDays)
+	for _, sh := range pp.shards {
+		sh.Profiles = pp.merged.Profiles
+		sh.Collateral = collateral.New(pp.merged.Profiles)
+	}
+}
+
+// RunPass2 streams src through the shards' collateral aggregators and
+// merges them into the merged pipeline. It panics if FinishPass1 has not
+// run, like Pipeline.ObservePass2.
+func (pp *Parallel) RunPass2(src Source) error {
+	if pp.merged.Collateral == nil {
+		panic("pipeline: RunPass2 before FinishPass1")
+	}
+	if err := pp.run(src, 2); err != nil {
+		return err
+	}
+	for _, sh := range pp.shards {
+		pp.merged.Collateral.Merge(sh.Collateral)
+		sh.Collateral = collateral.New(nil)
+	}
+	return nil
+}
+
+// run streams records into per-shard batch channels and waits for the
+// workers to drain them. Per-shard record order equals stream order,
+// which the determinism argument relies on.
+func (pp *Parallel) run(src Source, pass int) error {
+	chans := make([]chan []batchEntry, pp.workers)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan []batchEntry, 4)
+		wg.Add(1)
+		go func(sh *Pipeline, ch <-chan []batchEntry) {
+			defer wg.Done()
+			for batch := range ch {
+				for j := range batch {
+					e := &batch[j]
+					if pass == 1 {
+						if e.role&roleDst != 0 {
+							sh.observePass1Dst(&e.rec)
+						}
+						if e.role&roleSrc != 0 {
+							sh.observePass1Src(&e.rec)
+						}
+					} else {
+						sh.ObservePass2(&e.rec)
+					}
+				}
+				pp.pool.Put(batch[:0]) //nolint:staticcheck // slice reuse
+			}
+		}(pp.shards[i], chans[i])
+	}
+
+	pending := make([][]batchEntry, pp.workers)
+	newBatch := func() []batchEntry {
+		if b, ok := pp.pool.Get().([]batchEntry); ok {
+			return b
+		}
+		return make([]batchEntry, 0, pp.batchSize)
+	}
+	push := func(shard int, rec *ipfix.FlowRecord, role uint8) {
+		b := pending[shard]
+		if b == nil {
+			b = newBatch()
+		}
+		b = append(b, batchEntry{rec: *rec, role: role})
+		if len(b) >= pp.batchSize {
+			chans[shard] <- b
+			b = nil
+		}
+		pending[shard] = b
+	}
+
+	err := src(func(rec *ipfix.FlowRecord) error {
+		sd := pp.shardOf(rec.DstIP)
+		if pass != 1 {
+			// The second pass is destination-keyed only.
+			push(sd, rec, roleDst)
+			return nil
+		}
+		if ss := pp.shardOf(rec.SrcIP); ss != sd {
+			push(sd, rec, roleDst)
+			push(ss, rec, roleSrc)
+		} else {
+			push(sd, rec, roleDst|roleSrc)
+		}
+		return nil
+	})
+	for i, b := range pending {
+		if len(b) > 0 {
+			chans[i] <- b
+		}
+		close(chans[i])
+	}
+	wg.Wait()
+	return err
+}

@@ -74,8 +74,51 @@ func New(meta *analysis.Metadata, updates []analysis.ControlUpdate, delta time.D
 	}, nil
 }
 
+// newShard returns a pipeline sharing p's immutable control-plane state
+// (metadata, events, attribution index — all read-only during the
+// streaming passes) with fresh, empty aggregators.
+func (p *Pipeline) newShard() *Pipeline {
+	return &Pipeline{
+		Meta:    p.Meta,
+		Events:  p.Events,
+		Index:   p.Index,
+		Drop:    dropstats.New(),
+		Anomaly: anomaly.New(),
+		Proto:   protomix.New(),
+		Hosts:   hosts.New(),
+		Align:   timealign.New(p.Index),
+	}
+}
+
+// mergePass1 folds o's first-pass state into p. o must not observe any
+// further records.
+func (p *Pipeline) mergePass1(o *Pipeline) {
+	p.TotalRecords += o.TotalRecords
+	p.InternalRecords += o.InternalRecords
+	p.AttributedRecords += o.AttributedRecords
+	p.DroppedRecords += o.DroppedRecords
+	p.Drop.Merge(o.Drop)
+	p.Anomaly.Merge(o.Anomaly)
+	p.Proto.Merge(o.Proto)
+	p.Hosts.Merge(o.Hosts)
+	p.Align.Merge(o.Align)
+}
+
 // ObservePass1 processes one flow record in the first pass.
+//
+// The pass is split into a destination-keyed and a source-keyed half so
+// that the parallel runner can route each half to the shard owning the
+// respective address; run back to back they are exactly the sequential
+// first pass.
 func (p *Pipeline) ObservePass1(rec *ipfix.FlowRecord) {
+	p.observePass1Dst(rec)
+	p.observePass1Src(rec)
+}
+
+// observePass1Dst handles the cleaning counters and all aggregations
+// keyed by the destination address (drop stats, protocol mix, anomaly
+// features, time alignment, incoming host traffic).
+func (p *Pipeline) observePass1Dst(rec *ipfix.FlowRecord) {
 	p.TotalRecords++
 	if p.Meta.IsInternal(rec) {
 		p.InternalRecords++
@@ -96,29 +139,41 @@ func (p *Pipeline) ObservePass1(rec *ipfix.FlowRecord) {
 		return
 	}
 	p.AttributedRecords++
+	if !dstBH {
+		return
+	}
 	day := int32(analysis.Day(p.Meta.Start, rec.Start))
 
-	if dstBH {
-		m := p.Index.Lookup(rec.DstIP, rec.Start)
-		if m.Active {
-			p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
-		}
-		if m.Event != nil {
-			originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)
-			p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
-		}
-		if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
-			p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
-		}
-		if m.Event == nil && p.legitAt(rec.DstIP, rec.Start) {
-			p.Hosts.AddIncoming(rec.DstIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
-		}
+	m := p.Index.Lookup(rec.DstIP, rec.Start)
+	if m.Active {
+		p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
 	}
-	if srcBH {
-		mSrc := p.Index.Lookup(rec.SrcIP, rec.Start)
-		if mSrc.Event == nil && p.legitAt(rec.SrcIP, rec.Start) {
-			p.Hosts.AddOutgoing(rec.SrcIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
-		}
+	if m.Event != nil {
+		originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)
+		p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
+	}
+	if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
+		p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+	}
+	if m.Event == nil && p.legitAt(rec.DstIP, rec.Start) {
+		p.Hosts.AddIncoming(rec.DstIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+	}
+}
+
+// observePass1Src handles the aggregation keyed by the source address
+// (outgoing host traffic). Counters are owned by observePass1Dst so that
+// a record dispatched to two shards is counted once.
+func (p *Pipeline) observePass1Src(rec *ipfix.FlowRecord) {
+	if p.Meta.IsInternal(rec) {
+		return
+	}
+	if _, srcBH := p.Index.EverBlackholed(rec.SrcIP); !srcBH {
+		return
+	}
+	mSrc := p.Index.Lookup(rec.SrcIP, rec.Start)
+	if mSrc.Event == nil && p.legitAt(rec.SrcIP, rec.Start) {
+		day := int32(analysis.Day(p.Meta.Start, rec.Start))
+		p.Hosts.AddOutgoing(rec.SrcIP, day, rec.SrcPort, rec.DstPort, rec.Proto, int64(rec.Packets))
 	}
 }
 
@@ -155,17 +210,16 @@ func (p *Pipeline) ObservePass2(rec *ipfix.FlowRecord) {
 	p.Collateral.Add(m.Event.ID, rec.DstIP, rec.DstPort, rec.Proto, dropped, int64(rec.Packets))
 }
 
-// CleaningSummary describes the §3.1 data-cleaning outcome.
+// CleaningSummary describes the §3.1 data-cleaning outcome. With no
+// records processed the internal share is reported as "n/a" rather than
+// a fabricated 0.0000% — there is no measurement to report.
 func (p *Pipeline) CleaningSummary() string {
+	if p.TotalRecords == 0 {
+		return fmt.Sprintf("records=0 internal=0 (n/a) attributed=%d dropped=%d",
+			p.AttributedRecords, p.DroppedRecords)
+	}
 	return fmt.Sprintf("records=%d internal=%d (%.4f%%) attributed=%d dropped=%d",
 		p.TotalRecords, p.InternalRecords,
-		100*float64(p.InternalRecords)/float64(max64(p.TotalRecords, 1)),
+		100*float64(p.InternalRecords)/float64(p.TotalRecords),
 		p.AttributedRecords, p.DroppedRecords)
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -186,6 +186,18 @@ func TestCollateralPass(t *testing.T) {
 	}
 }
 
+func TestCleaningSummaryEmpty(t *testing.T) {
+	p := newPipeline(t)
+	if got, want := p.CleaningSummary(), "records=0 internal=0 (n/a) attributed=0 dropped=0"; got != want {
+		t.Fatalf("empty summary = %q, want %q", got, want)
+	}
+	// One record makes the share well-defined again.
+	p.ObservePass1(rec(t0, memberMAC100, internalMAC, 1, 2, 3, 4, 6))
+	if got, want := p.CleaningSummary(), "records=1 internal=1 (100.0000%) attributed=0 dropped=0"; got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}
+
 func TestDroppedRecordFeedsTimeAlign(t *testing.T) {
 	p := newPipeline(t)
 	p.ObservePass1(rec(t0.Add(time.Minute), memberMAC200, blackholeMAC,

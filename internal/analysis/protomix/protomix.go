@@ -76,6 +76,43 @@ func (a *Aggregator) Add(eventID int, proto uint8, srcIP uint32, srcPort uint16,
 	}
 }
 
+// Merge folds o's per-event aggregates into a. Events present in only
+// one aggregator are adopted; colliding events sum their packet counters,
+// union their AS sets (bounded as in Add) and merge their source-IP
+// sets. The parallel pipeline shards records so that all samples of one
+// event land in one shard, making the merged state identical to a
+// sequential pass. o must not be used afterwards.
+func (a *Aggregator) Merge(o *Aggregator) {
+	for id, oea := range o.events {
+		ea := a.events[id]
+		if ea == nil {
+			a.events[id] = oea
+			continue
+		}
+		ea.udp += oea.udp
+		ea.tcp += oea.tcp
+		ea.icmp += oea.icmp
+		ea.other += oea.other
+		ea.nonAmpUDP += oea.nonAmpUDP
+		for port, pkts := range oea.ampPkts {
+			ea.ampPkts[port] += pkts
+		}
+		for as := range oea.originASes {
+			if len(ea.originASes) >= maxASesPerEvent {
+				break
+			}
+			ea.originASes[as] = true
+		}
+		for as := range oea.handoverASes {
+			if len(ea.handoverASes) >= maxASesPerEvent {
+				break
+			}
+			ea.handoverASes[as] = true
+		}
+		ea.srcIPs.Merge(&oea.srcIPs)
+	}
+}
+
 // ProtocolShares is the §5.4 transport mix over a set of events.
 type ProtocolShares struct {
 	UDP, TCP, ICMP, Other float64

@@ -109,6 +109,17 @@ func (a *Aggregator) collect(prefix bgp.Prefix, t time.Time) {
 	}
 }
 
+// Merge folds o's per-record offset intervals into a. The intervals of
+// each dropped record were merged at Add time, so concatenation is exact
+// and order-independent: Estimate sorts the endpoint arrays before the
+// sweep, so the merged aggregator yields the same curve a sequential
+// aggregator would. o must not be used afterwards.
+func (a *Aggregator) Merge(o *Aggregator) {
+	a.starts = append(a.starts, o.starts...)
+	a.ends = append(a.ends, o.ends...)
+	a.total += o.total
+}
+
 // Point is one sample of the likelihood curve.
 type Point struct {
 	Offset  time.Duration

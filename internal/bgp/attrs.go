@@ -84,13 +84,15 @@ func (a *PathAttrs) OriginAS() uint32 {
 	return a.ASPath[len(a.ASPath)-1]
 }
 
-// appendAttr writes one attribute with correct flags/extended-length.
+// appendAttr writes one attribute with correct flags/extended-length. The
+// extended-length bit is recomputed from the value size: a stale bit from
+// a caller (e.g. a preserved unknown attribute originally encoded with a
+// needless two-byte length) would corrupt the header.
 func appendAttr(dst []byte, flags, typ byte, value []byte) []byte {
 	if len(value) > 255 {
-		flags |= flagExtLength
-		dst = append(dst, flags, typ, byte(len(value)>>8), byte(len(value)))
+		dst = append(dst, flags|flagExtLength, typ, byte(len(value)>>8), byte(len(value)))
 	} else {
-		dst = append(dst, flags, typ, byte(len(value)))
+		dst = append(dst, flags&^flagExtLength, typ, byte(len(value)))
 	}
 	return append(dst, value...)
 }
@@ -100,14 +102,19 @@ func (a *PathAttrs) encode(dst []byte) []byte {
 	// ORIGIN (well-known mandatory)
 	dst = appendAttr(dst, flagTransitive, AttrOrigin, []byte{a.Origin})
 
-	// AS_PATH (well-known mandatory); one AS_SEQUENCE segment, 4-byte ASNs.
+	// AS_PATH (well-known mandatory); AS_SEQUENCE segments of up to 255
+	// ASNs each (a segment's count field is one byte), 4-byte ASNs. Paths
+	// longer than 255 hops split into consecutive segments, which decode
+	// back to the same flattened path.
 	path := make([]byte, 0, 2+4*len(a.ASPath))
-	if len(a.ASPath) > 0 {
-		if len(a.ASPath) > 255 {
-			panic("bgp: AS_PATH longer than 255 hops")
+	for rest := a.ASPath; len(rest) > 0; {
+		seg := rest
+		if len(seg) > 255 {
+			seg = seg[:255]
 		}
-		path = append(path, segASSequence, byte(len(a.ASPath)))
-		for _, asn := range a.ASPath {
+		rest = rest[len(seg):]
+		path = append(path, segASSequence, byte(len(seg)))
+		for _, asn := range seg {
 			path = binary.BigEndian.AppendUint32(path, asn)
 		}
 	}
@@ -203,8 +210,10 @@ func decodePathAttrs(b []byte) (PathAttrs, error) {
 			}
 			a.Communities = cs
 		default:
+			// Store canonical flags: extended length is a wire-encoding
+			// detail recomputed on encode, not an attribute property.
 			a.Unknown = append(a.Unknown, RawAttr{
-				Flags: flags, Type: typ, Value: append([]byte(nil), val...),
+				Flags: flags &^ flagExtLength, Type: typ, Value: append([]byte(nil), val...),
 			})
 		}
 	}

@@ -1,0 +1,109 @@
+package bgp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedUpdates are hand-picked UPDATEs whose encoded bodies seed the
+// round-trip fuzzer (besides the checked-in corpus under testdata/fuzz):
+// announce, withdraw-only, every optional attribute, an unknown attribute,
+// and a >255-hop AS_PATH that needs segment splitting.
+func fuzzSeedUpdates() []*Update {
+	longPath := make([]uint32, 300)
+	for i := range longPath {
+		longPath[i] = uint32(65000 + i)
+	}
+	return []*Update{
+		{
+			NLRI:  []Prefix{MustParsePrefix("203.0.113.5/32")},
+			Attrs: PathAttrs{ASPath: []uint32{64500, 64501}, NextHop: 0x0A000001, Communities: Communities{Blackhole}},
+		},
+		{Withdrawn: []Prefix{MustParsePrefix("198.51.100.0/24")}},
+		{
+			NLRI: []Prefix{MustParsePrefix("192.0.2.0/25"), MustParsePrefix("10.0.0.0/8")},
+			Attrs: PathAttrs{
+				Origin: OriginIncomplete, ASPath: []uint32{64500}, NextHop: 1,
+				MED: 7, HasMED: true, LocalPref: 200, HasLocalPref: true,
+				Communities: Communities{0x029A0000, Blackhole},
+				Unknown:     []RawAttr{{Flags: flagOptional | flagTransitive, Type: 32, Value: bytes.Repeat([]byte{0xAB}, 300)}},
+			},
+		},
+		{
+			NLRI:  []Prefix{MustParsePrefix("0.0.0.0/0")},
+			Attrs: PathAttrs{ASPath: longPath, NextHop: 2},
+		},
+	}
+}
+
+// normalizeUpdate maps an Update onto its canonical form: the parts of the
+// struct that the wire format cannot represent distinctly (attributes of a
+// withdraw-only message, nil vs empty slices) collapse so that DeepEqual
+// compares only wire-meaningful state.
+func normalizeUpdate(u *Update) Update {
+	out := *u
+	if len(out.NLRI) == 0 {
+		// An UPDATE without announcements carries no path attributes.
+		out.Attrs = PathAttrs{}
+	}
+	if len(out.Attrs.ASPath) == 0 {
+		out.Attrs.ASPath = nil
+	}
+	if len(out.Attrs.Communities) == 0 {
+		out.Attrs.Communities = nil
+	}
+	if len(out.Attrs.Unknown) == 0 {
+		out.Attrs.Unknown = nil
+	}
+	return out
+}
+
+// FuzzUpdateRoundTrip feeds arbitrary bytes to the UPDATE body parser and
+// demands that anything it accepts survives encode -> decode unchanged,
+// and that the canonical encoding is a fixed point. Encoding may reject a
+// decoded update only for exceeding the 4096-byte message cap (fuzz bodies
+// are not length-capped; real ones are).
+func FuzzUpdateRoundTrip(f *testing.F) {
+	for _, u := range fuzzSeedUpdates() {
+		enc, err := EncodeUpdate(u)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc[19:]) // seed with the body, header stripped
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		u, err := DecodeUpdate(body)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeUpdate(u)
+		if err != nil {
+			if len(body) <= maxMsgLen-headerLen {
+				t.Fatalf("re-encode of %d-byte accepted body failed: %v", len(body), err)
+			}
+			return
+		}
+		typ, msg, n, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if typ != MsgUpdate || n != len(enc) {
+			t.Fatalf("re-decode: type %d, consumed %d of %d", typ, n, len(enc))
+		}
+		u2 := msg.(*Update)
+		if nu, nu2 := normalizeUpdate(u), normalizeUpdate(u2); !reflect.DeepEqual(nu, nu2) {
+			t.Fatalf("round trip changed the update:\nfirst:  %+v\nsecond: %+v", nu, nu2)
+		}
+		enc2, err := EncodeUpdate(u2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\nfirst:  %x\nsecond: %x", enc, enc2)
+		}
+	})
+}

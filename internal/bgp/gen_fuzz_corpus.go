@@ -1,0 +1,77 @@
+//go:build ignore
+
+// Regenerates the FuzzUpdateRoundTrip seed corpus:
+//
+//	go run gen_fuzz_corpus.go
+//
+// The corpus covers the interesting encoder/decoder shapes: plain
+// announcements, withdraw-only messages, every optional attribute, unknown
+// attributes with and without extended length, multi-segment AS paths, and
+// a few deliberately malformed bodies.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bgp"
+)
+
+func main() {
+	longPath := make([]uint32, 300)
+	for i := range longPath {
+		longPath[i] = uint32(65000 + i)
+	}
+	updates := []*bgp.Update{
+		{
+			NLRI:  []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+			Attrs: bgp.PathAttrs{ASPath: []uint32{64500, 64501}, NextHop: 0x0A000001, Communities: bgp.Communities{bgp.Blackhole}},
+		},
+		{Withdrawn: []bgp.Prefix{bgp.MustParsePrefix("198.51.100.0/24"), bgp.MustParsePrefix("192.0.2.77/32")}},
+		{
+			NLRI: []bgp.Prefix{bgp.MustParsePrefix("192.0.2.0/25"), bgp.MustParsePrefix("10.0.0.0/8")},
+			Attrs: bgp.PathAttrs{
+				Origin: bgp.OriginIncomplete, ASPath: []uint32{64500}, NextHop: 1,
+				MED: 7, HasMED: true, LocalPref: 200, HasLocalPref: true,
+				Communities: bgp.Communities{0x029A0000, bgp.Blackhole},
+				Unknown: []bgp.RawAttr{
+					{Flags: 0xC0, Type: 32, Value: []byte{1, 2, 3, 4}},
+					{Flags: 0xC0, Type: 33, Value: make([]byte, 300)},
+				},
+			},
+		},
+		{
+			NLRI:  []bgp.Prefix{bgp.MustParsePrefix("0.0.0.0/0")},
+			Attrs: bgp.PathAttrs{ASPath: longPath, NextHop: 2},
+		},
+	}
+
+	var bodies [][]byte
+	for _, u := range updates {
+		enc, err := bgp.EncodeUpdate(u)
+		if err != nil {
+			panic(err)
+		}
+		bodies = append(bodies, enc[19:])
+	}
+	bodies = append(bodies,
+		[]byte{},                       // too short
+		[]byte{0, 0, 0, 0},             // empty withdrawn + empty attrs
+		[]byte{0, 4, 32, 1, 2},         // truncated withdrawn NLRI
+		[]byte{0, 0, 0, 3, 0x40, 2, 0}, // empty AS_PATH, no NLRI
+	)
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzUpdateRoundTrip")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for i, b := range bodies {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus files to %s\n", len(bodies), dir)
+}

@@ -1,0 +1,63 @@
+package mrt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// fuzzSeedStream builds a small valid MRT stream (UPDATE, KEEPALIVE, and a
+// record of a type the reader skips) to seed the fuzzer alongside the
+// checked-in corpus under testdata/fuzz.
+func fuzzSeedStream(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	upd, err := bgp.EncodeUpdate(&bgp.Update{
+		NLRI:  []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+		Attrs: bgp.PathAttrs{ASPath: []uint32{64500}, NextHop: 1, Communities: bgp.Communities{bgp.Blackhole}},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	at := time.Date(2018, 10, 10, 12, 0, 0, 123456000, time.UTC)
+	for _, msg := range [][]byte{upd, bgp.EncodeKeepalive()} {
+		if err := w.WriteRecord(&Record{Timestamp: at, PeerAS: 64500, LocalAS: 65535, PeerIP: 0x0A000002, LocalIP: 0x0A000001, Message: msg}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	// An unknown-type record the reader must skip: TABLE_DUMP_V2 (13).
+	buf.Write([]byte{0, 0, 0, 0, 0, 13, 0, 4, 0, 0, 0, 2, 0xAA, 0xBB})
+	return buf.Bytes()
+}
+
+// FuzzMRTRead drives the MRT reader (and the embedded BGP decoder) over
+// arbitrary bytes: it must return records or errors, never panic, and
+// always terminate. Termination holds structurally — every Next consumes
+// at least the 12-byte record header.
+func FuzzMRTRead(f *testing.F) {
+	seed := fuzzSeedStream(f)
+	f.Add(seed)
+	f.Add(seed[:13])                         // truncated body
+	f.Add([]byte{})                          //
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))    // implausible length field
+	f.Add(append([]byte(nil), seed[12:]...)) // stream starting mid-record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		for {
+			rec, err := rd.Next()
+			if err != nil {
+				return // io.EOF and parse errors are both acceptable
+			}
+			// The embedded message must decode or error, never panic.
+			if _, _, err := rec.DecodeUpdate(); err != nil {
+				continue
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+//go:build ignore
+
+// Regenerates the FuzzMRTRead seed corpus:
+//
+//	go run gen_fuzz_corpus.go
+//
+// The corpus holds a well-formed two-record stream, records the reader
+// skips, and truncations at every structural boundary.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/mrt"
+)
+
+func main() {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	upd, err := bgp.EncodeUpdate(&bgp.Update{
+		NLRI:  []bgp.Prefix{bgp.MustParsePrefix("203.0.113.5/32")},
+		Attrs: bgp.PathAttrs{ASPath: []uint32{64500}, NextHop: 1, Communities: bgp.Communities{bgp.Blackhole}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	at := time.Date(2018, 10, 10, 12, 0, 0, 123456000, time.UTC)
+	for _, msg := range [][]byte{upd, bgp.EncodeKeepalive()} {
+		if err := w.WriteRecord(&mrt.Record{Timestamp: at, PeerAS: 64500, LocalAS: 65535, PeerIP: 0x0A000002, LocalIP: 0x0A000001, Message: msg}); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	stream := buf.Bytes()
+
+	seeds := [][]byte{
+		stream,
+		stream[:12], // header only
+		stream[:30], // truncated body
+		stream[12:], // starts mid-record
+		append([]byte{0, 0, 0, 0, 0, 13, 0, 4, 0, 0, 0, 2, 0xAA, 0xBB}, stream...), // skipped type first
+		{0, 0, 0, 0, 0, 17, 0, 4, 0, 0, 0, 2, 0, 0},                                // ET record too short for microseconds
+		{0, 0, 0, 0, 0, 16, 0, 4, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0},              // AS4 body too short
+		bytes.Repeat([]byte{0xFF}, 40),                                             // implausible length
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzMRTRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for i, b := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("wrote %d corpus files to %s\n", len(seeds), dir)
+}

@@ -1,0 +1,75 @@
+package rtbh_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+// TestAnalyzeParallelParity runs a scenario-generated flow archive through
+// the sequential and the sharded parallel runner and demands byte-identical
+// rendered reports for every worker count. This is the end-to-end face of
+// the shard-and-merge determinism guarantee (DESIGN.md, "Parallel
+// pipeline"); the aggregator-level counterpart lives in
+// internal/analysis/pipeline.
+func TestAnalyzeParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	dir, err := os.MkdirTemp("", "rtbh-parity-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := rtbh.TestConfig()
+	cfg.Seed = 0xBADC0FFEE
+	if _, err := rtbh.Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(workers int) []byte {
+		t.Helper()
+		opts := rtbh.DefaultOptions()
+		opts.OffsetStep = 20 * time.Millisecond
+		opts.Workers = workers
+		report, err := ds.Analyze(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "records %d/%d/%d/%d events %d\n",
+			report.TotalRecords, report.InternalRecords,
+			report.AttributedRecords, report.DroppedRecords, len(report.Events))
+		textreport.RenderAll(&buf, report)
+		return buf.Bytes()
+	}
+
+	ref := render(1)
+	if len(ref) < 1000 {
+		t.Fatalf("reference report suspiciously small (%d bytes)", len(ref))
+	}
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		got := render(workers)
+		if bytes.Equal(got, ref) {
+			continue
+		}
+		refLines, gotLines := bytes.Split(ref, []byte("\n")), bytes.Split(got, []byte("\n"))
+		for i := range refLines {
+			if i >= len(gotLines) || !bytes.Equal(refLines[i], gotLines[i]) {
+				t.Fatalf("workers=%d: report diverges at line %d:\nsequential: %s\nparallel:   %s",
+					workers, i+1, refLines[i], gotLines[i])
+			}
+		}
+		t.Fatalf("workers=%d: parallel report has %d extra lines", workers, len(gotLines)-len(refLines))
+	}
+}
