@@ -15,9 +15,23 @@ import (
 	"repro/internal/analysis/timealign"
 	"repro/internal/analysis/usecase"
 	"repro/internal/analysis/visibility"
+	"repro/internal/obs"
 	"repro/internal/radviz"
 	"repro/internal/stats"
 )
+
+// MetricsRegistry is the observability registry (see internal/obs): a
+// named collection of counters, gauges, histograms and span timers that
+// renders to a human text table or stable JSON. Aliased so consumers need
+// no internal imports.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's state.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry returns an empty metrics registry, ready to pass as
+// Options.Metrics or to SimulateObserved.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Public aliases so report consumers need no internal imports.
 type (
@@ -92,6 +106,11 @@ type Options struct {
 	// paths produce byte-identical reports (see DESIGN.md, "Parallel
 	// pipeline").
 	Workers int
+	// Metrics, when non-nil, receives the analysis observability metrics
+	// ("pipeline.*", "dropstats.*", "analysis.*"; see DESIGN.md,
+	// "Observability"). A registry instruments a single Analyze call:
+	// pass a fresh registry per run and snapshot after Analyze returns.
+	Metrics *MetricsRegistry
 }
 
 // DefaultOptions returns the paper's parameterization.
@@ -192,6 +211,37 @@ type Report struct {
 	AnomalyAndData int
 }
 
+// stageTimers are the per-stage span timers shared by both Analyze paths;
+// all fields are nil when the run is not instrumented.
+type stageTimers struct {
+	pass1, finish1, pass2, compose *obs.Timer
+}
+
+// newStageTimers registers the stage timers (and the dataset-level
+// control-plane gauge) when reg is non-nil.
+func newStageTimers(reg *MetricsRegistry, d *Dataset) stageTimers {
+	if reg == nil {
+		return stageTimers{}
+	}
+	reg.GaugeFunc("analysis.control_updates", func() int64 { return int64(len(d.Updates)) })
+	return stageTimers{
+		pass1:   reg.Timer("pipeline.pass1"),
+		finish1: reg.Timer("pipeline.finish1"),
+		pass2:   reg.Timer("pipeline.pass2"),
+		compose: reg.Timer("analysis.compose"),
+	}
+}
+
+// span runs fn as one timed span of t (t may be nil).
+func span(t *obs.Timer, fn func() error) error {
+	if t == nil {
+		return fn()
+	}
+	sp := t.Start()
+	defer sp.End()
+	return fn()
+}
+
 // Analyze runs the full two-pass pipeline and composes the report. With
 // Options.Workers != 1 the passes run on the sharded parallel pipeline;
 // the report is byte-identical either way.
@@ -207,14 +257,20 @@ func (d *Dataset) Analyze(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := pp.RunPass1(d.EachFlow); err != nil {
+	if opts.Metrics != nil {
+		pp.Instrument(opts.Metrics)
+	}
+	tm := newStageTimers(opts.Metrics, d)
+	if err := span(tm.pass1, func() error { return pp.RunPass1(d.EachFlow) }); err != nil {
 		return nil, err
 	}
-	pp.FinishPass1(opts.MinActiveDays)
-	if err := pp.RunPass2(d.EachFlow); err != nil {
+	_ = span(tm.finish1, func() error { pp.FinishPass1(opts.MinActiveDays); return nil })
+	if err := span(tm.pass2, func() error { return pp.RunPass2(d.EachFlow) }); err != nil {
 		return nil, err
 	}
-	return composeReport(d, pp.Pipeline(), opts), nil
+	var report *Report
+	_ = span(tm.compose, func() error { report = composeReport(d, pp.Pipeline(), opts); return nil })
+	return report, nil
 }
 
 // analyzeSequential is the single-goroutine reference path (-workers=1).
@@ -223,20 +279,32 @@ func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := d.EachFlow(func(rec *flowRecord) error {
-		p.ObservePass1(rec)
-		return nil
-	}); err != nil {
+	if opts.Metrics != nil {
+		p.RegisterMetrics(opts.Metrics)
+	}
+	tm := newStageTimers(opts.Metrics, d)
+	err = span(tm.pass1, func() error {
+		return d.EachFlow(func(rec *flowRecord) error {
+			p.ObservePass1(rec)
+			return nil
+		})
+	})
+	if err != nil {
 		return nil, err
 	}
-	p.FinishPass1(opts.MinActiveDays)
-	if err := d.EachFlow(func(rec *flowRecord) error {
-		p.ObservePass2(rec)
-		return nil
-	}); err != nil {
+	_ = span(tm.finish1, func() error { p.FinishPass1(opts.MinActiveDays); return nil })
+	err = span(tm.pass2, func() error {
+		return d.EachFlow(func(rec *flowRecord) error {
+			p.ObservePass2(rec)
+			return nil
+		})
+	})
+	if err != nil {
 		return nil, err
 	}
-	return composeReport(d, p, opts), nil
+	var report *Report
+	_ = span(tm.compose, func() error { report = composeReport(d, p, opts); return nil })
+	return report, nil
 }
 
 // Re-exported use-case classes (Fig 19).

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	rtbh-analyze -data DIR [-delta 10m] [-threshold 2.5] [-min-days 20]
+//	             [-metrics PATH] [-pprof ADDR]
+//
+// With -metrics, a JSON snapshot of the analysis observability metrics
+// (pipeline stage counters and timers, dropstats totals) is written after
+// the run; "-" writes to stderr. The snapshot's counters reconcile
+// exactly with the printed report (see DESIGN.md, "Observability"). With
+// -pprof, net/http/pprof and a live /metrics endpoint are served on the
+// given address for profiling long runs.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/obs"
 	"repro/internal/textreport"
 )
 
@@ -26,7 +35,20 @@ func main() {
 	minDays := flag.Int("min-days", 20, "minimum active days for host profiling")
 	offsetStep := flag.Duration("offset-step", 10*time.Millisecond, "time-offset MLE grid step")
 	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
+	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the analysis ("-" for stderr)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	var reg *rtbh.MetricsRegistry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = rtbh.NewMetricsRegistry()
+	}
+	if *pprofAddr != "" {
+		if err := obs.StartDebugServer(*pprofAddr, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-analyze: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	ds, err := rtbh.OpenDataset(*data)
 	if err != nil {
@@ -39,6 +61,7 @@ func main() {
 	opts.MinActiveDays = *minDays
 	opts.OffsetStep = *offsetStep
 	opts.Workers = *workers
+	opts.Metrics = reg
 
 	start := time.Now()
 	report, err := ds.Analyze(opts)
@@ -55,4 +78,29 @@ func main() {
 	fmt.Fprintf(w, "control plane: %d updates -> %d RTBH events at delta %v\n\n",
 		len(ds.Updates), len(report.Events), *delta)
 	textreport.RenderAll(w, report)
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-analyze: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" = stderr,
+// so the report on stdout stays machine-separable from the metrics).
+func writeMetrics(reg *rtbh.MetricsRegistry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -8,6 +8,11 @@
 //	rtbh-experiments -run fig2,fig5,table3     # several
 //	rtbh-experiments -run all -simulate bench  # everything, fresh world
 //	rtbh-experiments -list                     # available experiments
+//
+// With -metrics, one JSON snapshot spanning the whole run — the simulated
+// world's route-server and fabric counters (when -simulate) plus the
+// analysis pipeline counters and stage timers — is written at the end
+// ("-" for stderr).
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
+	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
 	flag.Parse()
 
 	w := bufio.NewWriter(os.Stdout)
@@ -39,6 +45,11 @@ func main() {
 			fmt.Fprintf(w, "%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	var reg *rtbh.MetricsRegistry
+	if *metricsOut != "" {
+		reg = rtbh.NewMetricsRegistry()
 	}
 
 	dir := *data
@@ -65,7 +76,7 @@ func main() {
 		defer os.RemoveAll(tmp)
 		fmt.Fprintf(os.Stderr, "simulating %s-scale world into %s ...\n", *simulate, tmp)
 		start := time.Now()
-		if _, err := rtbh.Simulate(cfg, tmp); err != nil {
+		if _, err := rtbh.SimulateObserved(cfg, tmp, reg); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(start).Round(time.Millisecond))
@@ -79,6 +90,7 @@ func main() {
 	start := time.Now()
 	opts := rtbh.DefaultOptions()
 	opts.Workers = *workers
+	opts.Metrics = reg
 	report, err := ds.Analyze(opts)
 	if err != nil {
 		fail(err)
@@ -87,17 +99,40 @@ func main() {
 
 	if *runIDs == "all" {
 		textreport.RenderAll(w, report)
-		return
-	}
-	for _, id := range strings.Split(*runIDs, ",") {
-		id = strings.TrimSpace(id)
-		e, ok := textreport.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := textreport.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			textreport.RenderOne(w, report, e)
 		}
-		textreport.RenderOne(w, report, e)
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" = stderr).
+func writeMetrics(reg *rtbh.MetricsRegistry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

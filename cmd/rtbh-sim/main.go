@@ -6,6 +6,13 @@
 // Usage:
 //
 //	rtbh-sim -out DIR [-scale test|bench|full] [-seed N] [-days N]
+//	         [-metrics PATH] [-pprof ADDR]
+//
+// With -metrics, a JSON snapshot of the route server's and the fabric's
+// observability metrics is written after the run ("-" for stderr); the
+// fabric gauges match the printed summary exactly. With -pprof, the
+// net/http/pprof and live /metrics endpoints are served on the given
+// address.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,6 +30,8 @@ func main() {
 	scale := flag.String("scale", "test", "world scale: test, bench, or full (the paper's 104 days)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (0 keeps the scale default)")
 	days := flag.Int("days", 0, "override the measurement-period length in days (0 keeps the scale default)")
+	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -43,8 +53,19 @@ func main() {
 		cfg.Days = *days
 	}
 
+	var reg *rtbh.MetricsRegistry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = rtbh.NewMetricsRegistry()
+	}
+	if *pprofAddr != "" {
+		if err := obs.StartDebugServer(*pprofAddr, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
-	sum, err := rtbh.Simulate(cfg, *out)
+	sum, err := rtbh.SimulateObserved(cfg, *out, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
 		os.Exit(1)
@@ -58,4 +79,28 @@ func main() {
 		sum.ControlMsgs, sum.Announcements, sum.Withdrawals)
 	fmt.Printf("data plane: %d sampled flow records (%d packets offered, %d dropped)\n",
 		sum.FlowRecords, sum.PacketsIn, sum.PacketsDropped)
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" = stderr).
+func writeMetrics(reg *rtbh.MetricsRegistry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,221 @@
+package rtbh_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the testdata/golden fixtures from the current output")
+
+const goldenReport = "testdata/golden/report.txt"
+
+// goldenConfig is the fixed world behind the golden fixture. The seed is
+// pinned independently of TestConfig so fixture churn is always a
+// deliberate -update, never a side effect of tweaking the test defaults.
+func goldenConfig() rtbh.Config {
+	cfg := rtbh.TestConfig()
+	cfg.Seed = 0x601D5EED
+	return cfg
+}
+
+// TestGoldenEndToEnd drives the full chain — route server and fabric
+// simulation, dataset round trip, two-pass analysis, text rendering —
+// and byte-compares the rendered report against the checked-in fixture,
+// for the sequential runner and the sharded parallel runner alike. On
+// the way it reconciles every layer's metrics snapshot with the ground
+// truth next to it: the fabric gauges against the simulation summary,
+// and the pipeline counters against the report the analyst sees.
+func TestGoldenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	dir := t.TempDir()
+	simReg := rtbh.NewMetricsRegistry()
+	sum, err := rtbh.SimulateObserved(goldenConfig(), dir, simReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSnap := simReg.Snapshot()
+
+	// Layer 1: the fabric's and route server's metrics must agree exactly
+	// with the summary the simulator reports.
+	simChecks := []struct {
+		name string
+		want int64
+	}{
+		{"fabric.packets_in", sum.PacketsIn},
+		{"fabric.packets_dropped", sum.PacketsDropped},
+		{"fabric.records_sampled", sum.FlowRecords},
+	}
+	for _, c := range simChecks {
+		if got := simSnap.Gauge(c.name); got != c.want {
+			t.Errorf("%s = %d, summary says %d", c.name, got, c.want)
+		}
+	}
+	if got := simSnap.Counter("routeserver.updates"); got != int64(sum.ControlMsgs) {
+		t.Errorf("routeserver.updates = %d, summary says %d", got, sum.ControlMsgs)
+	}
+	if got := simSnap.Counter("routeserver.rtbh.announced_prefixes"); got != int64(sum.Announcements) {
+		t.Errorf("routeserver.rtbh.announced_prefixes = %d, summary says %d", got, sum.Announcements)
+	}
+	withdrawn := simSnap.Counter("routeserver.rtbh.withdrawn_prefixes") +
+		simSnap.Counter("routeserver.rtbh.withdrawn_noop")
+	if withdrawn != int64(sum.Withdrawals) {
+		t.Errorf("withdrawn_prefixes+noop = %d, summary says %d", withdrawn, sum.Withdrawals)
+	}
+
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerCounts := []int{1, 3}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 3 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := rtbh.NewMetricsRegistry()
+			opts := rtbh.DefaultOptions()
+			opts.OffsetStep = 20 * time.Millisecond
+			opts.Workers = workers
+			opts.Metrics = reg
+			report, err := ds.Analyze(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			textreport.RenderAll(&buf, report)
+			got := buf.Bytes()
+
+			if *updateGolden && workers == 1 {
+				if err := os.MkdirAll(filepath.Dir(goldenReport), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenReport, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", goldenReport, len(got))
+			}
+			want, err := os.ReadFile(goldenReport)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the fixture)", err)
+			}
+			if !bytes.Equal(got, want) {
+				diffLines(t, want, got)
+				t.Fatalf("rendered report does not match %s (run with -update after intended changes)", goldenReport)
+			}
+
+			reconcile(t, reg.Snapshot(), simSnap, report, len(ds.Updates), workers)
+		})
+	}
+}
+
+// reconcile cross-checks one analysis metrics snapshot against the report
+// composed in the same run and against the simulation-side snapshot. This
+// is the acceptance bar for the observability layer: metrics are not
+// decoration, they must equal the report's numbers.
+func reconcile(t *testing.T, snap, simSnap rtbh.MetricsSnapshot, report *rtbh.Report, updates, workers int) {
+	t.Helper()
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"pipeline.records.total", report.TotalRecords},
+		{"pipeline.records.internal", report.InternalRecords},
+		{"pipeline.records.attributed", report.AttributedRecords},
+		{"pipeline.records.dropped", report.DroppedRecords},
+		{"pipeline.events", int64(len(report.Events))},
+		{"analysis.control_updates", int64(updates)},
+	}
+	for _, c := range checks {
+		if got := snap.Gauge(c.name); got != c.want {
+			t.Errorf("workers=%d: %s = %d, report says %d", workers, c.name, got, c.want)
+		}
+	}
+
+	// Records the fabric emitted with the blackhole MAC are exactly the
+	// records the pipeline counts as dropped: the two snapshots were taken
+	// on opposite sides of the serialized dataset.
+	if sim, ana := simSnap.Gauge("fabric.records_dropped_sampled"), snap.Gauge("pipeline.records.dropped"); sim != ana {
+		t.Errorf("workers=%d: fabric dropped-sampled %d != pipeline dropped %d", workers, sim, ana)
+	}
+
+	// The dropstats gauges must equal the Fig 5 rows summed.
+	var fig5 rtbh.LengthStat
+	for i := range report.Fig5 {
+		fig5.DroppedPkts += report.Fig5[i].DroppedPkts
+		fig5.ForwardedPkts += report.Fig5[i].ForwardedPkts
+		fig5.DroppedBytes += report.Fig5[i].DroppedBytes
+		fig5.ForwardedBytes += report.Fig5[i].ForwardedBytes
+	}
+	dropChecks := []struct {
+		name string
+		want int64
+	}{
+		{"dropstats.dropped_pkts", fig5.DroppedPkts},
+		{"dropstats.forwarded_pkts", fig5.ForwardedPkts},
+		{"dropstats.dropped_bytes", fig5.DroppedBytes},
+		{"dropstats.forwarded_bytes", fig5.ForwardedBytes},
+	}
+	for _, c := range dropChecks {
+		if got := snap.Gauge(c.name); got != c.want {
+			t.Errorf("workers=%d: %s = %d, Fig5 sums to %d", workers, c.name, got, c.want)
+		}
+	}
+
+	// Stage timers fired once each; the parallel runner also accounts
+	// every record to a shard and counts its merges.
+	for _, name := range []string{"pipeline.pass1", "pipeline.finish1", "pipeline.pass2", "analysis.compose"} {
+		tv, ok := snap.Timers[name]
+		if !ok || tv.Count != 1 {
+			t.Errorf("workers=%d: timer %s = %+v, want exactly one span", workers, name, tv)
+		}
+	}
+	if workers > 1 {
+		var sharded int64
+		for i := 0; i < workers; i++ {
+			sharded += snap.Counter(fmt.Sprintf("pipeline.shard.%02d.records", i))
+		}
+		// Pass 2 feeds every record to exactly one shard; pass 1 feeds a
+		// record to two shards when its source and destination hash apart
+		// (the role split in parallel.go). So the entry sum is bounded by
+		// 2x..3x the record total.
+		if lo, hi := 2*report.TotalRecords, 3*report.TotalRecords; sharded < lo || sharded > hi {
+			t.Errorf("workers=%d: shard counters sum to %d, want within [%d, %d]", workers, sharded, lo, hi)
+		}
+		if got := snap.Counter("pipeline.merges"); got != int64(2*workers) {
+			t.Errorf("workers=%d: pipeline.merges = %d, want %d", workers, got, 2*workers)
+		}
+		if got := snap.Gauge("pipeline.workers"); got != int64(workers) {
+			t.Errorf("workers=%d: pipeline.workers gauge = %d", workers, got)
+		}
+	}
+}
+
+// diffLines reports the first diverging line between two renderings.
+func diffLines(t *testing.T, want, got []byte) {
+	t.Helper()
+	wantLines, gotLines := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := range wantLines {
+		if i >= len(gotLines) || !bytes.Equal(wantLines[i], gotLines[i]) {
+			var g []byte
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			t.Errorf("first divergence at line %d:\nfixture: %s\ngot:     %s", i+1, wantLines[i], g)
+			return
+		}
+	}
+	t.Errorf("output has %d extra lines beyond the fixture", len(gotLines)-len(wantLines))
+}

@@ -280,3 +280,14 @@ func (a *Aggregator) TypesOfTopSources(n int, pdb *peeringdb.Registry) TopSource
 
 // Events returns the number of events with attributed traffic.
 func (a *Aggregator) Events() int { return len(a.byEvent) }
+
+// Totals returns the summed dropped/forwarded tallies across all prefix
+// lengths — the numbers a metrics snapshot reconciles against the Fig 5
+// rows (ByLength sums to exactly these counters).
+func (a *Aggregator) Totals() Counter {
+	var c Counter
+	for l := range a.byLen {
+		c.merge(&a.byLen[l])
+	}
+	return c
+}

@@ -19,6 +19,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/collateral"
 	"repro/internal/ipfix"
+	"repro/internal/obs"
 )
 
 // DefaultBatchSize is the number of records per dispatch batch; batching
@@ -61,7 +63,42 @@ type Parallel struct {
 	merged *Pipeline
 	shards []*Pipeline
 
+	// obs is the optional instrumentation installed by Instrument.
+	obs *parallelObs
+
 	pool sync.Pool
+}
+
+// parallelObs is the parallel runner's instrumentation: per-shard record
+// counters (incremented by the worker goroutines, hence atomic obs
+// counters), per-aggregator merge timers, and a merge counter.
+type parallelObs struct {
+	shardRecords []*obs.Counter
+	mergeTimers  MergeTimers
+	merges       obs.Counter
+}
+
+// Instrument registers the runner's metrics: the merged pipeline's
+// counters (pipeline.*, dropstats.*), one records counter per shard
+// (pipeline.shard.NN.records, counting every record role the shard
+// processed across both passes), the per-aggregator shard-merge timers
+// (pipeline.merge.*), and pipeline.merges, the number of shard merges
+// performed. Call before RunPass1.
+func (pp *Parallel) Instrument(reg *obs.Registry) {
+	pp.merged.RegisterMetrics(reg)
+	po := &parallelObs{}
+	for i := range pp.shards {
+		po.shardRecords = append(po.shardRecords, reg.Counter(fmt.Sprintf("pipeline.shard.%02d.records", i)))
+	}
+	reg.RegisterTimer("pipeline.merge.drop", &po.mergeTimers.Drop)
+	reg.RegisterTimer("pipeline.merge.anomaly", &po.mergeTimers.Anomaly)
+	reg.RegisterTimer("pipeline.merge.proto", &po.mergeTimers.Proto)
+	reg.RegisterTimer("pipeline.merge.hosts", &po.mergeTimers.Hosts)
+	reg.RegisterTimer("pipeline.merge.align", &po.mergeTimers.Align)
+	reg.RegisterTimer("pipeline.merge.collateral", &po.mergeTimers.Collateral)
+	reg.RegisterCounter("pipeline.merges", &po.merges)
+	reg.GaugeFunc("pipeline.workers", func() int64 { return int64(pp.workers) })
+	pp.obs = po
 }
 
 // NewParallel builds a parallel pipeline with the given worker count
@@ -116,8 +153,15 @@ func (pp *Parallel) RunPass1(src Source) error {
 	if err := pp.run(src, 1); err != nil {
 		return err
 	}
+	var tm *MergeTimers
+	if pp.obs != nil {
+		tm = &pp.obs.mergeTimers
+	}
 	for _, sh := range pp.shards {
-		pp.merged.mergePass1(sh)
+		pp.merged.mergePass1(sh, tm)
+		if pp.obs != nil {
+			pp.obs.merges.Inc()
+		}
 	}
 	// Shards are consumed: replace their pass-1 aggregators so a later
 	// misuse cannot double-count into adopted structures.
@@ -148,7 +192,12 @@ func (pp *Parallel) RunPass2(src Source) error {
 		return err
 	}
 	for _, sh := range pp.shards {
-		pp.merged.Collateral.Merge(sh.Collateral)
+		var ct *obs.Timer
+		if pp.obs != nil {
+			ct = &pp.obs.mergeTimers.Collateral
+			pp.obs.merges.Inc()
+		}
+		spanned(ct, func() { pp.merged.Collateral.Merge(sh.Collateral) })
 		sh.Collateral = collateral.New(nil)
 	}
 	return nil
@@ -163,6 +212,10 @@ func (pp *Parallel) run(src Source, pass int) error {
 	for i := range chans {
 		chans[i] = make(chan []batchEntry, 4)
 		wg.Add(1)
+		var recCount *obs.Counter
+		if pp.obs != nil {
+			recCount = pp.obs.shardRecords[i]
+		}
 		go func(sh *Pipeline, ch <-chan []batchEntry) {
 			defer wg.Done()
 			for batch := range ch {
@@ -178,6 +231,9 @@ func (pp *Parallel) run(src Source, pass int) error {
 					} else {
 						sh.ObservePass2(&e.rec)
 					}
+				}
+				if recCount != nil {
+					recCount.Add(int64(len(batch)))
 				}
 				pp.pool.Put(batch[:0]) //nolint:staticcheck // slice reuse
 			}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis/protomix"
 	"repro/internal/analysis/timealign"
 	"repro/internal/ipfix"
+	"repro/internal/obs"
 )
 
 // ReactionBuffer is prepended to each event when selecting legitimate
@@ -90,18 +91,61 @@ func (p *Pipeline) newShard() *Pipeline {
 	}
 }
 
-// mergePass1 folds o's first-pass state into p. o must not observe any
-// further records.
-func (p *Pipeline) mergePass1(o *Pipeline) {
+// MergeTimers holds per-aggregator span timers for the shard-merge stage
+// of the parallel runner. Each shard merge contributes one span per
+// aggregator.
+type MergeTimers struct {
+	Drop, Anomaly, Proto, Hosts, Align, Collateral obs.Timer
+}
+
+// spanned runs fn under t when timing is enabled (t may be nil).
+func spanned(t *obs.Timer, fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	sp := t.Start()
+	fn()
+	sp.End()
+}
+
+// mergePass1 folds o's first-pass state into p, timing each aggregator
+// merge when tm is non-nil. o must not observe any further records.
+func (p *Pipeline) mergePass1(o *Pipeline, tm *MergeTimers) {
 	p.TotalRecords += o.TotalRecords
 	p.InternalRecords += o.InternalRecords
 	p.AttributedRecords += o.AttributedRecords
 	p.DroppedRecords += o.DroppedRecords
-	p.Drop.Merge(o.Drop)
-	p.Anomaly.Merge(o.Anomaly)
-	p.Proto.Merge(o.Proto)
-	p.Hosts.Merge(o.Hosts)
-	p.Align.Merge(o.Align)
+	var drop, anom, proto, hosts, align *obs.Timer
+	if tm != nil {
+		drop, anom, proto, hosts, align = &tm.Drop, &tm.Anomaly, &tm.Proto, &tm.Hosts, &tm.Align
+	}
+	spanned(drop, func() { p.Drop.Merge(o.Drop) })
+	spanned(anom, func() { p.Anomaly.Merge(o.Anomaly) })
+	spanned(proto, func() { p.Proto.Merge(o.Proto) })
+	spanned(hosts, func() { p.Hosts.Merge(o.Hosts) })
+	spanned(align, func() { p.Align.Merge(o.Align) })
+}
+
+// RegisterMetrics exposes the pipeline's cleaning counters, event and
+// profile populations, and the drop-statistics totals under the
+// "pipeline." and "dropstats." prefixes. The gauges read pipeline state
+// at snapshot time; snapshot after the passes finished. The registered
+// values reconcile exactly with the rendered report: records.dropped
+// equals the report's DroppedRecords, and the dropstats totals sum the
+// Fig 5 rows (see DESIGN.md, "Observability").
+func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("pipeline.records.total", func() int64 { return p.TotalRecords })
+	reg.GaugeFunc("pipeline.records.internal", func() int64 { return p.InternalRecords })
+	reg.GaugeFunc("pipeline.records.attributed", func() int64 { return p.AttributedRecords })
+	reg.GaugeFunc("pipeline.records.dropped", func() int64 { return p.DroppedRecords })
+	reg.GaugeFunc("pipeline.events", func() int64 { return int64(len(p.Events)) })
+	reg.GaugeFunc("pipeline.profiles", func() int64 { return int64(len(p.Profiles)) })
+	reg.GaugeFunc("dropstats.events", func() int64 { return int64(p.Drop.Events()) })
+	reg.GaugeFunc("dropstats.dropped_pkts", func() int64 { return p.Drop.Totals().DroppedPkts })
+	reg.GaugeFunc("dropstats.forwarded_pkts", func() int64 { return p.Drop.Totals().ForwardedPkts })
+	reg.GaugeFunc("dropstats.dropped_bytes", func() int64 { return p.Drop.Totals().DroppedBytes })
+	reg.GaugeFunc("dropstats.forwarded_bytes", func() int64 { return p.Drop.Totals().ForwardedBytes })
 }
 
 // ObservePass1 processes one flow record in the first pass.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/ipfix"
+	"repro/internal/obs"
 	"repro/internal/routeserver"
 	"repro/internal/sampling"
 	"repro/internal/stats"
@@ -86,13 +87,16 @@ type Batch struct {
 
 // Stats aggregates ground-truth counters maintained by the fabric,
 // independent of sampling. The experiment harness uses them to validate
-// what the sampled analysis recovers.
+// what the sampled analysis recovers, and RegisterMetrics exposes them as
+// observability gauges.
 type Stats struct {
+	Batches        int64 // packet batches injected
 	PacketsIn      int64 // total packets offered
 	PacketsDropped int64 // packets sent to the blackhole MAC (expected value, rounded per batch)
 	BytesIn        int64
 	BytesDropped   int64
 	RecordsSampled int64
+	DroppedSampled int64 // sampled records emitted with the blackhole MAC
 }
 
 // Fabric is the switching platform simulation. Not safe for concurrent
@@ -128,6 +132,23 @@ func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.Fl
 // Stats returns the ground-truth counters accumulated so far.
 func (f *Fabric) Stats() Stats { return f.stats }
 
+// RegisterMetrics exposes the fabric's ground-truth and sampling counters
+// under the "fabric." prefix. The gauges read live fabric state; snapshot
+// from the goroutine driving the (single-threaded) fabric, or after the
+// run finished. fabric.records_dropped_sampled counts sampled records
+// emitted with the blackhole destination MAC — the number the analysis
+// pipeline's dropped-record counter must reproduce exactly from the IPFIX
+// archive alone.
+func (f *Fabric) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("fabric.batches", func() int64 { return f.stats.Batches })
+	reg.GaugeFunc("fabric.packets_in", func() int64 { return f.stats.PacketsIn })
+	reg.GaugeFunc("fabric.packets_dropped", func() int64 { return f.stats.PacketsDropped })
+	reg.GaugeFunc("fabric.bytes_in", func() int64 { return f.stats.BytesIn })
+	reg.GaugeFunc("fabric.bytes_dropped", func() int64 { return f.stats.BytesDropped })
+	reg.GaugeFunc("fabric.records_sampled", func() int64 { return f.stats.RecordsSampled })
+	reg.GaugeFunc("fabric.records_dropped_sampled", func() int64 { return f.stats.DroppedSampled })
+}
+
 // Inject offers a packet batch to the fabric. It updates ground-truth
 // counters and emits sampled flow records.
 func (f *Fabric) Inject(b *Batch) error {
@@ -137,6 +158,7 @@ func (f *Fabric) Inject(b *Batch) error {
 	if b.PacketSize <= 0 {
 		return fmt.Errorf("fabric: batch with packet size %d", b.PacketSize)
 	}
+	f.stats.Batches++
 
 	dropFrac := 0.0
 	if !b.Internal {
@@ -200,6 +222,9 @@ func (f *Fabric) Inject(b *Batch) error {
 				f.stats.PacketsDropped++
 				f.stats.BytesDropped += int64(b.PacketSize)
 			}
+		}
+		if rec.DstMAC == BlackholeMAC {
+			f.stats.DroppedSampled++
 		}
 		if err := f.emit(&rec); err != nil {
 			return fmt.Errorf("fabric: emitting record: %w", err)

@@ -94,6 +94,19 @@ var flowTemplate = []templateField{
 	{ieOctetDeltaCount, 8},
 }
 
+// knownElementLen gives the only wire length the decoder accepts for each
+// element it maps onto FlowRecord fields (RFC 7011 reduced-size encoding
+// is not implemented). Templates declaring other lengths are rejected at
+// parse time so template.decode can index field bytes without bounds
+// checks per record.
+var knownElementLen = func() map[uint16]uint16 {
+	m := make(map[uint16]uint16, len(flowTemplate))
+	for _, f := range flowTemplate {
+		m[f.id] = f.length
+	}
+	return m
+}()
+
 const (
 	ipfixVersion     = 10
 	templateSetID    = 2

@@ -112,6 +112,9 @@ func (rd *Reader) parseTemplateSet(b []byte) error {
 			if flen == 0xffff {
 				return fmt.Errorf("ipfix: variable-length element %d not supported", fid)
 			}
+			if want, known := knownElementLen[fid]; known && flen != want {
+				return fmt.Errorf("ipfix: element %d length %d, want %d (reduced-size encoding not supported)", fid, flen, want)
+			}
 			t.fields = append(t.fields, templateField{id: fid, length: flen})
 			t.recordLen += int(flen)
 		}

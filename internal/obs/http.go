@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"time"
+)
+
+// StartDebugServer serves the registry and the Go runtime profiles on
+// addr in a background goroutine: GET /metrics renders the current
+// snapshot as stable JSON (or as a text table with ?format=text), and the
+// standard net/http/pprof endpoints live under /debug/pprof/. It returns
+// once the listener is bound, so a caller failing to bind learns about it
+// immediately rather than via a lost goroutine error.
+func StartDebugServer(addr string, reg *Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: binding debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = snap.WriteJSON(w)
+	})
+	// net/http/pprof registers on http.DefaultServeMux.
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}

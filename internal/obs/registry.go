@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics. Metric names are dotted
+// paths ("routeserver.import.accepted"); a name identifies exactly one
+// metric — registering the same name twice panics, as that is always a
+// wiring bug. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindTimer
+)
+
+type entry struct {
+	name    string
+	kind    kind
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *Histogram
+	timer   *Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) add(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", e.name))
+	}
+	r.entries[e.name] = e
+}
+
+// Counter creates and registers a counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, c)
+	return c
+}
+
+// RegisterCounter registers an existing counter (for instrumented
+// subsystems that allocate their counters up front).
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.add(&entry{name: name, kind: kindCounter, counter: c})
+}
+
+// Gauge creates and registers a gauge under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, g)
+	return g
+}
+
+// RegisterGauge registers an existing gauge.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.add(&entry{name: name, kind: kindGauge, gauge: g})
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time. fn must be safe to call whenever Snapshot is: the convention in
+// this repository is that snapshots are taken after the instrumented run
+// completes, so fn may read plain (non-atomic) state of a finished stage.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.add(&entry{name: name, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// Histogram creates and registers a fixed-bucket histogram under name.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.add(&entry{name: name, kind: kindHistogram, hist: h})
+	return h
+}
+
+// Timer creates and registers a span timer under name.
+func (r *Registry) Timer(name string) *Timer {
+	t := &Timer{}
+	r.RegisterTimer(name, t)
+	return t
+}
+
+// RegisterTimer registers an existing timer.
+func (r *Registry) RegisterTimer(name string, t *Timer) {
+	r.add(&entry{name: name, kind: kindTimer, timer: t})
+}
+
+// HistogramValue is the snapshot of one histogram.
+type HistogramValue struct {
+	// Bounds are the bucket upper bounds; the final bound is
+	// math.MaxInt64 (rendered as "+inf").
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// TimerValue is the snapshot of one span timer.
+type TimerValue struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry's state, suitable for
+// cross-checking against report numbers and for serialization. Counter
+// and gauge values live in flat name-keyed maps, so JSON key order (and
+// therefore the byte output) is stable: encoding/json sorts map keys.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+	Timers     map[string]TimerValue     `json:"timers,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramValue{},
+		Timers:     map[string]TimerValue{},
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.counter.Value()
+		case kindGauge:
+			s.Gauges[e.name] = e.gauge.Value()
+		case kindGaugeFunc:
+			s.Gauges[e.name] = e.gaugeFn()
+		case kindHistogram:
+			bounds, counts := e.hist.Buckets()
+			s.Histograms[e.name] = HistogramValue{
+				Bounds: bounds, Counts: counts,
+				Count: e.hist.Count(), Sum: e.hist.Sum(),
+			}
+		case kindTimer:
+			s.Timers[e.name] = TimerValue{
+				Count:   e.timer.CountSpans(),
+				TotalNS: int64(e.timer.Total()),
+				MinNS:   int64(e.timer.Min()),
+				MaxNS:   int64(e.timer.Max()),
+			}
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted counter value (0 when absent; use Has
+// to distinguish).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the snapshotted gauge value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Has reports whether the snapshot contains a metric of any kind under
+// name.
+func (s Snapshot) Has(name string) bool {
+	if _, ok := s.Counters[name]; ok {
+		return true
+	}
+	if _, ok := s.Gauges[name]; ok {
+		return true
+	}
+	if _, ok := s.Histograms[name]; ok {
+		return true
+	}
+	_, ok := s.Timers[name]
+	return ok
+}
+
+// WriteJSON renders the snapshot as indented JSON with a trailing
+// newline. The encoding is stable: map keys serialize in sorted order, so
+// two snapshots with equal values produce identical bytes.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders the snapshot as a human-readable table, one metric
+// per line, grouped by kind and sorted by name.
+func (s Snapshot) WriteText(w io.Writer) error {
+	counters := sortedKeys(s.Counters)
+	gauges := sortedKeys(s.Gauges)
+	hists := sortedKeys(s.Histograms)
+	timers := sortedKeys(s.Timers)
+	width := 0
+	for _, group := range [][]string{counters, gauges, hists, timers} {
+		for _, n := range group {
+			if len(n) > width {
+				width = len(n)
+			}
+		}
+	}
+
+	for _, n := range counters {
+		if _, err := fmt.Fprintf(w, "counter    %-*s %d\n", width, n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range gauges {
+		if _, err := fmt.Fprintf(w, "gauge      %-*s %d\n", width, n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range hists {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "histogram  %-*s count=%d sum=%d", width, n, h.Count, h.Sum); err != nil {
+			return err
+		}
+		for i, bound := range h.Bounds {
+			label := "+inf"
+			if bound != math.MaxInt64 {
+				label = fmt.Sprintf("%d", bound)
+			}
+			if i < len(h.Counts) {
+				if _, err := fmt.Fprintf(w, " le%s=%d", label, h.Counts[i]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range timers {
+		t := s.Timers[n]
+		if _, err := fmt.Fprintf(w, "timer      %-*s count=%d total=%v min=%v max=%v\n",
+			width, n, t.Count,
+			time.Duration(t.TotalNS).Round(time.Microsecond),
+			time.Duration(t.MinNS).Round(time.Microsecond),
+			time.Duration(t.MaxNS).Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/obs"
 )
 
 // BlackholeNextHop is the well-known next-hop address whose layer-2
@@ -69,6 +70,37 @@ type Announcement struct {
 // member, timestamped — the MRT archiving hook.
 type Collector func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte)
 
+// Metrics are the route server's observability counters, maintained
+// unconditionally (an atomic increment per outcome) and exposed through a
+// registry by RegisterMetrics. Import outcomes are counted per target
+// peer: one announced prefix distributed to k peers contributes k
+// accept/reject outcomes, which is what the paper's propagation matrix
+// (§4.1/§4.2) measures.
+type Metrics struct {
+	// Updates counts UPDATE messages processed; RejectedUnknownPeer and
+	// RejectedNoBlackhole count updates refused before any RIB change.
+	Updates             obs.Counter
+	RejectedUnknownPeer obs.Counter
+	RejectedNoBlackhole obs.Counter
+
+	// AnnouncedPrefixes and WithdrawnPrefixes count RTBH prefix-level
+	// operations; WithdrawnNoop counts withdrawals of routes that were
+	// never installed, Reannouncements counts implicit withdraws.
+	AnnouncedPrefixes obs.Counter
+	WithdrawnPrefixes obs.Counter
+	WithdrawnNoop     obs.Counter
+	Reannouncements   obs.Counter
+
+	// Per-target import outcomes, split by the policy length class that
+	// decided a rejection (<= /24, /25../31, /32).
+	ImportAccepted         obs.Counter
+	ImportRejectedStandard obs.Counter
+	ImportRejectedMid      obs.Counter
+	ImportRejectedHost     obs.Counter
+	// NotTargeted counts peers excluded by community steering.
+	NotTargeted obs.Counter
+}
+
 // Server is the route server. It is not safe for concurrent use; the
 // simulator drives it from a single event loop, as a production route
 // server's BGP best-path process is also single-threaded per table.
@@ -83,6 +115,7 @@ type Server struct {
 	rib       map[routeKey]*route
 	flowspec  *fsState
 	collector Collector
+	metrics   Metrics
 
 	// stats
 	msgsProcessed int
@@ -95,6 +128,38 @@ func New(asn uint16, ip uint32) *Server {
 		IP:    ip,
 		peers: make(map[uint32]*peerState),
 		rib:   make(map[routeKey]*route),
+	}
+}
+
+// Metrics returns the server's observability counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// RegisterMetrics exposes the server's counters and live RIB gauges under
+// the "routeserver." prefix. The per-peer Adj-RIB-In size gauges
+// (routeserver.peer.AS<n>.rib_size) cover the peers registered at call
+// time, so register after AddPeer. Gauge callbacks read live server state
+// and follow the obs snapshot convention: snapshot from the goroutine
+// driving the (single-threaded) server, or after it finished.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	m := &s.metrics
+	reg.RegisterCounter("routeserver.updates", &m.Updates)
+	reg.RegisterCounter("routeserver.updates.rejected_unknown_peer", &m.RejectedUnknownPeer)
+	reg.RegisterCounter("routeserver.updates.rejected_no_blackhole_community", &m.RejectedNoBlackhole)
+	reg.RegisterCounter("routeserver.rtbh.announced_prefixes", &m.AnnouncedPrefixes)
+	reg.RegisterCounter("routeserver.rtbh.withdrawn_prefixes", &m.WithdrawnPrefixes)
+	reg.RegisterCounter("routeserver.rtbh.withdrawn_noop", &m.WithdrawnNoop)
+	reg.RegisterCounter("routeserver.rtbh.reannouncements", &m.Reannouncements)
+	reg.RegisterCounter("routeserver.import.accepted", &m.ImportAccepted)
+	reg.RegisterCounter("routeserver.import.rejected_standard", &m.ImportRejectedStandard)
+	reg.RegisterCounter("routeserver.import.rejected_mid", &m.ImportRejectedMid)
+	reg.RegisterCounter("routeserver.import.rejected_host", &m.ImportRejectedHost)
+	reg.RegisterCounter("routeserver.import.not_targeted", &m.NotTargeted)
+	reg.GaugeFunc("routeserver.peers", func() int64 { return int64(len(s.peers)) })
+	reg.GaugeFunc("routeserver.rib_routes", func() int64 { return int64(len(s.rib)) })
+	for _, asn := range s.peerOrder {
+		ps := s.peers[asn]
+		reg.GaugeFunc(fmt.Sprintf("routeserver.peer.AS%d.rib_size", asn),
+			func() int64 { return int64(len(ps.rib)) })
 	}
 }
 
@@ -132,9 +197,11 @@ func (s *Server) NumPeers() int { return len(s.peers) }
 func (s *Server) Process(ts time.Time, peerAS uint32, upd *bgp.Update) ([]Announcement, error) {
 	ps, ok := s.peers[peerAS]
 	if !ok {
+		s.metrics.RejectedUnknownPeer.Inc()
 		return nil, fmt.Errorf("routeserver: update from unknown peer AS%d", peerAS)
 	}
 	s.msgsProcessed++
+	s.metrics.Updates.Inc()
 
 	if s.collector != nil {
 		raw, err := bgp.EncodeUpdate(upd)
@@ -151,6 +218,7 @@ func (s *Server) Process(ts time.Time, peerAS uint32, upd *bgp.Update) ([]Announ
 	var anns []Announcement
 	if len(upd.NLRI) > 0 {
 		if !upd.Attrs.Communities.HasBlackhole() {
+			s.metrics.RejectedNoBlackhole.Inc()
 			return nil, fmt.Errorf("routeserver: AS%d announced %v without BLACKHOLE community", peerAS, upd.NLRI[0])
 		}
 		targets := targetPeers(s.ASN, upd.Attrs.Communities, s.peerOrder, peerAS)
@@ -163,8 +231,10 @@ func (s *Server) Process(ts time.Time, peerAS uint32, upd *bgp.Update) ([]Announ
 
 func (s *Server) announce(ts time.Time, origin uint32, prefix bgp.Prefix, attrs bgp.PathAttrs, targets map[uint32]bool) Announcement {
 	key := routeKey{origin: origin, prefix: prefix}
+	s.metrics.AnnouncedPrefixes.Inc()
 	if old, exists := s.rib[key]; exists {
 		// Implicit withdraw: replace, releasing old acceptances.
+		s.metrics.Reannouncements.Inc()
 		s.releaseAccepted(old)
 	}
 
@@ -181,18 +251,31 @@ func (s *Server) announce(ts time.Time, origin uint32, prefix bgp.Prefix, attrs 
 	ann := Announcement{Prefix: prefix, Origin: origin}
 	for _, target := range s.peerOrder {
 		if !targets[target] {
+			if target != origin {
+				s.metrics.NotTargeted.Inc()
+			}
 			continue
 		}
 		rt.targets[target] = true
 		ann.Targets = append(ann.Targets, target)
 		tps := s.peers[target]
 		if tps.peer.Policy.Accepts(prefix.Len) {
+			s.metrics.ImportAccepted.Inc()
 			rt.accepted[target] = true
 			ann.Accepted = append(ann.Accepted, target)
 			if tps.rib[prefix] == 0 {
 				tps.lenCount[prefix.Len]++
 			}
 			tps.rib[prefix]++
+		} else {
+			switch {
+			case prefix.Len <= 24:
+				s.metrics.ImportRejectedStandard.Inc()
+			case prefix.Len < 32:
+				s.metrics.ImportRejectedMid.Inc()
+			default:
+				s.metrics.ImportRejectedHost.Inc()
+			}
 		}
 	}
 	s.rib[key] = rt
@@ -203,8 +286,10 @@ func (s *Server) withdraw(origin uint32, prefix bgp.Prefix) {
 	key := routeKey{origin: origin, prefix: prefix}
 	rt, ok := s.rib[key]
 	if !ok {
+		s.metrics.WithdrawnNoop.Inc()
 		return // withdrawing a route we never installed is a no-op
 	}
+	s.metrics.WithdrawnPrefixes.Inc()
 	s.releaseAccepted(rt)
 	delete(s.rib, key)
 }

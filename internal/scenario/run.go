@@ -9,6 +9,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/ipfix"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/routeserver"
 	"repro/internal/stats"
 )
@@ -21,6 +22,10 @@ type Sinks struct {
 	// Flow receives every sampled flow record (wired to an IPFIX
 	// writer). Required.
 	Flow func(*ipfix.FlowRecord) error
+	// Metrics, when non-nil, receives the route server's and the
+	// fabric's observability metrics ("routeserver.*", "fabric.*").
+	// Snapshot after Run returns.
+	Metrics *obs.Registry
 }
 
 // Result summarizes a completed run.
@@ -72,6 +77,10 @@ func Run(w *World, sinks Sinks) (*Result, error) {
 		return nil, err
 	}
 	fb.ClockOffset = w.Cfg.ClockOffset
+	if sinks.Metrics != nil {
+		rs.RegisterMetrics(sinks.Metrics)
+		fb.RegisterMetrics(sinks.Metrics)
+	}
 
 	// Index control messages and attack slots by day.
 	days := w.Cfg.Days

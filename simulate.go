@@ -59,6 +59,14 @@ type memberMeta struct {
 // the IPFIX flow archive, metadata, the IP-to-AS table, the PeeringDB
 // snapshot, and the ground truth.
 func Simulate(cfg Config, dir string) (*SimulationSummary, error) {
+	return SimulateObserved(cfg, dir, nil)
+}
+
+// SimulateObserved is Simulate with observability: when reg is non-nil
+// the route server and fabric register their metrics ("routeserver.*",
+// "fabric.*") on it. Snapshot after the call returns; the fabric's
+// ground-truth gauges match the returned summary exactly.
+func SimulateObserved(cfg Config, dir string, reg *MetricsRegistry) (*SimulationSummary, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("rtbh: %w", err)
 	}
@@ -91,7 +99,8 @@ func Simulate(cfg Config, dir string) (*SimulationSummary, error) {
 			// control write errors surface at Flush below.
 			_ = mrtW.WriteRecord(&rec)
 		},
-		Flow: flowW.WriteRecord,
+		Flow:    flowW.WriteRecord,
+		Metrics: reg,
 	})
 	if err != nil {
 		return nil, err
