@@ -24,6 +24,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/textreport"
 )
@@ -38,6 +39,15 @@ func main() {
 	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the analysis ("-" for stderr)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-analyze: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckDatasetDir(*data, rtbh.FileMetadata); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-analyze: %v\n", err)
+		os.Exit(2)
+	}
 
 	var reg *rtbh.MetricsRegistry
 	if *metricsOut != "" || *pprofAddr != "" {

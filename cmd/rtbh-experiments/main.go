@@ -20,10 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	rtbh "repro"
+	"repro/internal/cliutil"
 	"repro/internal/textreport"
 )
 
@@ -45,6 +45,25 @@ func main() {
 			fmt.Fprintf(w, "%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	// Validate every input before the (potentially minutes-long)
+	// simulate/analyze phases: a typoed experiment id must fail now.
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		usageFail(err)
+	}
+	var knownIDs []string
+	for _, e := range textreport.All() {
+		knownIDs = append(knownIDs, e.ID)
+	}
+	selected, err := cliutil.CheckRunIDs(*runIDs, knownIDs)
+	if err != nil {
+		usageFail(err)
+	}
+	if *data != "" {
+		if err := cliutil.CheckDatasetDir(*data, rtbh.FileMetadata); err != nil {
+			usageFail(err)
+		}
 	}
 
 	var reg *rtbh.MetricsRegistry
@@ -97,16 +116,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "analysis done in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if *runIDs == "all" {
+	if selected == nil {
 		textreport.RenderAll(w, report)
 	} else {
-		for _, id := range strings.Split(*runIDs, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := textreport.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
+		for _, id := range selected {
+			e, _ := textreport.ByID(id)
 			textreport.RenderOne(w, report, e)
 		}
 	}
@@ -138,4 +152,11 @@ func writeMetrics(reg *rtbh.MetricsRegistry, path string) error {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "rtbh-experiments: %v\n", err)
 	os.Exit(1)
+}
+
+// usageFail reports an invalid invocation (exit code 2, like flag
+// parsing errors).
+func usageFail(err error) {
+	fmt.Fprintf(os.Stderr, "rtbh-experiments: %v\n", err)
+	os.Exit(2)
 }

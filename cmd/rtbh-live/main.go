@@ -1,0 +1,178 @@
+// Command rtbh-live runs the simulation in live streaming mode: every
+// control update crosses a real BGP-over-TCP session to the route
+// server, every sampled flow record is exported as IPFIX over UDP to a
+// collector, and an online analyzer accumulates both streams
+// incrementally. At the end the same dataset files as rtbh-sim are on
+// disk (byte-identical for the same configuration) and the final report
+// — computed online, without re-reading the archives — is printed.
+//
+// Usage:
+//
+//	rtbh-live -out DIR [-scale test|bench|full] [-seed N] [-days N]
+//	          [-snapshot-every 30s] [-report=false] [-metrics PATH]
+//	          [-pprof ADDR]
+//
+// SIGINT/SIGTERM interrupt the run gracefully: dispatch stops, the
+// in-flight streams drain, the archives hold the delivered prefix of
+// the run, and the report covers exactly that prefix. With
+// -snapshot-every, a partial analysis snapshot is printed periodically
+// while the run is streaming.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/cliutil"
+	"repro/internal/obs"
+	"repro/internal/textreport"
+)
+
+func main() {
+	out := flag.String("out", "dataset", "output directory for the dataset files")
+	scale := flag.String("scale", "test", "world scale: test, bench, or full (the paper's 104 days)")
+	seed := flag.Uint64("seed", 0, "override the scenario seed (0 keeps the scale default)")
+	days := flag.Int("days", 0, "override the measurement-period length in days (0 keeps the scale default)")
+	snapEvery := flag.Duration("snapshot-every", 0, "print a partial analysis snapshot at this interval (0 disables)")
+	report := flag.Bool("report", true, "print the online analyzer's final report")
+	workers := flag.Int("workers", 0, "parallel pipeline shards for the report (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	var cfg rtbh.Config
+	switch *scale {
+	case "test":
+		cfg = rtbh.TestConfig()
+	case "bench":
+		cfg = rtbh.BenchConfig()
+	case "full":
+		cfg = rtbh.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "rtbh-live: unknown scale %q (want test, bench, or full)\n", *scale)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckDays(*days); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *days != 0 {
+		cfg.Days = *days
+	}
+
+	reg := rtbh.NewMetricsRegistry()
+	if *pprofAddr != "" {
+		if err := obs.StartDebugServer(*pprofAddr, reg); err != nil {
+			fail(err)
+		}
+	}
+
+	lr, err := rtbh.NewLiveRun(cfg, *out, reg)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := rtbh.DefaultOptions()
+	opts.Workers = *workers
+
+	if *snapEvery > 0 {
+		go snapshotLoop(ctx, lr.Analyzer(), opts, *snapEvery)
+	}
+
+	start := time.Now()
+	sum, err := lr.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	stop() // a second signal past this point kills the process normally
+
+	verb := "completed"
+	if lr.Interrupted() {
+		verb = "interrupted; drained gracefully —"
+	}
+	fmt.Printf("live run %s in %v, dataset written to %s\n", verb, time.Since(start).Round(time.Millisecond), *out)
+	fmt.Printf("period: %s + %d days, seed %d, sampling 1:%d\n",
+		cfg.Start.Format("2006-01-02"), cfg.Days, cfg.Seed, cfg.SamplingRate)
+	fmt.Printf("control plane: %d messages over BGP/TCP (%d announcements, %d withdrawals)\n",
+		sum.ControlMsgs, sum.Announcements, sum.Withdrawals)
+	fmt.Printf("data plane: %d flow records over IPFIX/UDP (%d packets offered, %d dropped)\n",
+		sum.FlowRecords, sum.PacketsIn, sum.PacketsDropped)
+
+	if *report {
+		rep, err := lr.Analyzer().Final(opts)
+		if err != nil {
+			fail(err)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		fmt.Fprintf(w, "\nonline analyzer final report (%d events):\n\n", len(rep.Events))
+		textreport.RenderAll(w, rep)
+		w.Flush()
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// snapshotLoop periodically prints a one-line partial analysis snapshot
+// while the run is streaming.
+func snapshotLoop(ctx context.Context, a *rtbh.OnlineAnalyzer, opts rtbh.Options, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		updates, flows := a.Counts()
+		rep, err := a.Snapshot(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: snapshot: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: %d control updates, %d flow records -> %d events, %d attributed records\n",
+			updates, flows, len(rep.Events), rep.AttributedRecords)
+	}
+}
+
+// writeMetrics dumps the registry snapshot as JSON to path ("-" = stderr).
+func writeMetrics(reg *rtbh.MetricsRegistry, path string) error {
+	snap := reg.Snapshot()
+	if path == "-" {
+		return snap.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -44,6 +45,10 @@ func main() {
 		cfg = rtbh.DefaultConfig()
 	default:
 		fmt.Fprintf(os.Stderr, "rtbh-sim: unknown scale %q (want test, bench, or full)\n", *scale)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckDays(*days); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
 		os.Exit(2)
 	}
 	if *seed != 0 {

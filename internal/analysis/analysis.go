@@ -59,11 +59,39 @@ type ControlUpdate struct {
 	Communities bgp.Communities
 }
 
+// ExpandUpdate appends the RTBH control updates carried by one BGP
+// UPDATE to dst: withdrawals first (they qualify unconditionally — they
+// carry no attributes), then the announced prefixes, which must carry
+// the BLACKHOLE community to qualify. This is the single definition of
+// what counts as RTBH signaling, shared by the batch MRT parser and the
+// live mode's online analyzer.
+func ExpandUpdate(dst []ControlUpdate, ts time.Time, peer uint32, upd *bgp.Update) []ControlUpdate {
+	for _, p := range upd.Withdrawn {
+		dst = append(dst, ControlUpdate{
+			Time: ts, Peer: peer, Prefix: p, Announce: false,
+		})
+	}
+	if len(upd.NLRI) > 0 && upd.Attrs.Communities.HasBlackhole() {
+		for _, p := range upd.NLRI {
+			dst = append(dst, ControlUpdate{
+				Time: ts, Peer: peer, Prefix: p, Announce: true,
+				OriginAS:    upd.Attrs.OriginAS(),
+				Communities: upd.Attrs.Communities.Clone(),
+			})
+		}
+	}
+	return dst
+}
+
+// SortUpdates sorts control updates by time, keeping the relative order
+// of equal timestamps (the order the route server processed them in).
+func SortUpdates(us []ControlUpdate) {
+	sort.SliceStable(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
+}
+
 // ParseMRT extracts RTBH control updates from an MRT stream written by
-// the collector. Announcements must carry the BLACKHOLE community to
-// qualify; withdrawals qualify unconditionally (they carry no
-// attributes). Non-UPDATE records are skipped. The result is sorted by
-// time.
+// the collector. Non-UPDATE records are skipped; see ExpandUpdate for
+// what qualifies. The result is sorted by time.
 func ParseMRT(r io.Reader) ([]ControlUpdate, error) {
 	rd := mrt.NewReader(r)
 	var out []ControlUpdate
@@ -82,22 +110,9 @@ func ParseMRT(r io.Reader) ([]ControlUpdate, error) {
 		if !isUpdate {
 			continue
 		}
-		for _, p := range upd.Withdrawn {
-			out = append(out, ControlUpdate{
-				Time: rec.Timestamp, Peer: rec.PeerAS, Prefix: p, Announce: false,
-			})
-		}
-		if len(upd.NLRI) > 0 && upd.Attrs.Communities.HasBlackhole() {
-			for _, p := range upd.NLRI {
-				out = append(out, ControlUpdate{
-					Time: rec.Timestamp, Peer: rec.PeerAS, Prefix: p, Announce: true,
-					OriginAS:    upd.Attrs.OriginAS(),
-					Communities: upd.Attrs.Communities.Clone(),
-				})
-			}
-		}
+		out = ExpandUpdate(out, rec.Timestamp, rec.PeerAS, upd)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	SortUpdates(out)
 	return out, nil
 }
 

@@ -1,0 +1,79 @@
+// Package cliutil validates command-line inputs shared by the rtbh
+// binaries, turning the usual late, cryptic failures (a negative worker
+// count deep in the pipeline, an open() error after minutes of
+// simulation) into immediate, actionable messages.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CheckWorkers validates a -workers flag: 0 means GOMAXPROCS, positive
+// counts are taken literally, negatives are rejected.
+func CheckWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", n)
+	}
+	return nil
+}
+
+// CheckDays validates a -days override: 0 keeps the scale default.
+func CheckDays(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-days must be >= 0 (0 keeps the scale default), got %d", n)
+	}
+	return nil
+}
+
+// CheckDatasetDir validates that dir exists and looks like a dataset
+// directory (it must contain the given marker file, typically
+// metadata.json) before any expensive work starts.
+func CheckDatasetDir(dir, marker string) error {
+	st, err := os.Stat(dir)
+	switch {
+	case os.IsNotExist(err):
+		return fmt.Errorf("dataset directory %q does not exist (generate one with rtbh-sim -out %s)", dir, dir)
+	case err != nil:
+		return fmt.Errorf("dataset directory %q: %v", dir, err)
+	case !st.IsDir():
+		return fmt.Errorf("%q is not a directory", dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, marker)); err != nil {
+		return fmt.Errorf("%q does not look like a dataset directory: missing %s", dir, marker)
+	}
+	return nil
+}
+
+// CheckRunIDs validates a comma-separated -run list against the known
+// experiment ids. "all" selects everything. Unknown ids are rejected
+// with the full list of valid ones, before any work starts.
+func CheckRunIDs(spec string, known []string) ([]string, error) {
+	if spec == "all" {
+		return nil, nil
+	}
+	knownSet := make(map[string]bool, len(known))
+	for _, id := range known {
+		knownSet[id] = true
+	}
+	var ids []string
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !knownSet[id] {
+			sorted := append([]string(nil), known...)
+			sort.Strings(sorted)
+			return nil, fmt.Errorf("unknown experiment %q; valid ids: all, %s", id, strings.Join(sorted, ", "))
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-run selects no experiments (try -run all or -list)")
+	}
+	return ids, nil
+}

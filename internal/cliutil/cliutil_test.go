@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 64} {
+		if err := CheckWorkers(n); err != nil {
+			t.Errorf("CheckWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	if err := CheckWorkers(-1); err == nil {
+		t.Error("CheckWorkers(-1) accepted")
+	}
+}
+
+func TestCheckDays(t *testing.T) {
+	if err := CheckDays(0); err != nil {
+		t.Errorf("CheckDays(0) = %v", err)
+	}
+	if err := CheckDays(-7); err == nil {
+		t.Error("CheckDays(-7) accepted")
+	}
+}
+
+func TestCheckDatasetDir(t *testing.T) {
+	dir := t.TempDir()
+
+	err := CheckDatasetDir(filepath.Join(dir, "nope"), "metadata.json")
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("missing dir: err = %v", err)
+	}
+
+	err = CheckDatasetDir(dir, "metadata.json")
+	if err == nil || !strings.Contains(err.Error(), "missing metadata.json") {
+		t.Errorf("empty dir: err = %v", err)
+	}
+
+	file := filepath.Join(dir, "afile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDatasetDir(file, "metadata.json"); err == nil {
+		t.Error("plain file accepted as dataset directory")
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "metadata.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDatasetDir(dir, "metadata.json"); err != nil {
+		t.Errorf("valid dataset dir rejected: %v", err)
+	}
+}
+
+func TestCheckRunIDs(t *testing.T) {
+	known := []string{"fig2", "fig5", "table3"}
+
+	if ids, err := CheckRunIDs("all", known); err != nil || ids != nil {
+		t.Errorf("all: ids=%v err=%v", ids, err)
+	}
+	ids, err := CheckRunIDs(" fig5 ,fig2", known)
+	if err != nil || len(ids) != 2 || ids[0] != "fig5" || ids[1] != "fig2" {
+		t.Errorf("valid list: ids=%v err=%v", ids, err)
+	}
+	_, err = CheckRunIDs("fig2,fig99", known)
+	if err == nil || !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "fig2, fig5, table3") {
+		t.Errorf("unknown id: err = %v", err)
+	}
+	if _, err := CheckRunIDs(",,", known); err == nil {
+		t.Error("empty selection accepted")
+	}
+}

@@ -157,17 +157,17 @@ func (t *template) decode(b []byte, r *FlowRecord) error {
 		switch f.id {
 		case ieFlowStartMilliseconds:
 			if f.length != 8 {
-				return fmt.Errorf("ipfix: flowStartMilliseconds length %d", f.length)
+				return fmt.Errorf("flowStartMilliseconds length %d", f.length)
 			}
 			r.Start = time.UnixMilli(int64(binary.BigEndian.Uint64(v))).UTC()
 		case ieSourceMacAddress:
 			if f.length != 6 {
-				return fmt.Errorf("ipfix: sourceMacAddress length %d", f.length)
+				return fmt.Errorf("sourceMacAddress length %d", f.length)
 			}
 			r.SrcMAC = decodeMAC(v)
 		case ieDestMacAddress:
 			if f.length != 6 {
-				return fmt.Errorf("ipfix: destinationMacAddress length %d", f.length)
+				return fmt.Errorf("destinationMacAddress length %d", f.length)
 			}
 			r.DstMAC = decodeMAC(v)
 		case ieSourceIPv4Address:

@@ -12,19 +12,25 @@ import (
 // from template sets as they appear and decodes data sets against them;
 // data sets whose template has not been seen yet are an error for file
 // streams (unlike UDP export, files carry templates in-band and in order).
+//
+// Decode errors are wrapped with the zero-based message index and the
+// byte offset of that message in the stream, so a corrupt file points at
+// the damage rather than a bare io.ErrUnexpectedEOF.
 type Reader struct {
-	r         *bufio.Reader
-	templates map[uint16]*template
-	queue     []FlowRecord
-	hdr       [msgHeaderLen]byte
-	body      []byte
+	r        *bufio.Reader
+	dec      *MsgDecoder
+	queue    []FlowRecord
+	hdr      [msgHeaderLen]byte
+	body     []byte
+	offset   int64 // stream offset of the next unread byte
+	msgIndex int   // messages fully consumed so far
 }
 
 // NewReader returns a Reader consuming from r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{
-		r:         bufio.NewReaderSize(r, 1<<16),
-		templates: make(map[uint16]*template),
+		r:   bufio.NewReaderSize(r, 1<<16),
+		dec: NewMsgDecoder(),
 	}
 }
 
@@ -40,107 +46,51 @@ func (rd *Reader) Next() (*FlowRecord, error) {
 	return &rec, nil
 }
 
+// msgErr decorates a decode error with the index and stream offset of the
+// message being read.
+func (rd *Reader) msgErr(msgStart int64, err error) error {
+	return fmt.Errorf("ipfix: message %d at offset %d: %w", rd.msgIndex, msgStart, err)
+}
+
 func (rd *Reader) readMessage() error {
-	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+	msgStart := rd.offset
+	n, err := io.ReadFull(rd.r, rd.hdr[:])
+	rd.offset += int64(n)
+	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return fmt.Errorf("ipfix: truncated message header: %w", err)
+			return rd.msgErr(msgStart, fmt.Errorf("truncated message header: %d of %d bytes: %w", n, msgHeaderLen, err))
 		}
 		return err
 	}
 	version := binary.BigEndian.Uint16(rd.hdr[0:2])
 	if version != ipfixVersion {
-		return fmt.Errorf("ipfix: unsupported version %d", version)
+		return rd.msgErr(msgStart, fmt.Errorf("unsupported version %d", version))
 	}
 	length := int(binary.BigEndian.Uint16(rd.hdr[2:4]))
 	if length < msgHeaderLen {
-		return fmt.Errorf("ipfix: message length %d below header size", length)
+		return rd.msgErr(msgStart, fmt.Errorf("message length %d below header size", length))
 	}
 	bodyLen := length - msgHeaderLen
 	if cap(rd.body) < bodyLen {
 		rd.body = make([]byte, bodyLen)
 	}
 	body := rd.body[:bodyLen]
-	if _, err := io.ReadFull(rd.r, body); err != nil {
-		return fmt.Errorf("ipfix: truncated message body: %w", err)
+	n, err = io.ReadFull(rd.r, body)
+	rd.offset += int64(n)
+	if err != nil {
+		// A clean EOF here still means truncation: the header promised
+		// bodyLen more bytes.
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return rd.msgErr(msgStart, fmt.Errorf("truncated message body: %d of %d bytes: %w", n, bodyLen, err))
 	}
 
-	for len(body) > 0 {
-		if len(body) < setHeaderLen {
-			return fmt.Errorf("ipfix: truncated set header")
-		}
-		setID := binary.BigEndian.Uint16(body[0:2])
-		setLen := int(binary.BigEndian.Uint16(body[2:4]))
-		if setLen < setHeaderLen || setLen > len(body) {
-			return fmt.Errorf("ipfix: invalid set length %d (remaining %d)", setLen, len(body))
-		}
-		content := body[setHeaderLen:setLen]
-		switch {
-		case setID == templateSetID:
-			if err := rd.parseTemplateSet(content); err != nil {
-				return err
-			}
-		case setID >= 256:
-			if err := rd.parseDataSet(setID, content); err != nil {
-				return err
-			}
-		default:
-			// Options template sets (id 3) and reserved ids are skipped.
-		}
-		body = body[setLen:]
+	rd.queue, err = rd.dec.decodeBody(body, rd.queue)
+	if err != nil {
+		return rd.msgErr(msgStart, err)
 	}
-	return nil
-}
-
-func (rd *Reader) parseTemplateSet(b []byte) error {
-	for len(b) >= 4 {
-		id := binary.BigEndian.Uint16(b[0:2])
-		count := int(binary.BigEndian.Uint16(b[2:4]))
-		b = b[4:]
-		if id < 256 {
-			return fmt.Errorf("ipfix: template id %d below 256", id)
-		}
-		if len(b) < 4*count {
-			return fmt.Errorf("ipfix: truncated template record")
-		}
-		t := &template{fields: make([]templateField, 0, count)}
-		for i := 0; i < count; i++ {
-			fid := binary.BigEndian.Uint16(b[4*i:])
-			flen := binary.BigEndian.Uint16(b[4*i+2:])
-			if fid&0x8000 != 0 {
-				return fmt.Errorf("ipfix: enterprise-specific element %d not supported", fid&0x7fff)
-			}
-			if flen == 0xffff {
-				return fmt.Errorf("ipfix: variable-length element %d not supported", fid)
-			}
-			if want, known := knownElementLen[fid]; known && flen != want {
-				return fmt.Errorf("ipfix: element %d length %d, want %d (reduced-size encoding not supported)", fid, flen, want)
-			}
-			t.fields = append(t.fields, templateField{id: fid, length: flen})
-			t.recordLen += int(flen)
-		}
-		if t.recordLen == 0 {
-			return fmt.Errorf("ipfix: template %d with zero record length", id)
-		}
-		rd.templates[id] = t
-		b = b[4*count:]
-	}
-	return nil
-}
-
-func (rd *Reader) parseDataSet(id uint16, b []byte) error {
-	t, ok := rd.templates[id]
-	if !ok {
-		return fmt.Errorf("ipfix: data set references unknown template %d", id)
-	}
-	// Trailing bytes shorter than one record are padding (RFC 7011 §3.3.1).
-	for len(b) >= t.recordLen {
-		var rec FlowRecord
-		if err := t.decode(b[:t.recordLen], &rec); err != nil {
-			return err
-		}
-		rd.queue = append(rd.queue, rec)
-		b = b[t.recordLen:]
-	}
+	rd.msgIndex++
 	return nil
 }
 

@@ -2,7 +2,6 @@ package ipfix
 
 import (
 	"bufio"
-	"encoding/binary"
 	"io"
 	"time"
 )
@@ -15,11 +14,9 @@ import (
 type Writer struct {
 	w       *bufio.Writer
 	c       io.Closer
-	domain  uint32
-	seq     uint32
+	enc     *MsgEncoder
 	msgs    int
 	pending []FlowRecord
-	buf     []byte
 	// BatchSize is the number of records accumulated per message.
 	// Defaults to 1024; tests may lower it.
 	BatchSize int
@@ -32,7 +29,7 @@ const templateResendEvery = 512
 func NewWriter(w io.Writer, domain uint32) *Writer {
 	wr := &Writer{
 		w:         bufio.NewWriterSize(w, 1<<16),
-		domain:    domain,
+		enc:       NewMsgEncoder(domain),
 		BatchSize: 1024,
 	}
 	if c, ok := w.(io.Closer); ok {
@@ -78,48 +75,12 @@ func (w *Writer) emit() error {
 	includeTemplate := w.msgs%templateResendEvery == 0
 	w.msgs++
 
-	b := w.buf[:0]
-	// Message header; length patched below.
-	b = binary.BigEndian.AppendUint16(b, ipfixVersion)
-	b = append(b, 0, 0) // length placeholder
-	exportTime := uint32(0)
+	exportTime := uint32(time.Now().Unix())
 	if len(w.pending) > 0 {
 		exportTime = uint32(w.pending[len(w.pending)-1].Start.Unix())
-	} else {
-		exportTime = uint32(time.Now().Unix())
 	}
-	b = binary.BigEndian.AppendUint32(b, exportTime)
-	b = binary.BigEndian.AppendUint32(b, w.seq)
-	b = binary.BigEndian.AppendUint32(b, w.domain)
-
-	if includeTemplate {
-		// Template set: set id 2, one template record.
-		setStart := len(b)
-		b = binary.BigEndian.AppendUint16(b, templateSetID)
-		b = append(b, 0, 0) // set length placeholder
-		b = binary.BigEndian.AppendUint16(b, flowTemplateID)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(flowTemplate)))
-		for _, f := range flowTemplate {
-			b = binary.BigEndian.AppendUint16(b, f.id)
-			b = binary.BigEndian.AppendUint16(b, f.length)
-		}
-		binary.BigEndian.PutUint16(b[setStart+2:], uint16(len(b)-setStart))
-	}
-
-	if len(w.pending) > 0 {
-		setStart := len(b)
-		b = binary.BigEndian.AppendUint16(b, flowTemplateID)
-		b = append(b, 0, 0)
-		for i := range w.pending {
-			b = appendRecord(b, &w.pending[i])
-		}
-		binary.BigEndian.PutUint16(b[setStart+2:], uint16(len(b)-setStart))
-		w.seq += uint32(len(w.pending))
-		w.pending = w.pending[:0]
-	}
-
-	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
-	w.buf = b
+	b := w.enc.Encode(w.pending, includeTemplate, exportTime)
+	w.pending = w.pending[:0]
 	_, err := w.w.Write(b)
 	return err
 }

@@ -1,0 +1,93 @@
+package live
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/ipfix"
+)
+
+// exporter defaults.
+const (
+	// DefaultMTU bounds exported datagram size: a conservative path MTU
+	// for loopback/LAN export (RFC 7011 §10.3.3 requires staying under
+	// it, since IPFIX over UDP must not rely on fragmentation).
+	DefaultMTU = 1400
+	// templateEvery is how often (in messages) the template set is
+	// re-sent. UDP delivery is unreliable, so templates repeat much more
+	// often than in the file archive: a collector joining late or losing
+	// the first datagram recovers within templateEvery messages.
+	templateEvery = 32
+)
+
+// Exporter packs flow records into size-bounded IPFIX messages and sends
+// each as one UDP datagram, with periodic template resends. Not
+// goroutine-safe: the fabric emits records from the single driver
+// goroutine.
+type Exporter struct {
+	conn    net.Conn
+	enc     *ipfix.MsgEncoder
+	pending []ipfix.FlowRecord
+	perMsg  int
+	msgs    int
+	m       *Metrics
+}
+
+// NewExporter returns an exporter for observation domain id domain
+// sending on conn (a connected UDP socket). mtu bounds the datagram
+// size; 0 means DefaultMTU.
+func NewExporter(conn net.Conn, domain uint32, mtu int, m *Metrics) (*Exporter, error) {
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	// Reserve template space in every message so capacity is constant;
+	// template-less messages just run slightly under the MTU.
+	perMsg := ipfix.MaxRecords(mtu, true)
+	if perMsg == 0 {
+		return nil, fmt.Errorf("live: MTU %d fits no flow records", mtu)
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Exporter{
+		conn:   conn,
+		enc:    ipfix.NewMsgEncoder(domain),
+		perMsg: perMsg,
+		m:      m,
+	}, nil
+}
+
+// Export queues one record, sending a datagram when the message fills.
+func (e *Exporter) Export(rec *ipfix.FlowRecord) error {
+	e.pending = append(e.pending, *rec)
+	if len(e.pending) >= e.perMsg {
+		return e.emit()
+	}
+	return nil
+}
+
+// Flush sends any partially filled message.
+func (e *Exporter) Flush() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	return e.emit()
+}
+
+func (e *Exporter) emit() error {
+	includeTemplate := e.msgs%templateEvery == 0
+	e.msgs++
+	exportTime := uint32(e.pending[len(e.pending)-1].Start.Unix())
+	msg := e.enc.Encode(e.pending, includeTemplate, exportTime)
+	n := len(e.pending)
+	e.pending = e.pending[:0]
+	if _, err := e.conn.Write(msg); err != nil {
+		return fmt.Errorf("live: exporting %d flow records: %w", n, err)
+	}
+	e.m.ExportedRecords.Add(int64(n))
+	e.m.ExportedMsgs.Inc()
+	return nil
+}
+
+// Exported returns the number of records handed to the network so far.
+func (e *Exporter) Exported() int64 { return e.m.ExportedRecords.Value() }

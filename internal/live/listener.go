@@ -1,0 +1,260 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Hooks are the listener's callbacks into the route server. They are
+// invoked from per-session goroutines; OnUpdate arrivals from different
+// peers are concurrent (the Sequencer serializes them).
+type Hooks struct {
+	// OnUpdate delivers a decoded UPDATE received from peer.
+	OnUpdate func(peer uint32, upd *bgp.Update)
+	// OnEstablished fires when a peer session reaches Established.
+	OnEstablished func(peer uint32)
+	// OnPeerDown fires when a session ends. graceful is true for an
+	// orderly Cease NOTIFICATION, false for hold-timer expiry or
+	// transport failure — the case where a route server flushes the
+	// peer's routes.
+	OnPeerDown func(peer uint32, graceful bool)
+}
+
+// srvConn wraps an accepted connection with a write mutex so the
+// keepalive goroutine and close-time NOTIFICATIONs never interleave
+// mid-message on the stream.
+type srvConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+// writeMsg writes one whole BGP message under the connection's write
+// lock.
+func (c *srvConn) writeMsg(b []byte, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := c.Conn.Write(b)
+	return err
+}
+
+func (c *srvConn) notify(code uint8) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	sendNotification(c.Conn, code)
+}
+
+// Listener is the passive (route-server) side of the BGP transport: it
+// accepts speaker connections, runs the open exchange, and pumps decoded
+// updates into the hooks.
+type Listener struct {
+	ln    net.Listener
+	asn   uint32
+	cfg   SessionConfig
+	hooks Hooks
+	m     *Metrics
+
+	mu     sync.Mutex
+	conns  map[*srvConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a listener for route-server ASN asn on addr (use
+// "127.0.0.1:0" for an ephemeral in-process port).
+func Listen(addr string, asn uint32, cfg SessionConfig, hooks Hooks, m *Metrics) (*Listener, error) {
+	cfg.fill()
+	if m == nil {
+		m = NewMetrics()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	l := &Listener{
+		ln:    ln,
+		asn:   asn,
+		cfg:   cfg,
+		hooks: hooks,
+		m:     m,
+		conns: make(map[*srvConn]struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's address, suitable for Dial.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := &srvConn{Conn: c}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serve(conn)
+	}
+}
+
+func (l *Listener) forget(conn *srvConn) {
+	l.mu.Lock()
+	delete(l.conns, conn)
+	l.mu.Unlock()
+}
+
+// serve runs one session end to end.
+func (l *Listener) serve(conn *srvConn) {
+	defer l.wg.Done()
+	defer l.forget(conn)
+	defer conn.Close()
+
+	peer, r, err := l.handshake(conn)
+	if err != nil {
+		return // handshake failures are not peer-downs: no session existed
+	}
+	l.m.SessionsEstablished.Inc()
+	if l.hooks.OnEstablished != nil {
+		l.hooks.OnEstablished(peer)
+	}
+
+	stopKA := make(chan struct{})
+	defer close(stopKA)
+	l.wg.Add(1)
+	go l.keepalives(conn, stopKA)
+
+	graceful := l.readLoop(conn, peer, r)
+	l.m.PeerDowns.Inc()
+	if l.hooks.OnPeerDown != nil {
+		l.hooks.OnPeerDown(peer, graceful)
+	}
+}
+
+// handshake runs the passive-side open exchange and returns the peer's
+// 32-bit ASN (carried in the OPEN RouterID; see encodeOpen).
+func (l *Listener) handshake(conn *srvConn) (uint32, *msgReader, error) {
+	conn.SetDeadline(time.Now().Add(l.cfg.HoldTime))
+	defer conn.SetDeadline(time.Time{})
+
+	r := &msgReader{c: conn}
+	typ, msg, err := r.read()
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ != bgp.MsgOpen {
+		return 0, nil, fmt.Errorf("live: expected OPEN, got message type %d", typ)
+	}
+	open := msg.(*bgp.Open)
+	peer := open.RouterID
+
+	ours, err := encodeOpen(l.asn, l.cfg.holdTimeSecs())
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := conn.writeMsg(ours, l.cfg.HoldTime); err != nil {
+		return 0, nil, err
+	}
+	if err := conn.writeMsg(bgp.EncodeKeepalive(), l.cfg.HoldTime); err != nil {
+		return 0, nil, err
+	}
+	typ, _, err = r.read()
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ != bgp.MsgKeepalive {
+		return 0, nil, fmt.Errorf("live: expected KEEPALIVE, got message type %d", typ)
+	}
+	return peer, r, nil
+}
+
+func (l *Listener) keepalives(conn *srvConn, stop chan struct{}) {
+	defer l.wg.Done()
+	t := time.NewTicker(l.cfg.keepaliveEvery())
+	defer t.Stop()
+	ka := bgp.EncodeKeepalive()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if conn.writeMsg(ka, l.cfg.HoldTime) != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLoop pumps the session until it ends, reporting whether the end
+// was an orderly Cease.
+func (l *Listener) readLoop(conn *srvConn, peer uint32, r *msgReader) (graceful bool) {
+	for {
+		conn.SetReadDeadline(time.Now().Add(l.cfg.HoldTime))
+		typ, msg, err := r.read()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() && !l.isClosed() {
+				l.m.HoldExpiries.Inc()
+				conn.notify(notifHoldTimerExpired)
+			}
+			return false
+		}
+		switch typ {
+		case bgp.MsgKeepalive:
+			// Deadline refreshes on the next iteration.
+		case bgp.MsgUpdate:
+			if l.hooks.OnUpdate != nil {
+				l.hooks.OnUpdate(peer, msg.(*bgp.Update))
+			}
+		case bgp.MsgNotification:
+			n := msg.(*bgp.Notification)
+			return n.Code == notifCease
+		}
+	}
+}
+
+func (l *Listener) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// Close stops accepting and gracefully ends every live session with a
+// Cease NOTIFICATION.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.wg.Wait()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*srvConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.notify(notifCease)
+		c.Close()
+	}
+	l.wg.Wait()
+	return err
+}

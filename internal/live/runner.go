@@ -1,0 +1,199 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/ipfix"
+)
+
+// RunnerConfig tunes the live services.
+type RunnerConfig struct {
+	// Session configures the BGP session FSM timers.
+	Session SessionConfig
+	// MTU bounds IPFIX datagram size (0: DefaultMTU).
+	MTU int
+	// QueueLen bounds the collector ingest queue (0: 4096 datagrams).
+	QueueLen int
+	// DrainTimeout bounds barriers and the final collector drain
+	// (0: 30s).
+	DrainTimeout time.Duration
+}
+
+func (c *RunnerConfig) fill() {
+	c.Session.fill()
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+}
+
+// Runner owns one live run's services: the route server's BGP listener
+// fed through a Sequencer, one Speaker per scenario peer (dialed
+// lazily), and the IPFIX exporter/collector pair over UDP. All methods
+// except Shutdown are driven from the single scenario driver goroutine.
+type Runner struct {
+	cfg RunnerConfig
+	m   *Metrics
+	ctx context.Context
+
+	seq       *Sequencer
+	listener  *Listener
+	speakers  map[uint32]*Speaker
+	exporter  *Exporter
+	expConn   net.Conn
+	collector *Collector
+}
+
+// NewRunner starts the services on loopback: deliver receives totally
+// ordered updates (wire to routeserver.Process), onPeerFlush is invoked
+// for ungraceful session loss (wire to routeserver.PeerDown), flowSink
+// receives collected flow records in export order (wire to the archive
+// writer and the online analyzer). ctx aborts the run early: SendUpdate
+// and Barrier return ctx.Err() once it is cancelled.
+func NewRunner(ctx context.Context, cfg RunnerConfig, m *Metrics,
+	deliver func(ts time.Time, peer uint32, upd *bgp.Update) error,
+	onPeerFlush func(peer uint32),
+	flowSink func(*ipfix.FlowRecord) error,
+) (*Runner, error) {
+	cfg.fill()
+	if m == nil {
+		m = NewMetrics()
+	}
+	r := &Runner{cfg: cfg, m: m, ctx: ctx, speakers: make(map[uint32]*Speaker)}
+	r.seq = NewSequencer(deliver, m)
+
+	hooks := Hooks{
+		OnUpdate: r.seq.Arrive,
+		OnPeerDown: func(peer uint32, graceful bool) {
+			if !graceful && onPeerFlush != nil {
+				onPeerFlush(peer)
+			}
+		},
+	}
+	var err error
+	r.listener, err = Listen("127.0.0.1:0", 0, cfg.Session, hooks, m)
+	if err != nil {
+		return nil, err
+	}
+
+	cc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		r.listener.Close()
+		return nil, fmt.Errorf("live: collector socket: %w", err)
+	}
+	r.collector = NewCollector(cc, cfg.QueueLen, flowSink, m)
+
+	ec, err := net.Dial("udp", cc.LocalAddr().String())
+	if err != nil {
+		r.Shutdown()
+		return nil, fmt.Errorf("live: exporter socket: %w", err)
+	}
+	r.expConn = ec
+	r.exporter, err = NewExporter(ec, 1, cfg.MTU, m)
+	if err != nil {
+		r.Shutdown()
+		return nil, err
+	}
+	return r, nil
+}
+
+// SetRouteServerASN records the ASN the listener announces in its OPENs.
+// Purely cosmetic for the wire exchange; may be called before the first
+// speaker dials.
+func (r *Runner) SetRouteServerASN(asn uint32) { r.listener.asn = asn }
+
+// SendUpdate dispatches one control update: it registers the expectation
+// with the sequencer, then sends the canonically encoded UPDATE on the
+// peer's session (dialing it first if needed).
+func (r *Runner) SendUpdate(ts time.Time, peer uint32, upd *bgp.Update) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	msg, err := bgp.EncodeUpdate(upd)
+	if err != nil {
+		return err
+	}
+	sp := r.speakers[peer]
+	if sp == nil {
+		sp = Dial(r.listener.Addr(), peer, r.cfg.Session, r.m)
+		r.speakers[peer] = sp
+	}
+	r.seq.Expect(ts, peer)
+	return sp.Send(msg)
+}
+
+// Barrier waits until every dispatched update has been delivered.
+func (r *Runner) Barrier() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	return r.seq.Barrier(r.cfg.DrainTimeout)
+}
+
+// ExportFlow hands one sampled flow record to the IPFIX exporter.
+func (r *Runner) ExportFlow(rec *ipfix.FlowRecord) error { return r.exporter.Export(rec) }
+
+// Drain completes the streams without tearing sessions down: a final
+// barrier, an exporter flush, and a wait for the collector to account
+// for every exported record. Call once driving is done (or aborted).
+func (r *Runner) Drain() error {
+	// On an aborted run the barrier may legitimately time out (a send
+	// may have failed); drain the flow stream regardless so the archive
+	// is consistent with what was delivered.
+	err := r.seq.Barrier(r.cfg.DrainTimeout)
+	if ferr := r.exporter.Flush(); err == nil {
+		err = ferr
+	}
+	if derr := r.collector.Drain(r.exporter.Exported(), r.cfg.DrainTimeout); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// Reconcile verifies the shutdown invariants: every sent update was
+// delivered and every exported record is accounted for as collected or
+// dropped.
+func (r *Runner) Reconcile() error {
+	if err := r.seq.Err(); err != nil {
+		return err
+	}
+	if sent, delivered := r.m.UpdatesSent.Value(), r.m.UpdatesDelivered.Value(); sent != delivered {
+		return fmt.Errorf("live: %d updates sent but %d delivered", sent, delivered)
+	}
+	exported := r.m.ExportedRecords.Value()
+	accounted := r.collector.Accounted()
+	if exported != accounted {
+		return fmt.Errorf("live: %d records exported but %d accounted (collected %d + dropped %d)",
+			exported, accounted, r.m.CollectedRecords.Value(), r.m.DroppedRecords.Value())
+	}
+	return nil
+}
+
+// Shutdown closes everything: speakers first (graceful Cease, so the
+// route server does not flush their routes), then the listener and the
+// collector. Always safe to call, including on partially constructed
+// runners and after Drain.
+func (r *Runner) Shutdown() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	for _, sp := range r.speakers {
+		keep(sp.Close())
+	}
+	if r.listener != nil {
+		keep(r.listener.Close())
+	}
+	if r.expConn != nil {
+		keep(r.expConn.Close())
+	}
+	if r.collector != nil {
+		keep(r.collector.Close())
+	}
+	return first
+}

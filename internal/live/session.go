@@ -1,0 +1,155 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// State is the position of a session in the (simplified) RFC 4271 FSM.
+type State int32
+
+const (
+	StateIdle State = iota
+	StateConnect
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateConnect:
+		return "Connect"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// SessionConfig tunes the session FSM timers.
+type SessionConfig struct {
+	// HoldTime is the negotiated hold time; a session with no message for
+	// this long is torn down with a hold-timer-expired NOTIFICATION
+	// (RFC 4271 §6.5). Keepalives go out every HoldTime/3.
+	HoldTime time.Duration
+	// ReconnectMin/Max bound the speaker's exponential reconnect backoff.
+	ReconnectMin, ReconnectMax time.Duration
+}
+
+// DefaultSessionConfig returns timers suitable for in-process loopback
+// sessions: short enough for tests to exercise expiry, long enough that a
+// busy run never falsely expires.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		HoldTime:     30 * time.Second,
+		ReconnectMin: 50 * time.Millisecond,
+		ReconnectMax: 2 * time.Second,
+	}
+}
+
+func (c *SessionConfig) fill() {
+	if c.HoldTime <= 0 {
+		c.HoldTime = DefaultSessionConfig().HoldTime
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = DefaultSessionConfig().ReconnectMin
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = c.ReconnectMin
+	}
+}
+
+func (c SessionConfig) keepaliveEvery() time.Duration { return c.HoldTime / 3 }
+
+// holdTimeSecs clamps the hold time for the 16-bit OPEN field.
+func (c SessionConfig) holdTimeSecs() uint16 {
+	s := int64(c.HoldTime / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	if s > 65535 {
+		s = 65535
+	}
+	return uint16(s)
+}
+
+// BGP has no framing beyond the message header itself: read the 19-byte
+// header off the stream, then the remainder indicated by its length
+// field. msgBuf is reused across reads.
+type msgReader struct {
+	c   net.Conn
+	buf []byte
+}
+
+// read returns the next complete BGP message, decoded. The raw bytes are
+// only valid until the next call.
+func (r *msgReader) read() (byte, any, error) {
+	const headerLen = 19
+	if cap(r.buf) < headerLen {
+		r.buf = make([]byte, 4096)
+	}
+	hdr := r.buf[:headerLen]
+	if _, err := io.ReadFull(r.c, hdr); err != nil {
+		return 0, nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < headerLen || length > 4096 {
+		return 0, nil, fmt.Errorf("live: invalid BGP message length %d", length)
+	}
+	if cap(r.buf) < length {
+		buf := make([]byte, 4096)
+		copy(buf, hdr)
+		r.buf = buf
+	}
+	msg := r.buf[:length]
+	if _, err := io.ReadFull(r.c, msg[headerLen:]); err != nil {
+		return 0, nil, fmt.Errorf("live: truncated BGP message: %w", err)
+	}
+	typ, decoded, _, err := bgp.DecodeMessage(msg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return typ, decoded, nil
+}
+
+// encodeOpen builds the OPEN for a 32-bit ASN. The wire OPEN carries a
+// 16-bit ASN field; larger ASNs send AS_TRANS there, and either way the
+// full 32-bit ASN rides in RouterID (standing in for the AS4 capability,
+// which the codec does not implement).
+func encodeOpen(asn uint32, holdSecs uint16) ([]byte, error) {
+	const asTrans = 23456
+	as16 := uint16(asTrans)
+	if asn < 1<<16 {
+		as16 = uint16(asn)
+	}
+	return bgp.EncodeOpen(&bgp.Open{
+		Version:  4,
+		ASN:      as16,
+		HoldTime: holdSecs,
+		RouterID: asn,
+	})
+}
+
+// notification codes used by the FSM (RFC 4271 §6).
+const (
+	notifHoldTimerExpired = 4
+	notifCease            = 6
+)
+
+func sendNotification(c net.Conn, code uint8) {
+	if b, err := bgp.EncodeNotification(&bgp.Notification{Code: code}); err == nil {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		_, _ = c.Write(b)
+	}
+}

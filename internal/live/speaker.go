@@ -1,0 +1,311 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Speaker is the active (connecting) side of a BGP session: one scenario
+// peer talking to the route server's listener. It owns a background FSM
+// goroutine that dials, handshakes, keeps the session alive, and
+// reconnects with exponential backoff after failures.
+type Speaker struct {
+	asn  uint32
+	addr string
+	cfg  SessionConfig
+	m    *Metrics
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state State
+	conn  net.Conn
+	err   error // sticky fatal error
+	done  chan struct{}
+
+	writeMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// Dial starts a speaker for peer ASN asn against the listener at addr.
+// The session is established asynchronously; Send blocks until it is.
+func Dial(addr string, asn uint32, cfg SessionConfig, m *Metrics) *Speaker {
+	cfg.fill()
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Speaker{
+		asn:   asn,
+		addr:  addr,
+		cfg:   cfg,
+		m:     m,
+		state: StateIdle,
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// State returns the current FSM state.
+func (s *Speaker) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *Speaker) setState(st State, conn net.Conn) {
+	s.mu.Lock()
+	s.state = st
+	s.conn = conn
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// setConn records the in-progress connection so Close can tear it down
+// even mid-handshake.
+func (s *Speaker) setConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+}
+
+func (s *Speaker) isClosed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the FSM loop: Connect → OpenSent → OpenConfirm → Established,
+// back to Connect (after backoff) whenever the session dies.
+func (s *Speaker) run() {
+	defer s.wg.Done()
+	backoff := s.cfg.ReconnectMin
+	established := 0
+	for {
+		if s.isClosed() {
+			s.setState(StateIdle, nil)
+			return
+		}
+		s.setState(StateConnect, nil)
+		conn, err := net.DialTimeout("tcp", s.addr, s.cfg.HoldTime)
+		if err == nil {
+			s.setConn(conn)
+			err = s.handshake(conn)
+			if err != nil {
+				conn.Close()
+			}
+		}
+		if err != nil {
+			if s.isClosed() {
+				s.setState(StateIdle, nil)
+				return
+			}
+			select {
+			case <-s.done:
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > s.cfg.ReconnectMax {
+				backoff = s.cfg.ReconnectMax
+			}
+			continue
+		}
+		backoff = s.cfg.ReconnectMin
+		if established > 0 {
+			s.m.Reconnects.Inc()
+		}
+		established++
+		s.m.SessionsEstablished.Inc()
+		s.setState(StateEstablished, conn)
+
+		stopKA := s.startKeepalives(conn)
+		s.readLoop(conn)
+		close(stopKA)
+		conn.Close()
+		s.setState(StateIdle, nil)
+	}
+}
+
+// handshake runs the active-side open exchange on a fresh connection.
+func (s *Speaker) handshake(conn net.Conn) error {
+	deadline := time.Now().Add(s.cfg.HoldTime)
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+
+	open, err := encodeOpen(s.asn, s.cfg.holdTimeSecs())
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(open); err != nil {
+		return fmt.Errorf("live: sending OPEN: %w", err)
+	}
+	s.setState(StateOpenSent, conn)
+
+	r := &msgReader{c: conn}
+	typ, _, err := r.read()
+	if err != nil {
+		return fmt.Errorf("live: awaiting OPEN: %w", err)
+	}
+	if typ != bgp.MsgOpen {
+		return fmt.Errorf("live: expected OPEN, got message type %d", typ)
+	}
+	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+		return err
+	}
+	s.setState(StateOpenConfirm, conn)
+
+	typ, _, err = r.read()
+	if err != nil {
+		return fmt.Errorf("live: awaiting KEEPALIVE: %w", err)
+	}
+	if typ != bgp.MsgKeepalive {
+		return fmt.Errorf("live: expected KEEPALIVE, got message type %d", typ)
+	}
+	return nil
+}
+
+// startKeepalives sends a KEEPALIVE every HoldTime/3 until the returned
+// channel is closed.
+func (s *Speaker) startKeepalives(conn net.Conn) chan struct{} {
+	stop := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.cfg.keepaliveEvery())
+		defer t.Stop()
+		ka := bgp.EncodeKeepalive()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if s.write(conn, ka) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return stop
+}
+
+// readLoop consumes the session until it dies: keepalives refresh the
+// hold timer, a NOTIFICATION or read error ends the session, hold-timer
+// expiry sends the RFC 4271 §6.5 NOTIFICATION before closing.
+func (s *Speaker) readLoop(conn net.Conn) {
+	r := &msgReader{c: conn}
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.HoldTime))
+		typ, _, err := r.read()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() && !s.isClosed() {
+				s.m.HoldExpiries.Inc()
+				sendNotification(conn, notifHoldTimerExpired)
+			}
+			return
+		}
+		switch typ {
+		case bgp.MsgKeepalive, bgp.MsgUpdate:
+			// Keepalives refresh the deadline; updates from the route
+			// server (Adj-RIB-Out announcements) are acknowledged receipt
+			// only — scenario peers do not keep a local RIB.
+		case bgp.MsgNotification:
+			return
+		}
+	}
+}
+
+// write serializes writes (updates from Send, keepalives) on the session.
+func (s *Speaker) write(conn net.Conn, b []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.HoldTime))
+	_, err := conn.Write(b)
+	return err
+}
+
+// Send transmits one encoded BGP message on the session, blocking until
+// the session is established. It does not retry across reconnects: a
+// write error means the message may or may not have reached the peer, so
+// resending could double-deliver — callers decide.
+func (s *Speaker) Send(msg []byte) error {
+	s.mu.Lock()
+	for s.state != StateEstablished && s.err == nil && !s.isClosed() {
+		s.cond.Wait()
+	}
+	conn, err := s.conn, s.err
+	closed := s.isClosed()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if closed {
+		return errors.New("live: speaker closed")
+	}
+	if err := s.write(conn, msg); err != nil {
+		return fmt.Errorf("live: AS%d send: %w", s.asn, err)
+	}
+	s.m.UpdatesSent.Inc()
+	return nil
+}
+
+// Close gracefully ends the session: a Cease NOTIFICATION, then the
+// connection. Safe to call more than once.
+func (s *Speaker) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	default:
+	}
+	close(s.done)
+	conn := s.conn
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		s.writeMu.Lock()
+		sendNotification(conn, notifCease)
+		s.writeMu.Unlock()
+		// Let the peer read the Cease and close its side first: closing
+		// immediately can reset the connection while inbound keepalives
+		// sit unread in our receive buffer, and the RST would destroy the
+		// in-flight NOTIFICATION — turning this orderly close into what
+		// the peer must treat as a transport failure.
+		grace := s.cfg.HoldTime
+		if grace > time.Second {
+			grace = time.Second
+		}
+		s.waitIdle(grace)
+		conn.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// waitIdle blocks until the FSM has left the session (state Idle) or the
+// timeout elapses.
+func (s *Speaker) waitIdle(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	tm := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer tm.Stop()
+	s.mu.Lock()
+	for s.state != StateIdle && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

@@ -131,9 +131,15 @@ func (w *Writer) Close() error {
 // any stream of BGP4MP/BGP4MP_ET MESSAGE_AS4 records over IPv4 sessions).
 // Records of other types are skipped silently, mirroring how analysis
 // tooling treats mixed collector dumps.
+// Decode errors are wrapped with the zero-based record index and the byte
+// offset of the offending record in the stream, so a truncated or corrupt
+// dump points at the damage rather than surfacing a bare
+// io.ErrUnexpectedEOF.
 type Reader struct {
-	r   *bufio.Reader
-	hdr [12]byte
+	r      *bufio.Reader
+	hdr    [12]byte
+	offset int64 // stream offset of the next unread byte
+	index  int   // records (of any type) fully consumed so far
 }
 
 // NewReader returns a Reader consuming from r.
@@ -141,12 +147,21 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// recErr decorates a decode error with the index and stream offset of the
+// record being read.
+func (rd *Reader) recErr(recStart int64, err error) error {
+	return fmt.Errorf("mrt: record %d at offset %d: %w", rd.index, recStart, err)
+}
+
 // Next returns the next MESSAGE_AS4 record, or io.EOF at end of stream.
 func (rd *Reader) Next() (*Record, error) {
 	for {
-		if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		recStart := rd.offset
+		n, err := io.ReadFull(rd.r, rd.hdr[:])
+		rd.offset += int64(n)
+		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil, fmt.Errorf("mrt: truncated record header: %w", err)
+				return nil, rd.recErr(recStart, fmt.Errorf("truncated record header: %d of %d bytes: %w", n, len(rd.hdr), err))
 			}
 			return nil, err
 		}
@@ -155,31 +170,40 @@ func (rd *Reader) Next() (*Record, error) {
 		subtype := binary.BigEndian.Uint16(rd.hdr[6:8])
 		length := binary.BigEndian.Uint32(rd.hdr[8:12])
 		if length > 1<<20 {
-			return nil, fmt.Errorf("mrt: implausible record length %d", length)
+			return nil, rd.recErr(recStart, fmt.Errorf("implausible record length %d", length))
 		}
 		body := make([]byte, length)
-		if _, err := io.ReadFull(rd.r, body); err != nil {
-			return nil, fmt.Errorf("mrt: truncated record body: %w", err)
+		n, err = io.ReadFull(rd.r, body)
+		rd.offset += int64(n)
+		if err != nil {
+			// A clean EOF here still means truncation: the header promised
+			// length more bytes.
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, rd.recErr(recStart, fmt.Errorf("truncated record body: %d of %d bytes: %w", n, length, err))
 		}
 
 		isET := typ == typeBGP4MPET
 		if (typ != typeBGP4MP && !isET) || subtype != subtypeMessageAS4 {
+			rd.index++
 			continue // skip record types we do not interpret
 		}
 
 		micros := uint32(0)
 		if isET {
 			if len(body) < 4 {
-				return nil, fmt.Errorf("mrt: ET record missing microsecond field")
+				return nil, rd.recErr(recStart, errors.New("ET record missing microsecond field"))
 			}
 			micros = binary.BigEndian.Uint32(body[0:4])
 			body = body[4:]
 		}
 		if len(body) < 20 {
-			return nil, fmt.Errorf("mrt: MESSAGE_AS4 body too short (%d bytes)", len(body))
+			return nil, rd.recErr(recStart, fmt.Errorf("MESSAGE_AS4 body too short (%d bytes)", len(body)))
 		}
 		afi := binary.BigEndian.Uint16(body[10:12])
 		if afi != afiIPv4 {
+			rd.index++
 			continue // IPv6 session records are out of scope
 		}
 		rec := &Record{
@@ -191,8 +215,9 @@ func (rd *Reader) Next() (*Record, error) {
 			Message:   body[20:],
 		}
 		if len(rec.Message) < 19 {
-			return nil, fmt.Errorf("mrt: embedded BGP message too short")
+			return nil, rd.recErr(recStart, fmt.Errorf("embedded BGP message too short (%d bytes)", len(rec.Message)))
 		}
+		rd.index++
 		return rec, nil
 	}
 }

@@ -99,6 +99,10 @@ type Metrics struct {
 	ImportRejectedHost     obs.Counter
 	// NotTargeted counts peers excluded by community steering.
 	NotTargeted obs.Counter
+
+	// PeerDowns counts session teardowns handled by PeerDown; the routes
+	// flushed by teardowns are counted in WithdrawnPrefixes.
+	PeerDowns obs.Counter
 }
 
 // Server is the route server. It is not safe for concurrent use; the
@@ -154,6 +158,7 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("routeserver.import.rejected_mid", &m.ImportRejectedMid)
 	reg.RegisterCounter("routeserver.import.rejected_host", &m.ImportRejectedHost)
 	reg.RegisterCounter("routeserver.import.not_targeted", &m.NotTargeted)
+	reg.RegisterCounter("routeserver.sessions.peer_down", &m.PeerDowns)
 	reg.GaugeFunc("routeserver.peers", func() int64 { return int64(len(s.peers)) })
 	reg.GaugeFunc("routeserver.rib_routes", func() int64 { return int64(len(s.rib)) })
 	for _, asn := range s.peerOrder {
@@ -280,6 +285,37 @@ func (s *Server) announce(ts time.Time, origin uint32, prefix bgp.Prefix, attrs 
 	}
 	s.rib[key] = rt
 	return ann
+}
+
+// PeerDown handles a member session teardown (connection loss, hold
+// timer expiry, or graceful Cease): per RFC 4271 §6.7 all routes learned
+// from the peer are withdrawn, flushing them from every other member's
+// Adj-RIB-Out exactly as explicit withdrawals would. The flushed routes
+// count toward the WithdrawnPrefixes metric; the session stays
+// registered, so a reconnecting peer re-announces into a clean table.
+// It returns the number of routes flushed.
+func (s *Server) PeerDown(peerAS uint32) int {
+	if _, ok := s.peers[peerAS]; !ok {
+		return 0
+	}
+	s.metrics.PeerDowns.Inc()
+	var prefixes []bgp.Prefix
+	for key := range s.rib {
+		if key.origin == peerAS {
+			prefixes = append(prefixes, key.prefix)
+		}
+	}
+	// Deterministic flush order, matching ActiveRoutes ordering.
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr != prefixes[j].Addr {
+			return prefixes[i].Addr < prefixes[j].Addr
+		}
+		return prefixes[i].Len < prefixes[j].Len
+	})
+	for _, p := range prefixes {
+		s.withdraw(peerAS, p)
+	}
+	return len(prefixes)
 }
 
 func (s *Server) withdraw(origin uint32, prefix bgp.Prefix) {

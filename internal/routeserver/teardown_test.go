@@ -1,0 +1,131 @@
+package routeserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// snapshotValue extracts one named counter or gauge from a registry
+// snapshot, failing the test when the name is unknown.
+func snapshotValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	snap := reg.Snapshot()
+	if !snap.Has(name) {
+		t.Fatalf("metric %q not in snapshot", name)
+	}
+	if v, ok := snap.Counters[name]; ok {
+		return v
+	}
+	return snap.Gauge(name)
+}
+
+// TestPeerDownFlushesRoutes asserts the RFC 4271 §6.7 teardown semantics:
+// a peer session going down withdraws every route the peer originated
+// from all other members' Adj-RIB-Outs, observable through the existing
+// routeserver.* counters and gauges.
+func TestPeerDownFlushesRoutes(t *testing.T) {
+	s := newTestServer(t, map[uint32]Policy{
+		100: BlackholeReadyPolicy(),
+		200: BlackholeReadyPolicy(),
+		300: BlackholeReadyPolicy(),
+	})
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	ts := time.Unix(0, 0)
+	for _, p := range []string{"203.0.113.5/32", "203.0.113.6/32", "198.51.100.0/24"} {
+		if _, err := s.Process(ts, 100, blackholeUpdate(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Process(ts, 200, blackholeUpdate("203.0.113.5/32")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumActiveRoutes(); got != 4 {
+		t.Fatalf("active routes = %d, want 4", got)
+	}
+	// Peer 300 accepted all four announcements (three distinct prefixes).
+	if got := snapshotValue(t, reg, "routeserver.peer.AS300.rib_size"); got != 3 {
+		t.Fatalf("AS300 rib size = %d, want 3", got)
+	}
+
+	if n := s.PeerDown(100); n != 3 {
+		t.Fatalf("PeerDown flushed %d routes, want 3", n)
+	}
+
+	// Only AS200's route survives.
+	if got := s.NumActiveRoutes(); got != 1 {
+		t.Fatalf("active routes after teardown = %d, want 1", got)
+	}
+	victim := mustAddr(t, "203.0.113.5")
+	if f := s.DropFraction(300, victim); f != 1 {
+		t.Fatalf("refcounted route lost on teardown: fraction = %v", f)
+	}
+	if f := s.DropFraction(300, mustAddr(t, "203.0.113.6")); f != 0 {
+		t.Fatalf("peer-down did not flush /32: fraction = %v", f)
+	}
+	if f := s.DropFraction(300, mustAddr(t, "198.51.100.7")); f != 0 {
+		t.Fatalf("peer-down did not flush /24: fraction = %v", f)
+	}
+
+	// Counters: the three flushed routes count as withdrawals, and the
+	// teardown itself is counted once.
+	if got := snapshotValue(t, reg, "routeserver.rtbh.withdrawn_prefixes"); got != 3 {
+		t.Fatalf("withdrawn_prefixes = %d, want 3", got)
+	}
+	if got := snapshotValue(t, reg, "routeserver.sessions.peer_down"); got != 1 {
+		t.Fatalf("sessions.peer_down = %d, want 1", got)
+	}
+	if got := snapshotValue(t, reg, "routeserver.peer.AS300.rib_size"); got != 1 {
+		t.Fatalf("AS300 rib size after teardown = %d, want 1", got)
+	}
+	if got := snapshotValue(t, reg, "routeserver.rib_routes"); got != 1 {
+		t.Fatalf("rib_routes gauge = %d, want 1", got)
+	}
+}
+
+// TestPeerDownUnknownOrEmptyPeer covers the degenerate teardowns: an
+// unregistered ASN is a no-op, and a peer with no routes only bumps the
+// teardown counter.
+func TestPeerDownUnknownOrEmptyPeer(t *testing.T) {
+	s := newTestServer(t, map[uint32]Policy{100: DefaultPolicy(), 200: DefaultPolicy()})
+	if n := s.PeerDown(999); n != 0 {
+		t.Fatalf("unknown peer flushed %d routes", n)
+	}
+	if s.Metrics().PeerDowns.Value() != 0 {
+		t.Fatal("unknown peer counted as teardown")
+	}
+	if n := s.PeerDown(100); n != 0 {
+		t.Fatalf("empty peer flushed %d routes", n)
+	}
+	if s.Metrics().PeerDowns.Value() != 1 {
+		t.Fatal("teardown of empty peer not counted")
+	}
+}
+
+// TestPeerDownThenReconnectReannounces verifies a reconnecting peer can
+// rebuild its state after a flush: the session stays registered and
+// re-announcements install cleanly (no reannouncement counted, since the
+// flush removed the old route).
+func TestPeerDownThenReconnectReannounces(t *testing.T) {
+	s := newTestServer(t, map[uint32]Policy{
+		100: BlackholeReadyPolicy(),
+		200: BlackholeReadyPolicy(),
+	})
+	ts := time.Unix(0, 0)
+	if _, err := s.Process(ts, 100, blackholeUpdate("203.0.113.5/32")); err != nil {
+		t.Fatal(err)
+	}
+	s.PeerDown(100)
+	if _, err := s.Process(ts.Add(time.Minute), 100, blackholeUpdate("203.0.113.5/32")); err != nil {
+		t.Fatalf("re-announce after teardown: %v", err)
+	}
+	if f := s.DropFraction(200, mustAddr(t, "203.0.113.5")); f != 1 {
+		t.Fatalf("fraction after reconnect = %v", f)
+	}
+	if got := s.Metrics().Reannouncements.Value(); got != 0 {
+		t.Fatalf("reannouncements = %d, want 0 (table was flushed)", got)
+	}
+}

@@ -49,6 +49,36 @@ type controlMsg struct {
 	announce bool
 }
 
+// Executor receives the planned world's totally ordered action stream
+// from Drive: BGP control messages and packet batches, interleaved
+// chronologically. Control must complete (the route server must have
+// processed the update) before it returns, so that a subsequent Inject
+// sees the new forwarding state — Drive relies on this for determinism.
+type Executor interface {
+	// Control delivers one UPDATE from peerAS timestamped ts.
+	Control(ts time.Time, peerAS uint32, upd *bgp.Update) error
+	// Inject offers one packet batch to the switching fabric.
+	Inject(b *fabric.Batch) error
+}
+
+// DriveStats summarizes the control-plane actions Drive dispatched.
+type DriveStats struct {
+	Announcements int // UPDATE messages announcing RTBH prefixes
+	Withdrawals   int // UPDATE messages withdrawing RTBH prefixes
+}
+
+// NewRouteServer constructs the route server of the planned world with
+// every member session registered, exactly as Run does.
+func NewRouteServer(w *World) (*routeserver.Server, error) {
+	rs := routeserver.New(w.RSASN, w.RSIP)
+	for _, m := range w.Members {
+		if err := rs.AddPeer(routeserver.Peer{ASN: m.ASN, IP: m.IP, Policy: m.Policy}); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
 // Run executes the planned world chronologically, feeding the route
 // server, the switching fabric and the sinks.
 func Run(w *World, sinks Sinks) (*Result, error) {
@@ -56,31 +86,79 @@ func Run(w *World, sinks Sinks) (*Result, error) {
 		return nil, fmt.Errorf("scenario: Sinks.Flow is required")
 	}
 	res := &Result{World: w}
-	rng := stats.NewRNG(w.Cfg.Seed ^ 0x52554e)
 
-	rs := routeserver.New(w.RSASN, w.RSIP)
-	for _, m := range w.Members {
-		if err := rs.AddPeer(routeserver.Peer{ASN: m.ASN, IP: m.IP, Policy: m.Policy}); err != nil {
+	var (
+		rs        *routeserver.Server
+		fb        *fabric.Fabric
+		flowCount int64
+	)
+	st, err := Drive(w, func(fabricRNG *stats.RNG) (Executor, error) {
+		var err error
+		if rs, err = NewRouteServer(w); err != nil {
 			return nil, err
 		}
-	}
-	if sinks.Control != nil {
-		rs.SetCollector(sinks.Control)
-	}
-
-	flowCount := int64(0)
-	fb, err := fabric.New(rs, w.Cfg.SamplingRate, rng.Fork(1), func(rec *ipfix.FlowRecord) error {
-		flowCount++
-		return sinks.Flow(rec)
+		if sinks.Control != nil {
+			rs.SetCollector(sinks.Control)
+		}
+		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(rec *ipfix.FlowRecord) error {
+			flowCount++
+			return sinks.Flow(rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fb.ClockOffset = w.Cfg.ClockOffset
+		if sinks.Metrics != nil {
+			rs.RegisterMetrics(sinks.Metrics)
+			fb.RegisterMetrics(sinks.Metrics)
+		}
+		return directExecutor{rs: rs, fb: fb}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	fb.ClockOffset = w.Cfg.ClockOffset
-	if sinks.Metrics != nil {
-		rs.RegisterMetrics(sinks.Metrics)
-		fb.RegisterMetrics(sinks.Metrics)
+
+	res.FabricStats = fb.Stats()
+	res.ControlMsgs = rs.MessagesProcessed()
+	res.Announcements = st.Announcements
+	res.Withdrawals = st.Withdrawals
+	res.FlowRecords = flowCount
+	return res, nil
+}
+
+// directExecutor is the in-process executor Run uses: control messages
+// go straight to the route server, batches straight to the fabric.
+type directExecutor struct {
+	rs *routeserver.Server
+	fb *fabric.Fabric
+}
+
+func (e directExecutor) Control(ts time.Time, peerAS uint32, upd *bgp.Update) error {
+	_, err := e.rs.Process(ts, peerAS, upd)
+	return err
+}
+
+func (e directExecutor) Inject(b *fabric.Batch) error { return e.fb.Inject(b) }
+
+// Drive walks the planned world's total event order and dispatches every
+// action to the executor created by build. The RNG substream handed to
+// build is the exact fork Run passes to fabric.New, so an executor that
+// wraps a fabric constructed with it reproduces Run's data plane
+// bit-identically; the control updates Drive builds are likewise
+// bit-identical to Run's. This is the seam the live subsystem uses to
+// put real transports between the scenario and the route server/fabric
+// while keeping the archived dataset byte-identical to the batch path.
+//
+// When an executor call fails mid-walk (including a cancelled live run),
+// Drive returns the stats of the actions dispatched so far alongside the
+// error, so interrupted runs can still report what was delivered.
+func Drive(w *World, build func(fabricRNG *stats.RNG) (Executor, error)) (*DriveStats, error) {
+	rng := stats.NewRNG(w.Cfg.Seed ^ 0x52554e)
+	ex, err := build(rng.Fork(1))
+	if err != nil {
+		return nil, err
 	}
+	st := &DriveStats{}
 
 	// Index control messages and attack slots by day.
 	days := w.Cfg.Days
@@ -156,27 +234,30 @@ func Run(w *World, sinks Sinks) (*Result, error) {
 			// Control messages win ties so that a batch starting exactly
 			// at an announcement sees the new state.
 			if ci < len(ctl) && (bi >= len(batches) || !batches[bi].Time.Before(ctl[ci].t)) {
-				if err := processControl(rs, res, ctl[ci], w, genRNG); err != nil {
-					return nil, err
+				upd := buildControlUpdate(ctl[ci], genRNG)
+				if err := ex.Control(ctl[ci].t, ctl[ci].event.Peer, upd); err != nil {
+					return st, err
+				}
+				if ctl[ci].announce {
+					st.Announcements++
+				} else {
+					st.Withdrawals++
 				}
 				ci++
 				continue
 			}
-			if err := fb.Inject(&batches[bi]); err != nil {
-				return nil, err
+			if err := ex.Inject(&batches[bi]); err != nil {
+				return st, err
 			}
 			bi++
 		}
 	}
-
-	res.FabricStats = fb.Stats()
-	res.ControlMsgs = rs.MessagesProcessed()
-	res.FlowRecords = flowCount
-	return res, nil
+	return st, nil
 }
 
-// processControl issues one announce/withdraw to the route server.
-func processControl(rs *routeserver.Server, res *Result, cm controlMsg, w *World, r *stats.RNG) error {
+// buildControlUpdate constructs the announce/withdraw UPDATE of one
+// scheduled control message, consuming the shared generator stream.
+func buildControlUpdate(cm controlMsg, r *stats.RNG) *bgp.Update {
 	e := cm.event
 	upd := &bgp.Update{}
 	if cm.announce {
@@ -198,13 +279,10 @@ func processControl(rs *routeserver.Server, res *Result, cm controlMsg, w *World
 			Communities: comms,
 		}
 		upd.NLRI = []bgp.Prefix{e.Prefix}
-		res.Announcements++
 	} else {
 		upd.Withdrawn = []bgp.Prefix{e.Prefix}
-		res.Withdrawals++
 	}
-	_, err := rs.Process(cm.t, e.Peer, upd)
-	return err
+	return upd
 }
 
 // hostTransitions collects, per host index, the sorted set of times at

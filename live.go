@@ -1,0 +1,284 @@
+package rtbh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/fabric"
+	"repro/internal/ipfix"
+	"repro/internal/live"
+	"repro/internal/mrt"
+	"repro/internal/routeserver"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// LiveRun is one live-mode run of a planned world: instead of feeding
+// the route server and the archive writers in-process the way Simulate
+// does, every control update crosses a real BGP-over-TCP session and
+// every sampled flow record is exported as RFC 7011 IPFIX over UDP to a
+// collector, which writes the archives and feeds an OnlineAnalyzer.
+// The archived dataset is byte-identical to Simulate's for the same
+// Config (see DESIGN.md, "Live mode").
+//
+// Construct with NewLiveRun, inspect progress through Analyzer, then
+// Run once. Cancelling Run's context interrupts the run gracefully: the
+// in-flight streams drain, the archive holds the delivered prefix of
+// the run, and the analyzer reports over exactly that prefix.
+type LiveRun struct {
+	cfg      Config
+	dir      string
+	reg      *MetricsRegistry
+	w        *scenario.World
+	analyzer *OnlineAnalyzer
+	lm       *live.Metrics
+
+	ran         bool
+	interrupted bool
+}
+
+// NewLiveRun plans the world described by cfg and prepares the online
+// analyzer. Nothing is written and no sockets open until Run. When reg
+// is non-nil the live transports register their metrics ("live.*") on
+// it immediately, and the route server and fabric add theirs
+// ("routeserver.*", "fabric.*") during Run.
+func NewLiveRun(cfg Config, dir string, reg *MetricsRegistry) (*LiveRun, error) {
+	w, err := scenario.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lm := live.NewMetrics()
+	if reg != nil {
+		lm.Register(reg)
+	}
+	return &LiveRun{
+		cfg:      cfg,
+		dir:      dir,
+		reg:      reg,
+		w:        w,
+		analyzer: NewOnlineAnalyzer(analysisMeta(w)),
+		lm:       lm,
+	}, nil
+}
+
+// Analyzer returns the run's online analyzer. Snapshot it at any time —
+// before, during or after Run.
+func (lr *LiveRun) Analyzer() *OnlineAnalyzer { return lr.analyzer }
+
+// Interrupted reports whether Run ended early because its context was
+// cancelled (the dataset then covers the delivered prefix of the run).
+func (lr *LiveRun) Interrupted() bool { return lr.interrupted }
+
+// Run drives the planned world through the live transports and writes
+// the same dataset files as Simulate into the run's directory. It
+// returns after the streams have drained, the shutdown invariants have
+// been reconciled (every sent update delivered; every exported record
+// collected or accounted as dropped) and the archives are flushed.
+//
+// Cancelling ctx stops dispatching, drains what is in flight, and
+// returns normally with Interrupted() set; any other failure is an
+// error.
+func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
+	if lr.ran {
+		return nil, fmt.Errorf("rtbh: live run already executed")
+	}
+	lr.ran = true
+	w := lr.w
+
+	if err := os.MkdirAll(lr.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	mrtFile, err := os.Create(filepath.Join(lr.dir, FileUpdates))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	defer mrtFile.Close()
+	mrtW := mrt.NewWriter(mrtFile)
+
+	flowFile, err := os.Create(filepath.Join(lr.dir, FileFlows))
+	if err != nil {
+		return nil, fmt.Errorf("rtbh: %w", err)
+	}
+	defer flowFile.Close()
+	flowW := ipfix.NewWriter(flowFile, 1)
+
+	// rs and fb are assigned inside Drive's build callback, strictly
+	// before the runner carries any traffic that reaches these closures.
+	var (
+		rs *routeserver.Server
+		fb *fabric.Fabric
+	)
+
+	// rsMu serializes route-server access: deliveries arrive on the
+	// sequencer's delivery goroutine, peer flushes on per-session
+	// listener goroutines, and the route server itself is not
+	// concurrency-safe.
+	var rsMu sync.Mutex
+
+	// Delivered updates (totally ordered by the sequencer) go to the
+	// route server — whose collector hook archives the re-encoded wire
+	// message, byte-identical to the batch path — and to the analyzer.
+	deliver := func(ts time.Time, peer uint32, upd *bgp.Update) error {
+		rsMu.Lock()
+		_, err := rs.Process(ts, peer, upd)
+		rsMu.Unlock()
+		if err != nil {
+			return err
+		}
+		lr.analyzer.ObserveUpdate(ts, peer, upd)
+		return nil
+	}
+	// Ungraceful session loss flushes the peer's routes, exactly like a
+	// production route server would. The orderly Cease at shutdown does
+	// not take this path.
+	onPeerFlush := func(peer uint32) {
+		rsMu.Lock()
+		rs.PeerDown(peer)
+		rsMu.Unlock()
+	}
+	// Collected flow records (in export order) feed the archive and the
+	// analyzer.
+	flowSink := func(rec *ipfix.FlowRecord) error {
+		if err := flowW.WriteRecord(rec); err != nil {
+			return err
+		}
+		lr.analyzer.ObserveFlow(rec)
+		return nil
+	}
+
+	runner, err := live.NewRunner(ctx, live.RunnerConfig{}, lr.lm, deliver, onPeerFlush, flowSink)
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Shutdown()
+
+	var flowCount int64
+	st, driveErr := scenario.Drive(w, func(fabricRNG *stats.RNG) (scenario.Executor, error) {
+		if rs, err = scenario.NewRouteServer(w); err != nil {
+			return nil, err
+		}
+		rs.SetCollector(func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
+			rec := mrt.Record{
+				Timestamp: ts, PeerAS: peerAS, LocalAS: uint32(w.RSASN),
+				PeerIP: peerIP, LocalIP: w.RSIP, Message: msg,
+			}
+			// Write errors surface at Flush below, as in Simulate.
+			_ = mrtW.WriteRecord(&rec)
+		})
+		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(rec *ipfix.FlowRecord) error {
+			flowCount++
+			return runner.ExportFlow(rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		fb.ClockOffset = w.Cfg.ClockOffset
+		if lr.reg != nil {
+			rs.RegisterMetrics(lr.reg)
+			fb.RegisterMetrics(lr.reg)
+		}
+		runner.SetRouteServerASN(uint32(w.RSASN))
+		return liveExecutor{r: runner, fb: fb}, nil
+	})
+	if driveErr != nil {
+		if !errors.Is(driveErr, context.Canceled) && !errors.Is(driveErr, context.DeadlineExceeded) {
+			return nil, driveErr
+		}
+		lr.interrupted = true
+	}
+	if st == nil { // Drive returns no stats when build itself failed
+		st = &scenario.DriveStats{}
+	}
+
+	// Drain what is in flight even on an interrupted run, so the archive
+	// and the analyzer agree on the delivered prefix.
+	if err := runner.Drain(); err != nil {
+		return nil, err
+	}
+	if err := runner.Reconcile(); err != nil {
+		return nil, err
+	}
+	if err := runner.Shutdown(); err != nil {
+		return nil, err
+	}
+
+	if err := mrtW.Flush(); err != nil {
+		return nil, fmt.Errorf("rtbh: flushing MRT: %w", err)
+	}
+	if err := flowW.Flush(); err != nil {
+		return nil, fmt.Errorf("rtbh: flushing IPFIX: %w", err)
+	}
+	if err := writeJSON(filepath.Join(lr.dir, FileMetadata), metaOf(w)); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(lr.dir, FileIP2AS), w.IP2AS.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(lr.dir, FilePDB), w.PDB.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := writeFile(filepath.Join(lr.dir, FileTruth), scenario.Truth(w).WriteJSON); err != nil {
+		return nil, err
+	}
+
+	fst := fb.Stats()
+	return &SimulationSummary{
+		Events:         len(w.Events),
+		Hosts:          len(w.Hosts),
+		Members:        len(w.Members),
+		ControlMsgs:    rs.MessagesProcessed(),
+		Announcements:  st.Announcements,
+		Withdrawals:    st.Withdrawals,
+		FlowRecords:    flowCount,
+		PacketsIn:      fst.PacketsIn,
+		PacketsDropped: fst.PacketsDropped,
+	}, nil
+}
+
+// liveExecutor dispatches the scenario driver's action stream onto the
+// live transports. Control is asynchronous (the update crosses a real
+// TCP session); the barrier before every Inject restores the batch
+// path's "control completes before the next batch" invariant, so the
+// fabric always sees the forwarding state the driver intended.
+type liveExecutor struct {
+	r  *live.Runner
+	fb *fabric.Fabric
+}
+
+func (e liveExecutor) Control(ts time.Time, peerAS uint32, upd *bgp.Update) error {
+	return e.r.SendUpdate(ts, peerAS, upd)
+}
+
+func (e liveExecutor) Inject(b *fabric.Batch) error {
+	if err := e.r.Barrier(); err != nil {
+		return err
+	}
+	return e.fb.Inject(b)
+}
+
+// analysisMeta builds the analyzer-side metadata directly from the
+// planned world — the same values OpenDataset reconstructs from the
+// dataset's metadata.json and side tables.
+func analysisMeta(w *scenario.World) *analysis.Metadata {
+	meta := &analysis.Metadata{
+		SamplingRate: w.Cfg.SamplingRate,
+		Start:        w.Cfg.Start,
+		End:          w.Cfg.End(),
+		MemberByMAC:  make(map[ipfix.MAC]uint32, len(w.Members)),
+		BlackholeMAC: fabric.BlackholeMAC,
+		InternalMACs: map[ipfix.MAC]bool{fabric.InternalMAC: true},
+		IP2AS:        w.IP2AS,
+		PDB:          w.PDB,
+	}
+	for _, m := range w.Members {
+		meta.MemberByMAC[fabric.MemberMAC(m.ASN)] = m.ASN
+	}
+	return meta
+}

@@ -1,0 +1,84 @@
+package rtbh
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+	"repro/internal/ipfix"
+)
+
+// OnlineAnalyzer accumulates a live run's measurement streams
+// incrementally and can produce a Report at any point: a partial
+// snapshot while the run is still streaming, or the final report once
+// the streams have drained. A report over the complete streams is
+// byte-identical (rendered) to analyzing the archived dataset with
+// Dataset.Analyze, because both paths feed the same updates and flow
+// records through the same pipeline.
+//
+// ObserveUpdate and ObserveFlow may be called from different
+// goroutines (in live mode they are: updates arrive on the route
+// server's delivery goroutine, flows on the collector's decode
+// goroutine); Snapshot may be called concurrently with both.
+type OnlineAnalyzer struct {
+	meta *analysis.Metadata
+
+	mu      sync.Mutex
+	updates []analysis.ControlUpdate
+	flows   []ipfix.FlowRecord
+}
+
+// NewOnlineAnalyzer returns an analyzer accumulating against the given
+// dataset metadata (side tables, sampling rate, measurement period).
+func NewOnlineAnalyzer(meta *analysis.Metadata) *OnlineAnalyzer {
+	return &OnlineAnalyzer{meta: meta}
+}
+
+// ObserveUpdate ingests one BGP UPDATE the route server processed,
+// expanding it into RTBH control updates exactly as the batch MRT
+// parser would.
+func (a *OnlineAnalyzer) ObserveUpdate(ts time.Time, peer uint32, upd *bgp.Update) {
+	a.mu.Lock()
+	a.updates = analysis.ExpandUpdate(a.updates, ts, peer, upd)
+	a.mu.Unlock()
+}
+
+// ObserveFlow ingests one collected flow record (copied; the caller may
+// reuse rec).
+func (a *OnlineAnalyzer) ObserveFlow(rec *ipfix.FlowRecord) {
+	a.mu.Lock()
+	a.flows = append(a.flows, *rec)
+	a.mu.Unlock()
+}
+
+// Counts reports how much the analyzer has accumulated so far.
+func (a *OnlineAnalyzer) Counts() (updates int, flows int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.updates), int64(len(a.flows))
+}
+
+// Snapshot runs the full analysis pipeline over everything observed so
+// far and returns the report. Safe to call at any time, including while
+// the streams are still being fed; the snapshot covers a consistent
+// prefix of each stream.
+func (a *OnlineAnalyzer) Snapshot(opts Options) (*Report, error) {
+	a.mu.Lock()
+	updates := append([]analysis.ControlUpdate(nil), a.updates...)
+	flows := append([]ipfix.FlowRecord(nil), a.flows...)
+	a.mu.Unlock()
+
+	// The batch parser sorts by time after reading the archive; the live
+	// stream arrives in processing order, which equal-timestamp stability
+	// preserves.
+	analysis.SortUpdates(updates)
+	return NewDataset(a.meta, updates, flows).Analyze(opts)
+}
+
+// Final is the report over the drained streams: call it after the live
+// run has finished (or been gracefully interrupted and drained). It is
+// Snapshot at a moment when nothing more will arrive.
+func (a *OnlineAnalyzer) Final(opts Options) (*Report, error) {
+	return a.Snapshot(opts)
+}
