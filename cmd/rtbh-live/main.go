@@ -10,7 +10,14 @@
 //
 //	rtbh-live -out DIR [-scale test|bench|full] [-seed N] [-days N]
 //	          [-snapshot-every 30s] [-report=false] [-metrics PATH]
-//	          [-pprof ADDR]
+//	          [-pprof ADDR] [-chaos-profile NAME] [-chaos-seed N]
+//
+// With -chaos-profile, a seeded fault-injection plan (internal/faultnet)
+// impairs the live transports — connection kills, handshake resets and
+// write stalls on the BGP sessions; drops, duplicates, reorders, delays
+// and partitions on the IPFIX export — while the run still drains to a
+// fully reconciled dataset. The same -chaos-seed injects a byte-identical
+// fault schedule on every run.
 //
 // SIGINT/SIGTERM interrupt the run gracefully: dispatch stops, the
 // in-flight streams drain, the archives hold the delivered prefix of
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +53,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel pipeline shards for the report (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	chaosProfile := flag.String("chaos-profile", "",
+		fmt.Sprintf("inject transport faults from this profile (%s; empty disables)", strings.Join(rtbh.ChaosProfiles(), ", ")))
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault-injection schedule (same seed, same faults)")
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -85,6 +96,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *chaosProfile != "" {
+		if err := lr.EnableChaos(*chaosSeed, *chaosProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -114,6 +131,10 @@ func main() {
 		sum.ControlMsgs, sum.Announcements, sum.Withdrawals)
 	fmt.Printf("data plane: %d flow records over IPFIX/UDP (%d packets offered, %d dropped)\n",
 		sum.FlowRecords, sum.PacketsIn, sum.PacketsDropped)
+	if *chaosProfile != "" {
+		fmt.Printf("chaos: profile %s, seed %d — injected faults reconciled (faultnet.* in the metrics snapshot)\n",
+			*chaosProfile, *chaosSeed)
+	}
 
 	if *report {
 		rep, err := lr.Analyzer().Final(opts)

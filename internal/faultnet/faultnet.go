@@ -1,0 +1,249 @@
+// Package faultnet is a seeded, fully deterministic impairment layer for
+// the live transports: a net.Conn middleware for the BGP-over-TCP
+// sessions (byte-level stalls, mid-handshake resets, connection kills)
+// and a datagram hook for the IPFIX-over-UDP export path (drops,
+// duplicates, reorders, delays, one-way partitions).
+//
+// Determinism is the design constraint everything else bends around.
+// Every fault decision is drawn from a stats.RNG substream keyed by the
+// plan seed plus a stable stream label (the peer ASN for TCP, a fixed
+// label for UDP), and decisions are indexed by logical position in the
+// stream — the j-th UPDATE a peer writes, the a-th dial attempt, the
+// i-th exported data datagram — never by wall-clock time. Two runs with
+// the same plan seed therefore inject byte-identical fault schedules
+// (compare Journal outputs), and the run's observable outcome is
+// identical too, because the taxonomy only admits faults whose
+// consequences are deterministic:
+//
+//   - TCP kills happen on message boundaries via an orderly close, so
+//     every byte already written is delivered before the FIN; nothing is
+//     half-lost. An abortive RST-style reset mid-UPDATE is deliberately
+//     excluded: TCP gives no deterministic guarantee about which prefix
+//     of in-flight data survives an RST, so its outcome could differ
+//     between runs.
+//   - TCP resets abort the open exchange instead: half an OPEN is
+//     written, then the connection dies. No session existed, so no
+//     application data was at risk.
+//   - UDP faults are decided per data datagram and executed inline on
+//     the (single) export goroutine; loopback UDP preserves send order,
+//     so the collector observes the same arrival sequence every run.
+//     A reorder is expressed as a deterministic exchange with the next
+//     sent datagram rather than a background re-timing.
+//
+// Every injected fault increments a counter in Metrics (registered under
+// "faultnet.*"), so tests can reconcile injected faults against the live
+// layer's observed recovery exactly: reconnects against kills, collector
+// sequence-gap drops against injected drops plus late reorders.
+package faultnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Profile names a fault mix. Profiles fix the impairment probabilities;
+// the plan seed fixes which positions in the streams they hit.
+type Profile string
+
+const (
+	// ProfileNone installs the wrappers but schedules no faults: every
+	// decision point takes the fast inactive path. It exists to measure
+	// the overhead of the middleware itself (BenchmarkLiveWithChaos/none).
+	ProfileNone Profile = "none"
+	// ProfileLossyUDP impairs only the IPFIX export path: random drops,
+	// duplicates, reorders and pacing delays.
+	ProfileLossyUDP Profile = "lossy-udp"
+	// ProfileFlappingTCP impairs only the BGP sessions: connection kills,
+	// mid-handshake resets, and byte-level write stalls.
+	ProfileFlappingTCP Profile = "flapping-tcp"
+	// ProfilePartitionHeal opens one-way export partitions (windows of
+	// consecutive datagrams silently blackholed) that heal on their own.
+	ProfilePartitionHeal Profile = "partition-heal"
+	// ProfileMixed turns everything on at once.
+	ProfileMixed Profile = "mixed"
+)
+
+// ProfileNames lists the accepted profile names, for CLI usage strings.
+func ProfileNames() []string {
+	return []string{
+		string(ProfileNone), string(ProfileLossyUDP), string(ProfileFlappingTCP),
+		string(ProfilePartitionHeal), string(ProfileMixed),
+	}
+}
+
+// ParseProfile validates a profile name.
+func ParseProfile(s string) (Profile, error) {
+	for _, n := range ProfileNames() {
+		if s == n {
+			return Profile(s), nil
+		}
+	}
+	return "", fmt.Errorf("faultnet: unknown chaos profile %q (want one of %s)",
+		s, strings.Join(ProfileNames(), ", "))
+}
+
+// params are the per-profile impairment probabilities and magnitudes.
+// Stall and delay magnitudes are kept orders of magnitude below the BGP
+// hold time: a stall that outlived the hold timer would expire the
+// session mid-message and lose the half-read UPDATE, which is exactly
+// the nondeterministic outcome the taxonomy excludes.
+type params struct {
+	// TCP, decided per written UPDATE (killPerUpdate, stallPerUpdate)
+	// or per dial attempt (resetPerAttempt).
+	killPerUpdate   float64
+	resetPerAttempt float64
+	stallPerUpdate  float64
+	stallMin        time.Duration
+	stallMax        time.Duration
+
+	// UDP, decided per exported data datagram.
+	dropPerDatagram    float64
+	dupPerDatagram     float64
+	reorderPerDatagram float64
+	delayPerDatagram   float64
+	delayMin           time.Duration
+	delayMax           time.Duration
+	partitionStart     float64 // probability a partition opens at this datagram
+	partitionMin       int     // window length bounds, in datagrams
+	partitionMax       int
+}
+
+func (p Profile) params() params {
+	var par params
+	switch p {
+	case ProfileLossyUDP:
+		par.dropPerDatagram = 0.08
+		par.dupPerDatagram = 0.05
+		par.reorderPerDatagram = 0.05
+		par.delayPerDatagram = 0.10
+		par.delayMin, par.delayMax = 50*time.Microsecond, 500*time.Microsecond
+	case ProfileFlappingTCP:
+		par.killPerUpdate = 0.06
+		par.resetPerAttempt = 0.25
+		par.stallPerUpdate = 0.10
+		par.stallMin, par.stallMax = 200*time.Microsecond, 2*time.Millisecond
+	case ProfilePartitionHeal:
+		par.partitionStart = 0.015
+		par.partitionMin, par.partitionMax = 8, 40
+	case ProfileMixed:
+		lossy, flap, part := ProfileLossyUDP.params(), ProfileFlappingTCP.params(), ProfilePartitionHeal.params()
+		par = lossy
+		par.killPerUpdate = flap.killPerUpdate
+		par.resetPerAttempt = flap.resetPerAttempt
+		par.stallPerUpdate = flap.stallPerUpdate
+		par.stallMin, par.stallMax = flap.stallMin, flap.stallMax
+		par.partitionStart = part.partitionStart
+		par.partitionMin, par.partitionMax = part.partitionMin, part.partitionMax
+	}
+	return par
+}
+
+// Plan is one run's fault schedule: a seed, a profile, the metrics the
+// injections count into, and a journal of every injected fault. A Plan
+// may impair any number of TCP sessions plus one UDP export stream; all
+// of its methods are safe for concurrent use.
+type Plan struct {
+	Seed    uint64
+	Profile Profile
+	// M counts every injected fault; register it on the run's obs
+	// registry to reconcile injections against observed recovery.
+	M *Metrics
+
+	par params
+
+	mu      sync.Mutex
+	tcp     map[uint32]*TCPSchedule
+	udp     *UDPSchedule
+	journal map[string][]string
+}
+
+// NewPlan returns the deterministic fault plan for (seed, profile).
+func NewPlan(seed uint64, profile Profile) *Plan {
+	return &Plan{
+		Seed:    seed,
+		Profile: profile,
+		M:       NewMetrics(),
+		par:     profile.params(),
+		tcp:     make(map[uint32]*TCPSchedule),
+		journal: make(map[string][]string),
+	}
+}
+
+// Stream labels for substream derivation. The golden-ratio multiplier
+// decorrelates adjacent labels the same way stats.RNG.Fork does.
+const (
+	streamTCPUpdates  = 1 << 40
+	streamTCPAttempts = 2 << 40
+	streamUDP         = 3 << 40
+)
+
+func (p *Plan) substream(label uint64) *stats.RNG {
+	return stats.NewRNG(p.Seed ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// TCP returns the fault schedule for one peer's BGP sessions. The
+// schedule is created on first use and is deterministic in (seed, peer):
+// the set of peers asking, and the order they ask in, does not perturb
+// any schedule.
+func (p *Plan) TCP(peer uint32) *TCPSchedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.tcp[peer]
+	if !ok {
+		s = &TCPSchedule{
+			plan:   p,
+			peer:   peer,
+			updRNG: p.substream(streamTCPUpdates + uint64(peer)),
+			attRNG: p.substream(streamTCPAttempts + uint64(peer)),
+		}
+		p.tcp[peer] = s
+	}
+	return s
+}
+
+// UDP returns the fault schedule for the IPFIX export stream.
+func (p *Plan) UDP() *UDPSchedule {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.udp == nil {
+		p.udp = &UDPSchedule{plan: p, rng: p.substream(streamUDP)}
+	}
+	return p.udp
+}
+
+// note appends one journal line to the named stream. Lines within a
+// stream are appended in injection order, which is deterministic per
+// stream (each stream is driven by a single logical writer).
+func (p *Plan) note(stream, format string, args ...any) {
+	p.mu.Lock()
+	p.journal[stream] = append(p.journal[stream], fmt.Sprintf(format, args...))
+	p.mu.Unlock()
+}
+
+// Journal renders every injected fault, grouped by stream and sorted by
+// stream name. Two runs of the same plan seed and profile against the
+// same workload produce byte-identical journals — the test suite's
+// schedule-determinism oracle.
+func (p *Plan) Journal() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	streams := make([]string, 0, len(p.journal))
+	for s := range p.journal {
+		streams = append(streams, s)
+	}
+	sort.Strings(streams)
+	var b strings.Builder
+	for _, s := range streams {
+		fmt.Fprintf(&b, "== %s ==\n", s)
+		for _, line := range p.journal[s] {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,363 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// fakeConn records everything written to it.
+type fakeConn struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (f *fakeConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (f *fakeConn) Write(b []byte) (int, error)      { return f.buf.Write(b) }
+func (f *fakeConn) Close() error                     { f.closed = true; return nil }
+func (f *fakeConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (f *fakeConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (f *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (f *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (f *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// fakeUpdate builds a distinct, framed BGP UPDATE payload for index i.
+func fakeUpdate(i int) []byte {
+	body := []byte(fmt.Sprintf("update-%06d", i))
+	msg := make([]byte, msgTypeOffset+1+len(body))
+	msg[msgTypeOffset] = bgp.MsgUpdate
+	copy(msg[msgTypeOffset+1:], body)
+	return msg
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, n := range ProfileNames() {
+		p, err := ParseProfile(n)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", n, err)
+		}
+		if string(p) != n {
+			t.Fatalf("ParseProfile(%q) = %q", n, p)
+		}
+	}
+	if _, err := ParseProfile("bogus"); err == nil {
+		t.Fatal("ParseProfile(bogus) accepted")
+	}
+}
+
+// driveTCP pushes n updates through a peer's schedule the way a speaker
+// would: re-wrapping a fresh conn and resending whenever the plan kills
+// or resets the current one. It returns the per-conn transcripts.
+func driveTCP(t *testing.T, plan *Plan, peer uint32, n int) []*fakeConn {
+	t.Helper()
+	sched := plan.TCP(peer)
+	fc := &fakeConn{}
+	conns := []*fakeConn{fc}
+	conn := sched.Wrap(fc)
+	for i := 0; i < n; i++ {
+		msg := fakeUpdate(i)
+		for {
+			wn, err := conn.Write(msg)
+			if err == nil {
+				if wn != len(msg) {
+					t.Fatalf("update %d: short write %d of %d without error", i, wn, len(msg))
+				}
+				break
+			}
+			if !errors.Is(err, ErrConnKilled) {
+				t.Fatalf("update %d: unexpected error %v", i, err)
+			}
+			if wn != 0 {
+				t.Fatalf("update %d: ErrConnKilled reported %d bytes written", i, wn)
+			}
+			fc = &fakeConn{}
+			conns = append(conns, fc)
+			conn = sched.Wrap(fc)
+		}
+	}
+	return conns
+}
+
+func TestTCPKillAndResetSemantics(t *testing.T) {
+	plan := NewPlan(7, ProfileFlappingTCP)
+	const n = 400
+	conns := driveTCP(t, plan, 64500, n)
+
+	kills := plan.M.TCPKills.Value()
+	resets := plan.M.TCPResets.Value()
+	if kills == 0 || resets == 0 {
+		t.Fatalf("workload too tame: kills=%d resets=%d", kills, resets)
+	}
+	// Every replacement conn exists because of exactly one kill or reset.
+	if got := int64(len(conns) - 1); got != kills+resets {
+		t.Fatalf("reconnects=%d, want kills+resets=%d", got, kills+resets)
+	}
+	// Loss-freedom: every update was fully written exactly once across
+	// all conns (reset truncations only ever leave a strict prefix).
+	var all []byte
+	for _, c := range conns {
+		all = append(all, c.buf.Bytes()...)
+	}
+	for i := 0; i < n; i++ {
+		if got := bytes.Count(all, fakeUpdate(i)); got != 1 {
+			t.Fatalf("update %d written %d times, want exactly 1", i, got)
+		}
+	}
+	// A killed conn must have been closed so its FIN flushes the tail.
+	closed := 0
+	for _, c := range conns[:len(conns)-1] {
+		if c.closed {
+			closed++
+		}
+	}
+	if int64(closed) != kills+resets {
+		t.Fatalf("closed %d dead conns, want %d", closed, kills+resets)
+	}
+}
+
+func TestTCPWriteAfterKill(t *testing.T) {
+	plan := NewPlan(7, ProfileFlappingTCP)
+	sched := plan.TCP(64501)
+	fc := &fakeConn{}
+	conn := sched.Wrap(fc).(*Conn)
+	conn.killed = true
+	if n, err := conn.Write(fakeUpdate(0)); n != 0 || !errors.Is(err, ErrConnKilled) {
+		t.Fatalf("write after kill = (%d, %v), want (0, ErrConnKilled)", n, err)
+	}
+	if fc.buf.Len() != 0 {
+		t.Fatalf("write after kill leaked %d bytes", fc.buf.Len())
+	}
+}
+
+func TestTCPKeepalivesDoNotPerturbSchedule(t *testing.T) {
+	// Two identical workloads, except the second interleaves keepalives
+	// between updates: the fault journal must be identical because the
+	// schedule is indexed by UPDATE count, not write count.
+	run := func(keepalives bool) string {
+		plan := NewPlan(11, ProfileFlappingTCP)
+		sched := plan.TCP(64499)
+		conn := sched.Wrap(&fakeConn{})
+		ka := make([]byte, msgTypeOffset+1)
+		ka[msgTypeOffset] = bgp.MsgKeepalive
+		for i := 0; i < 200; i++ {
+			if keepalives {
+				if _, err := conn.Write(ka); errors.Is(err, ErrConnKilled) {
+					conn = sched.Wrap(&fakeConn{})
+					conn.Write(ka) //nolint:errcheck
+				}
+			}
+			msg := fakeUpdate(i)
+			for {
+				if _, err := conn.Write(msg); err == nil {
+					break
+				}
+				conn = sched.Wrap(&fakeConn{})
+			}
+		}
+		return plan.Journal()
+	}
+	plain, mixed := run(false), run(true)
+	// Keepalives add reconnect attempts after kills (the keepalive write
+	// itself may hit the dead conn), so attempt-stream lines may differ;
+	// the update-indexed kill/stall schedule must not.
+	filter := func(j string) string {
+		var keep []string
+		for _, line := range bytes.Split([]byte(j), []byte("\n")) {
+			if bytes.Contains(line, []byte("update ")) {
+				keep = append(keep, string(line))
+			}
+		}
+		var b bytes.Buffer
+		for _, l := range keep {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	if filter(plain) != filter(mixed) {
+		t.Fatalf("keepalive interleaving changed the update fault schedule:\n-- without --\n%s\n-- with --\n%s", plain, mixed)
+	}
+}
+
+// driveUDP pushes n single-record datagrams through the schedule and
+// returns the raw transmit transcript, one entry per datagram written.
+func driveUDP(t *testing.T, u *UDPSchedule, n int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	write := func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out = append(out, cp)
+		return nil
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		// Reuse the buffer across sends, as the exporter's encoder does:
+		// the schedule must copy anything it holds back.
+		payload := fmt.Appendf(buf[:0], "datagram-%06d", i)
+		if err := u.Send(payload, 1, write); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	if err := u.Flush(write); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return out
+}
+
+func TestUDPFateAccounting(t *testing.T) {
+	plan := NewPlan(3, ProfileLossyUDP)
+	const n = 2000
+	out := driveUDP(t, plan.UDP(), n)
+	m := plan.M
+	for name, c := range map[string]int64{
+		"drops":    m.DroppedDatagrams.Value(),
+		"dups":     m.Duplicated.Value(),
+		"reorders": m.ReorderHolds.Value(),
+		"delays":   m.Delayed.Value(),
+	} {
+		if c == 0 {
+			t.Errorf("lossy-udp injected zero %s over %d datagrams", name, n)
+		}
+	}
+	// Conservation: every datagram is transmitted exactly once, except
+	// dropped ones (zero times) and duplicated ones (twice). Held
+	// datagrams are released late or at flush — still exactly once.
+	want := int64(n) - m.DroppedDatagrams.Value() + m.Duplicated.Value()
+	if int64(len(out)) != want {
+		t.Fatalf("raw transmissions = %d, want %d", len(out), want)
+	}
+	// Single-record datagrams: record counters mirror datagram counters.
+	if m.DroppedRecords.Value() != m.DroppedDatagrams.Value() {
+		t.Fatalf("dropped records %d != dropped datagrams %d", m.DroppedRecords.Value(), m.DroppedDatagrams.Value())
+	}
+	if m.ReorderLateRecords.Value() != m.ReorderLateDatagrams.Value() {
+		t.Fatalf("late records %d != late datagrams %d", m.ReorderLateRecords.Value(), m.ReorderLateDatagrams.Value())
+	}
+	if m.ReorderLateDatagrams.Value() > m.ReorderHolds.Value() {
+		t.Fatalf("late releases %d exceed holds %d", m.ReorderLateDatagrams.Value(), m.ReorderHolds.Value())
+	}
+	if m.PartitionDroppedDatagrams.Value() != 0 || m.Partitions.Value() != 0 {
+		t.Fatal("lossy-udp opened a partition")
+	}
+}
+
+func TestUDPPartitionHeal(t *testing.T) {
+	plan := NewPlan(5, ProfilePartitionHeal)
+	const n = 3000
+	out := driveUDP(t, plan.UDP(), n)
+	m := plan.M
+	if m.Partitions.Value() == 0 {
+		t.Fatalf("no partition opened over %d datagrams", n)
+	}
+	if m.PartitionDroppedDatagrams.Value() != m.DroppedDatagrams.Value() {
+		t.Fatalf("partition drops %d != total drops %d (partition-heal injects nothing else)",
+			m.PartitionDroppedDatagrams.Value(), m.DroppedDatagrams.Value())
+	}
+	if min := m.Partitions.Value() * 8; m.PartitionDroppedDatagrams.Value() < min {
+		t.Fatalf("%d partitions dropped only %d datagrams, want >= %d", m.Partitions.Value(), m.PartitionDroppedDatagrams.Value(), min)
+	}
+	if int64(len(out)) != int64(n)-m.DroppedDatagrams.Value() {
+		t.Fatalf("raw transmissions = %d, want %d", len(out), int64(n)-m.DroppedDatagrams.Value())
+	}
+}
+
+func TestUDPHoldCopiesPayloadAndFlushReleasesInOrder(t *testing.T) {
+	plan := NewPlan(1, ProfileLossyUDP)
+	u := plan.UDP()
+	var out [][]byte
+	write := func(b []byte) error {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out = append(out, cp)
+		return nil
+	}
+	buf := make([]byte, 64)
+	held := -1
+	for i := 0; i < 5000 && held < 0; i++ {
+		payload := fmt.Appendf(buf[:0], "datagram-%06d", i)
+		if err := u.Send(payload, 1, write); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+		if u.held != nil {
+			held = i
+		}
+	}
+	if held < 0 {
+		t.Fatal("no reorder hold within 5000 datagrams")
+	}
+	lateBefore := plan.M.ReorderLateDatagrams.Value()
+	if err := u.Flush(write); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := string(out[len(out)-1])
+	if want := fmt.Sprintf("datagram-%06d", held); got != want {
+		t.Fatalf("flushed datagram = %q, want %q (held payload must be copied, not aliased)", got, want)
+	}
+	if plan.M.ReorderLateDatagrams.Value() != lateBefore {
+		t.Fatal("flush-released hold counted as late")
+	}
+	if u.held != nil {
+		t.Fatal("hold survived Flush")
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	// Two plans with the same seed, driven through an identical workload,
+	// must produce byte-identical journals and raw transcripts; a third
+	// plan with a different seed must not.
+	runPlan := func(seed uint64) (string, []byte) {
+		plan := NewPlan(seed, ProfileMixed)
+		conns := driveTCP(t, plan, 64500, 250)
+		_ = driveTCP(t, plan, 64501, 250)
+		var raw []byte
+		for _, c := range conns {
+			raw = append(raw, c.buf.Bytes()...)
+		}
+		for _, d := range driveUDP(t, plan.UDP(), 1500) {
+			raw = append(raw, d...)
+		}
+		return plan.Journal(), raw
+	}
+	j1, raw1 := runPlan(42)
+	j2, raw2 := runPlan(42)
+	if j1 != j2 {
+		t.Fatalf("same seed, different journals:\n-- run 1 --\n%s\n-- run 2 --\n%s", j1, j2)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("same seed, different raw transcripts")
+	}
+	if j1 == "" {
+		t.Fatal("mixed profile injected nothing")
+	}
+	j3, _ := runPlan(43)
+	if j1 == j3 {
+		t.Fatal("different seeds produced identical journals")
+	}
+}
+
+func TestPlanPeerOrderIndependence(t *testing.T) {
+	// The order peers first touch the plan must not perturb any
+	// schedule: substreams are keyed by (seed, peer), not arrival order.
+	journalFor := func(order []uint32) string {
+		plan := NewPlan(9, ProfileFlappingTCP)
+		for _, p := range order {
+			plan.TCP(p)
+		}
+		for _, p := range order {
+			driveTCP(t, plan, p, 120)
+		}
+		return plan.Journal()
+	}
+	a := journalFor([]uint32{64500, 64501, 64502})
+	b := journalFor([]uint32{64502, 64500, 64501})
+	if a != b {
+		t.Fatalf("peer arrival order changed schedules:\n-- a --\n%s\n-- b --\n%s", a, b)
+	}
+}

@@ -1,0 +1,54 @@
+package faultnet
+
+import "repro/internal/obs"
+
+// Metrics counts every injected fault. Together with the live layer's
+// own counters they close the chaos reconciliation equations (see
+// DESIGN.md, "Fault injection"):
+//
+//	live.bgp.reconnects        == faultnet.tcp.kills
+//	live.ipfix.dropped_records == faultnet.udp.dropped_records
+//	                              + faultnet.udp.reorder_late_records
+//	live.ipfix.late_msgs       == faultnet.udp.duplicated
+//	                              + faultnet.udp.reorder_late_datagrams
+type Metrics struct {
+	// TCP session faults.
+	TCPKills  obs.Counter // established connections killed on a message boundary
+	TCPResets obs.Counter // dial attempts aborted mid-handshake
+	TCPStalls obs.Counter // stalled UPDATE writes
+	StallNano obs.Counter // total injected stall time, nanoseconds
+
+	// UDP export faults. DroppedRecords/DroppedDatagrams include
+	// partition losses; the Partition* counters single that subset out.
+	DroppedDatagrams          obs.Counter
+	DroppedRecords            obs.Counter
+	Duplicated                obs.Counter
+	ReorderHolds              obs.Counter // datagrams held back for reordering
+	ReorderLateDatagrams      obs.Counter // held datagrams released after a successor (arrive late)
+	ReorderLateRecords        obs.Counter
+	Delayed                   obs.Counter
+	DelayNano                 obs.Counter
+	PartitionDroppedDatagrams obs.Counter
+	Partitions                obs.Counter // partition windows opened
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Register exposes every counter on reg under the "faultnet." namespace.
+func (m *Metrics) Register(reg *obs.Registry) {
+	reg.RegisterCounter("faultnet.tcp.kills", &m.TCPKills)
+	reg.RegisterCounter("faultnet.tcp.resets", &m.TCPResets)
+	reg.RegisterCounter("faultnet.tcp.stalls", &m.TCPStalls)
+	reg.RegisterCounter("faultnet.tcp.stall_nanos", &m.StallNano)
+	reg.RegisterCounter("faultnet.udp.dropped_datagrams", &m.DroppedDatagrams)
+	reg.RegisterCounter("faultnet.udp.dropped_records", &m.DroppedRecords)
+	reg.RegisterCounter("faultnet.udp.duplicated", &m.Duplicated)
+	reg.RegisterCounter("faultnet.udp.reorder_holds", &m.ReorderHolds)
+	reg.RegisterCounter("faultnet.udp.reorder_late_datagrams", &m.ReorderLateDatagrams)
+	reg.RegisterCounter("faultnet.udp.reorder_late_records", &m.ReorderLateRecords)
+	reg.RegisterCounter("faultnet.udp.delayed", &m.Delayed)
+	reg.RegisterCounter("faultnet.udp.delay_nanos", &m.DelayNano)
+	reg.RegisterCounter("faultnet.udp.partition_dropped", &m.PartitionDroppedDatagrams)
+	reg.RegisterCounter("faultnet.udp.partitions", &m.Partitions)
+}

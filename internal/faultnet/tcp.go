@@ -1,0 +1,145 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/stats"
+)
+
+// ErrConnKilled is returned by writes on a connection the fault plan has
+// killed. The kill closed the connection cleanly on a message boundary,
+// so a write failing with this error wrote nothing: the caller may
+// safely resend the same message on the replacement connection without
+// risking double delivery.
+var ErrConnKilled = errors.New("faultnet: connection killed by fault plan")
+
+// TCPSchedule is the deterministic fault schedule for one peer's BGP
+// sessions, shared across that peer's reconnects. Kill and stall
+// decisions are indexed by the peer's running UPDATE count (the j-th
+// UPDATE the peer ever writes, across all its connections), reset
+// decisions by the running dial-attempt count — so the schedule is
+// independent of keepalive timing and reconnect latency.
+type TCPSchedule struct {
+	plan *Plan
+	peer uint32
+
+	mu        sync.Mutex
+	updRNG    *stats.RNG
+	attRNG    *stats.RNG
+	updates   int
+	attempts  int
+	lastReset bool
+}
+
+// Wrap installs the middleware on a freshly dialed connection and draws
+// the attempt-level decision: whether this attempt's open exchange is
+// reset mid-stream. Two consecutive attempts are never both reset, so a
+// speaker always makes progress.
+func (s *TCPSchedule) Wrap(c net.Conn) net.Conn {
+	s.mu.Lock()
+	attempt := s.attempts
+	s.attempts++
+	reset := false
+	if p := s.plan.par.resetPerAttempt; p > 0 {
+		if s.attRNG.Bool(p) && !s.lastReset {
+			reset = true
+		}
+		s.lastReset = reset
+	}
+	s.mu.Unlock()
+	return &Conn{Conn: c, s: s, attempt: attempt, reset: reset}
+}
+
+// Conn is the BGP/TCP impairment middleware. It understands just enough
+// BGP framing to recognize whole UPDATE messages (the speaker writes one
+// complete message per Write call) and applies the schedule: byte-level
+// write stalls, a clean kill after a scheduled UPDATE, or a
+// mid-handshake reset that truncates the OPEN.
+type Conn struct {
+	net.Conn
+	s       *TCPSchedule
+	attempt int
+	reset   bool // abort the next (first) write mid-message
+	killed  bool // all further writes fail with ErrConnKilled
+}
+
+// BGP message framing: the type byte sits right after the 16-byte marker
+// and the 2-byte length (RFC 4271 §4.1).
+const msgTypeOffset = 18
+
+func (c *Conn) stream() string { return fmt.Sprintf("tcp/AS%d", c.s.peer) }
+
+// Write applies the schedule to one outbound BGP message.
+func (c *Conn) Write(b []byte) (int, error) {
+	s := c.s
+	s.mu.Lock()
+	if c.killed {
+		s.mu.Unlock()
+		return 0, ErrConnKilled
+	}
+	if c.reset {
+		// Mid-handshake reset: half the message (the OPEN) goes out, then
+		// the connection dies. No session was established, so no
+		// application data is at risk and the speaker simply retries.
+		c.reset = false
+		c.killed = true
+		s.plan.M.TCPResets.Inc()
+		s.plan.note(c.stream(), "attempt %d reset after %d of %d bytes", c.attempt, len(b)/2, len(b))
+		s.mu.Unlock()
+		if n := len(b) / 2; n > 0 {
+			c.Conn.Write(b[:n]) //nolint:errcheck // the connection dies either way
+		}
+		c.Conn.Close()
+		return 0, ErrConnKilled
+	}
+
+	par := s.plan.par
+	var stall time.Duration
+	var kill bool
+	if len(b) > msgTypeOffset && b[msgTypeOffset] == bgp.MsgUpdate &&
+		(par.killPerUpdate > 0 || par.stallPerUpdate > 0) {
+		j := s.updates
+		s.updates++
+		if par.stallPerUpdate > 0 && s.updRNG.Bool(par.stallPerUpdate) {
+			stall = par.stallMin + time.Duration(s.updRNG.Float64()*float64(par.stallMax-par.stallMin))
+			s.plan.M.TCPStalls.Inc()
+			s.plan.M.StallNano.Add(int64(stall))
+			s.plan.note(c.stream(), "update %d stall %s", j, stall)
+		}
+		if par.killPerUpdate > 0 && s.updRNG.Bool(par.killPerUpdate) {
+			kill = true
+			c.killed = true
+			s.plan.M.TCPKills.Inc()
+			s.plan.note(c.stream(), "update %d kill", j)
+		}
+	}
+	s.mu.Unlock()
+
+	if stall > 0 {
+		// Byte-level stall: the message crosses the wire in two pieces
+		// with the delay in between, so the reader blocks mid-message.
+		half := len(b) / 2
+		time.Sleep(stall / 2)
+		if _, err := c.Conn.Write(b[:half]); err != nil {
+			return 0, err
+		}
+		time.Sleep(stall - stall/2)
+		if _, err := c.Conn.Write(b[half:]); err != nil {
+			return half, err
+		}
+	} else if _, err := c.Conn.Write(b); err != nil {
+		return 0, err
+	}
+	if kill {
+		// Orderly close: the FIN sequences after the message just
+		// written, so the peer reads it in full before seeing EOF. The
+		// session dies, the speaker reconnects, nothing is half-lost.
+		c.Conn.Close()
+	}
+	return len(b), nil
+}

@@ -1,0 +1,174 @@
+package faultnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// UDPSchedule is the deterministic fault schedule for the IPFIX export
+// stream. Every data datagram the exporter emits passes through Send,
+// which assigns it a running index i and draws its fate from the plan's
+// UDP substream: delivered, dropped, duplicated, held for reorder,
+// delayed, or swallowed by an open partition window. Because decisions
+// are indexed by datagram position and executed inline on the export
+// goroutine, the arrival sequence at the collector is identical on
+// every run of the same plan.
+type UDPSchedule struct {
+	plan *Plan
+
+	mu  sync.Mutex
+	rng *stats.RNG
+	idx int // running data-datagram index
+
+	partitionLeft int // datagrams still to swallow in the open window
+
+	// One datagram may be held back for reordering. It is released
+	// immediately after the next delivered datagram's raw write, so by
+	// construction a hold never survives past the next delivery: if it
+	// is still pending at Flush, no raw write happened since the hold
+	// (only drops), and releasing it then is an in-order arrival, not a
+	// late one.
+	held        []byte
+	heldRecords int
+	heldIdx     int
+}
+
+// Send runs one exported data datagram through the schedule. payload is
+// the encoded IPFIX message, records the number of flow records it
+// carries (used for record-exact drop accounting), and write the raw
+// transmit function. payload is copied if it must outlive the call (the
+// exporter reuses its encode buffer).
+func (u *UDPSchedule) Send(payload []byte, records int, write func([]byte) error) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	par := u.plan.par
+	i := u.idx
+	u.idx++
+
+	// An open partition window swallows everything, fate draws included:
+	// the wire is gone, not merely unkind.
+	if u.partitionLeft > 0 {
+		u.partitionLeft--
+		u.dropLocked(i, records, true)
+		return nil
+	}
+	if par.partitionStart > 0 && u.rng.Bool(par.partitionStart) {
+		length := par.partitionMin + u.rng.Intn(par.partitionMax-par.partitionMin+1)
+		u.partitionLeft = length - 1
+		u.plan.M.Partitions.Inc()
+		u.plan.note("udp", "datagram %d opens partition of %d datagrams", i, length)
+		u.dropLocked(i, records, true)
+		return nil
+	}
+
+	// Single cumulative fate draw so each datagram suffers at most one
+	// fault; with all probabilities zero (ProfileNone) no variate is
+	// consumed and delivery is a straight passthrough.
+	pDrop, pDup := par.dropPerDatagram, par.dupPerDatagram
+	pReorder, pDelay := par.reorderPerDatagram, par.delayPerDatagram
+	if pDrop+pDup+pReorder+pDelay <= 0 {
+		return u.deliverLocked(payload, write)
+	}
+	f := u.rng.Float64()
+	switch {
+	case f < pDrop:
+		u.dropLocked(i, records, false)
+		return nil
+	case f < pDrop+pDup:
+		// Duplicate: the first copy arrives in sequence, the second
+		// carries a now-stale sequence number and is counted late by the
+		// collector.
+		u.plan.M.Duplicated.Inc()
+		u.plan.note("udp", "datagram %d duplicated", i)
+		if err := u.deliverLocked(payload, write); err != nil {
+			return err
+		}
+		return write(payload)
+	case f < pDrop+pDup+pReorder:
+		if u.held == nil {
+			// Hold a copy; it is released right after the next delivered
+			// datagram and therefore arrives exactly one delivery late.
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			u.held, u.heldRecords, u.heldIdx = cp, records, i
+			u.plan.M.ReorderHolds.Inc()
+			u.plan.note("udp", "datagram %d held for reorder (%d records)", i, records)
+			return nil
+		}
+		// Already holding one: delivering this datagram releases it,
+		// which is the reorder the draw asked for.
+		u.plan.note("udp", "datagram %d delivered past held datagram %d", i, u.heldIdx)
+		return u.deliverLocked(payload, write)
+	case f < pDrop+pDup+pReorder+pDelay:
+		d := par.delayMin + time.Duration(u.rng.Float64()*float64(par.delayMax-par.delayMin))
+		u.plan.M.Delayed.Inc()
+		u.plan.M.DelayNano.Add(int64(d))
+		u.plan.note("udp", "datagram %d delayed %s", i, d)
+		time.Sleep(d)
+		return u.deliverLocked(payload, write)
+	default:
+		return u.deliverLocked(payload, write)
+	}
+}
+
+// Inert reports whether the schedule can never impair a datagram (the
+// "none" profile, or a profile with only TCP faults). The exporter keeps
+// its batch-mode template cadence for an inert schedule, so the "none"
+// profile benchmarks pure wrapper overhead rather than template bloat.
+func (u *UDPSchedule) Inert() bool {
+	p := u.plan.par
+	return p.dropPerDatagram == 0 && p.dupPerDatagram == 0 &&
+		p.reorderPerDatagram == 0 && p.delayPerDatagram == 0 &&
+		p.partitionStart == 0
+}
+
+// Flush releases a pending reorder hold, if any. The exporter calls it
+// before its drain-time Sync so a datagram held at the tail is not lost.
+// No raw write has happened since the hold (deliverLocked would have
+// released it), so this arrival is in sequence: the hold is counted in
+// ReorderHolds but not in the late counters.
+func (u *UDPSchedule) Flush(write func([]byte) error) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.held == nil {
+		return nil
+	}
+	held, i, records := u.held, u.heldIdx, u.heldRecords
+	u.held = nil
+	u.plan.note("udp", "datagram %d released in order at flush (%d records)", i, records)
+	return write(held)
+}
+
+// dropLocked blackholes datagram i and accounts its records.
+func (u *UDPSchedule) dropLocked(i, records int, partition bool) {
+	u.plan.M.DroppedDatagrams.Inc()
+	u.plan.M.DroppedRecords.Add(int64(records))
+	if partition {
+		u.plan.M.PartitionDroppedDatagrams.Inc()
+		u.plan.note("udp", "datagram %d dropped in partition (%d records)", i, records)
+	} else {
+		u.plan.note("udp", "datagram %d dropped (%d records)", i, records)
+	}
+}
+
+// deliverLocked transmits payload and then releases any held datagram
+// behind it. The held datagram's sequence number predates the one just
+// written, so the collector sees it as a late message and has already
+// charged its records to the sequence gap — which is what the
+// ReorderLate counters reconcile against.
+func (u *UDPSchedule) deliverLocked(payload []byte, write func([]byte) error) error {
+	err := write(payload)
+	if u.held != nil {
+		held, i, records := u.held, u.heldIdx, u.heldRecords
+		u.held = nil
+		u.plan.M.ReorderLateDatagrams.Inc()
+		u.plan.M.ReorderLateRecords.Add(int64(records))
+		u.plan.note("udp", "datagram %d released late (%d records)", i, records)
+		if werr := write(held); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/faultnet"
 	"repro/internal/ipfix"
 )
 
@@ -31,6 +32,16 @@ type Exporter struct {
 	perMsg  int
 	msgs    int
 	m       *Metrics
+
+	// fault, when set, impairs every data datagram; every is the
+	// template resend period (1 under a fault plan, so a dropped
+	// template-bearing datagram can never strand later messages
+	// undecodable — decode errors would break record-exact drop
+	// accounting). lastExport is the last export timestamp emitted, for
+	// Sync messages.
+	fault      *faultnet.UDPSchedule
+	every      int
+	lastExport uint32
 }
 
 // NewExporter returns an exporter for observation domain id domain
@@ -54,7 +65,27 @@ func NewExporter(conn net.Conn, domain uint32, mtu int, m *Metrics) (*Exporter, 
 		enc:    ipfix.NewMsgEncoder(domain),
 		perMsg: perMsg,
 		m:      m,
+		every:  templateEvery,
 	}, nil
+}
+
+// SetFault routes every data datagram through the impairment schedule
+// and makes every message self-describing (template in each datagram):
+// under injected loss a dropped template must never turn later messages
+// into decode errors, or sequence-gap accounting would stop being exact.
+// It immediately emits one impairment-exempt Sync so the collector pins
+// the sequence origin before any fault can strike: otherwise a drop of
+// the very first data datagrams would shift the collector's baseline
+// and the leading gap could never be accounted.
+// An inert schedule (the "none" profile) keeps the batch template
+// cadence: no datagram can be lost, so per-message templates would only
+// add overhead to what is meant to measure the inactive wrapper.
+func (e *Exporter) SetFault(u *faultnet.UDPSchedule) error {
+	e.fault = u
+	if !u.Inert() {
+		e.every = 1
+	}
+	return e.Sync()
 }
 
 // Export queues one record, sending a datagram when the message fills.
@@ -74,14 +105,43 @@ func (e *Exporter) Flush() error {
 	return e.emit()
 }
 
+// Sync transmits an empty, template-bearing message carrying the current
+// sequence number, bypassing the impairment schedule (after releasing
+// any datagram it still holds for reordering). A tail drop leaves no
+// later message to reveal the sequence gap, so without Sync the
+// collector could never account the loss and drain would hang; the
+// runner retries Sync while draining under a fault plan.
+func (e *Exporter) Sync() error {
+	if e.fault != nil {
+		if err := e.fault.Flush(e.rawWrite); err != nil {
+			return fmt.Errorf("live: sync flush: %w", err)
+		}
+	}
+	if err := e.rawWrite(e.enc.Encode(nil, true, e.lastExport)); err != nil {
+		return fmt.Errorf("live: sync: %w", err)
+	}
+	e.m.SyncMsgs.Inc()
+	return nil
+}
+
+func (e *Exporter) rawWrite(b []byte) error {
+	_, err := e.conn.Write(b)
+	return err
+}
+
 func (e *Exporter) emit() error {
-	includeTemplate := e.msgs%templateEvery == 0
+	includeTemplate := e.msgs%e.every == 0
 	e.msgs++
 	exportTime := uint32(e.pending[len(e.pending)-1].Start.Unix())
+	e.lastExport = exportTime
 	msg := e.enc.Encode(e.pending, includeTemplate, exportTime)
 	n := len(e.pending)
 	e.pending = e.pending[:0]
-	if _, err := e.conn.Write(msg); err != nil {
+	if e.fault != nil {
+		if err := e.fault.Send(msg, n, e.rawWrite); err != nil {
+			return fmt.Errorf("live: exporting %d flow records: %w", n, err)
+		}
+	} else if _, err := e.conn.Write(msg); err != nil {
 		return fmt.Errorf("live: exporting %d flow records: %w", n, err)
 	}
 	e.m.ExportedRecords.Add(int64(n))

@@ -61,6 +61,7 @@ type Listener struct {
 
 	mu     sync.Mutex
 	conns  map[*srvConn]struct{}
+	active map[uint32]chan struct{} // per-peer: closed when that peer's current session fully ends
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -77,12 +78,13 @@ func Listen(addr string, asn uint32, cfg SessionConfig, hooks Hooks, m *Metrics)
 		return nil, fmt.Errorf("live: %w", err)
 	}
 	l := &Listener{
-		ln:    ln,
-		asn:   asn,
-		cfg:   cfg,
-		hooks: hooks,
-		m:     m,
-		conns: make(map[*srvConn]struct{}),
+		ln:     ln,
+		asn:    asn,
+		cfg:    cfg,
+		hooks:  hooks,
+		m:      m,
+		conns:  make(map[*srvConn]struct{}),
+		active: make(map[uint32]chan struct{}),
 	}
 	l.wg.Add(1)
 	go l.acceptLoop()
@@ -119,6 +121,18 @@ func (l *Listener) forget(conn *srvConn) {
 	l.mu.Unlock()
 }
 
+// claimPeer installs this session as the peer's current one, returning
+// the predecessor's completion channel (nil if none) and this session's
+// own, which the caller must close when fully done.
+func (l *Listener) claimPeer(peer uint32) (prev, done chan struct{}) {
+	done = make(chan struct{})
+	l.mu.Lock()
+	prev = l.active[peer]
+	l.active[peer] = done
+	l.mu.Unlock()
+	return prev, done
+}
+
 // serve runs one session end to end.
 func (l *Listener) serve(conn *srvConn) {
 	defer l.wg.Done()
@@ -129,6 +143,24 @@ func (l *Listener) serve(conn *srvConn) {
 	if err != nil {
 		return // handshake failures are not peer-downs: no session existed
 	}
+
+	// Serialize sessions per peer: a replacement session (after an
+	// injected kill, say) must not surface its first update while the
+	// dead session's kernel-buffered backlog is still being drained, or
+	// arrivals would interleave across connections and break the
+	// sequencer's per-peer FIFO matching. The predecessor's slot closes
+	// only after its OnPeerDown has returned, which also gives the
+	// restart guard a deterministic down-before-up ordering. The wait is
+	// bounded by the hold time: a truly wedged predecessor expires then.
+	prev, done := l.claimPeer(peer)
+	defer close(done)
+	if prev != nil {
+		select {
+		case <-prev:
+		case <-time.After(l.cfg.HoldTime):
+		}
+	}
+
 	l.m.SessionsEstablished.Inc()
 	if l.hooks.OnEstablished != nil {
 		l.hooks.OnEstablished(peer)

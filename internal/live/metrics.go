@@ -20,6 +20,15 @@ type Metrics struct {
 	PeerDowns           obs.Counter
 	UpdatesSent         obs.Counter
 	UpdatesDelivered    obs.Counter
+	// SendRetries counts Speaker.Send resends after an injected
+	// connection kill (zero-byte failures only; see Speaker.Send).
+	SendRetries obs.Counter
+	// Restart-tolerance accounting (see restartGuard): peer-downs whose
+	// route flush was deferred, deferred downs cancelled by a reconnect,
+	// and deferred downs that expired into a real flush.
+	RestartsDeferred  obs.Counter
+	RestartsRecovered obs.Counter
+	RestartFlushes    obs.Counter
 
 	// IPFIX export/collect.
 	ExportedRecords  obs.Counter
@@ -34,6 +43,9 @@ type Metrics struct {
 	DroppedRecords   obs.Counter
 	LateMsgs         obs.Counter
 	DecodeErrors     obs.Counter
+	// SyncMsgs counts empty sequence-sync messages emitted at drain time
+	// so that tail drops surface as sequence gaps (see Exporter.Sync).
+	SyncMsgs obs.Counter
 }
 
 // NewMetrics returns zeroed metrics.
@@ -47,6 +59,10 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.RegisterCounter("live.bgp.peer_downs", &m.PeerDowns)
 	reg.RegisterCounter("live.bgp.updates_sent", &m.UpdatesSent)
 	reg.RegisterCounter("live.bgp.updates_delivered", &m.UpdatesDelivered)
+	reg.RegisterCounter("live.bgp.send_retries", &m.SendRetries)
+	reg.RegisterCounter("live.bgp.restarts_deferred", &m.RestartsDeferred)
+	reg.RegisterCounter("live.bgp.restarts_recovered", &m.RestartsRecovered)
+	reg.RegisterCounter("live.bgp.restart_flushes", &m.RestartFlushes)
 	reg.RegisterCounter("live.ipfix.exported_records", &m.ExportedRecords)
 	reg.RegisterCounter("live.ipfix.exported_msgs", &m.ExportedMsgs)
 	reg.RegisterCounter("live.ipfix.collected_records", &m.CollectedRecords)
@@ -55,4 +71,5 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.RegisterCounter("live.ipfix.dropped_records", &m.DroppedRecords)
 	reg.RegisterCounter("live.ipfix.late_msgs", &m.LateMsgs)
 	reg.RegisterCounter("live.ipfix.decode_errors", &m.DecodeErrors)
+	reg.RegisterCounter("live.ipfix.sync_msgs", &m.SyncMsgs)
 }

@@ -1,0 +1,113 @@
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// restartGuard gives ungraceful peer-downs a grace period before the
+// route server flushes the peer's routes — the moral equivalent of BGP
+// graceful restart (RFC 4724): a transport blip whose session comes
+// right back should not churn the RIB. Under injected connection kills
+// this is what keeps the control plane byte-identical to the batch run:
+// the speaker re-establishes within the tolerance, the deferred flush is
+// cancelled, and no phantom withdrawals enter the archive.
+//
+// The guard keeps a per-peer count of established sessions because the
+// listener fires OnEstablished and OnPeerDown from different session
+// goroutines: after a kill, the replacement session's up event can
+// arrive before the dead session's down event. Counting (1→2→1) instead
+// of flagging makes both orderings converge on "still up, nothing to
+// flush".
+type restartGuard struct {
+	tolerance time.Duration
+	flush     func(peer uint32)
+	m         *Metrics
+
+	mu      sync.Mutex
+	up      map[uint32]int
+	timers  map[uint32]*time.Timer
+	stopped bool
+}
+
+func newRestartGuard(tolerance time.Duration, flush func(uint32), m *Metrics) *restartGuard {
+	return &restartGuard{
+		tolerance: tolerance,
+		flush:     flush,
+		m:         m,
+		up:        make(map[uint32]int),
+		timers:    make(map[uint32]*time.Timer),
+	}
+}
+
+// peerUp records a session reaching Established; it cancels any pending
+// deferred flush for the peer (the restart recovered in time).
+func (g *restartGuard) peerUp(peer uint32) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.up[peer]++
+	if t, ok := g.timers[peer]; ok {
+		t.Stop()
+		delete(g.timers, peer)
+		g.m.RestartsRecovered.Inc()
+	}
+}
+
+// peerDown records a session ending. Graceful downs (Cease) never
+// flush. An ungraceful down flushes only if no other session for the
+// peer is up: immediately when tolerance is zero, else after the
+// tolerance unless a reconnect cancels it.
+func (g *restartGuard) peerDown(peer uint32, graceful bool) {
+	g.mu.Lock()
+	g.up[peer]--
+	if graceful || g.up[peer] > 0 || g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	if g.tolerance <= 0 {
+		g.mu.Unlock()
+		if g.flush != nil {
+			g.flush(peer)
+		}
+		return
+	}
+	if _, ok := g.timers[peer]; !ok {
+		g.m.RestartsDeferred.Inc()
+		g.timers[peer] = time.AfterFunc(g.tolerance, func() { g.expire(peer) })
+	}
+	g.mu.Unlock()
+}
+
+// expire fires a deferred flush whose tolerance ran out.
+func (g *restartGuard) expire(peer uint32) {
+	g.mu.Lock()
+	if _, ok := g.timers[peer]; !ok || g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.timers, peer)
+	g.m.RestartFlushes.Inc()
+	g.mu.Unlock()
+	if g.flush != nil {
+		g.flush(peer)
+	}
+}
+
+// pending returns the number of peers with a deferred flush in flight.
+func (g *restartGuard) pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.timers)
+}
+
+// stop cancels all deferred flushes and suppresses future ones; called
+// at shutdown, when remaining downs are part of the teardown.
+func (g *restartGuard) stop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stopped = true
+	for p, t := range g.timers {
+		t.Stop()
+		delete(g.timers, p)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/faultnet"
 	"repro/internal/ipfix"
 )
 
@@ -21,12 +22,25 @@ type RunnerConfig struct {
 	// DrainTimeout bounds barriers and the final collector drain
 	// (0: 30s).
 	DrainTimeout time.Duration
+	// Fault, if set, impairs the transports with the plan's seeded
+	// schedules: every speaker connection is wrapped and every exported
+	// datagram routed through the UDP schedule.
+	Fault *faultnet.Plan
+	// RestartTolerance is how long an ungraceful peer-down may wait for
+	// its session to re-establish before the peer's routes are flushed
+	// (0: flush immediately, unless Fault is set, which defaults it to
+	// 5s — injected kills always recover, so the flush would only
+	// desync the control plane from the batch run).
+	RestartTolerance time.Duration
 }
 
 func (c *RunnerConfig) fill() {
 	c.Session.fill()
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.RestartTolerance <= 0 && c.Fault != nil {
+		c.RestartTolerance = 5 * time.Second
 	}
 }
 
@@ -45,6 +59,7 @@ type Runner struct {
 	exporter  *Exporter
 	expConn   net.Conn
 	collector *Collector
+	guard     *restartGuard
 }
 
 // NewRunner starts the services on loopback: deliver receives totally
@@ -64,14 +79,12 @@ func NewRunner(ctx context.Context, cfg RunnerConfig, m *Metrics,
 	}
 	r := &Runner{cfg: cfg, m: m, ctx: ctx, speakers: make(map[uint32]*Speaker)}
 	r.seq = NewSequencer(deliver, m)
+	r.guard = newRestartGuard(cfg.RestartTolerance, onPeerFlush, m)
 
 	hooks := Hooks{
-		OnUpdate: r.seq.Arrive,
-		OnPeerDown: func(peer uint32, graceful bool) {
-			if !graceful && onPeerFlush != nil {
-				onPeerFlush(peer)
-			}
-		},
+		OnUpdate:      r.seq.Arrive,
+		OnEstablished: r.guard.peerUp,
+		OnPeerDown:    r.guard.peerDown,
 	}
 	var err error
 	r.listener, err = Listen("127.0.0.1:0", 0, cfg.Session, hooks, m)
@@ -97,6 +110,12 @@ func NewRunner(ctx context.Context, cfg RunnerConfig, m *Metrics,
 		r.Shutdown()
 		return nil, err
 	}
+	if cfg.Fault != nil {
+		if err := r.exporter.SetFault(cfg.Fault.UDP()); err != nil {
+			r.Shutdown()
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -118,7 +137,11 @@ func (r *Runner) SendUpdate(ts time.Time, peer uint32, upd *bgp.Update) error {
 	}
 	sp := r.speakers[peer]
 	if sp == nil {
-		sp = Dial(r.listener.Addr(), peer, r.cfg.Session, r.m)
+		cfg := r.cfg.Session
+		if r.cfg.Fault != nil {
+			cfg.Wrap = r.cfg.Fault.TCP(peer).Wrap
+		}
+		sp = Dial(r.listener.Addr(), peer, cfg, r.m)
 		r.speakers[peer] = sp
 	}
 	r.seq.Expect(ts, peer)
@@ -139,6 +162,14 @@ func (r *Runner) ExportFlow(rec *ipfix.FlowRecord) error { return r.exporter.Exp
 // Drain completes the streams without tearing sessions down: a final
 // barrier, an exporter flush, and a wait for the collector to account
 // for every exported record. Call once driving is done (or aborted).
+//
+// Under a fault plan two extra steps make the drain converge. First,
+// recovery must complete — every killed session re-established, every
+// deferred peer-down cancelled — or shutdown could strand a reconnect
+// and break the kills==reconnects reconciliation. Second, a tail drop
+// leaves no later datagram to reveal its sequence gap, so the drain
+// repeatedly emits impairment-exempt Sync messages carrying the final
+// sequence number until the collector has accounted for every record.
 func (r *Runner) Drain() error {
 	// On an aborted run the barrier may legitimately time out (a send
 	// may have failed); drain the flow stream regardless so the archive
@@ -147,10 +178,48 @@ func (r *Runner) Drain() error {
 	if ferr := r.exporter.Flush(); err == nil {
 		err = ferr
 	}
-	if derr := r.collector.Drain(r.exporter.Exported(), r.cfg.DrainTimeout); err == nil {
+	if r.cfg.Fault == nil {
+		if derr := r.collector.Drain(r.exporter.Exported(), r.cfg.DrainTimeout); err == nil {
+			err = derr
+		}
+		return err
+	}
+	deadline := time.Now().Add(r.cfg.DrainTimeout)
+	if rerr := r.awaitRecovery(deadline); err == nil {
+		err = rerr
+	}
+	var derr error
+	for {
+		if derr = r.exporter.Sync(); derr != nil {
+			break
+		}
+		if derr = r.collector.Drain(r.exporter.Exported(), 100*time.Millisecond); derr == nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	if err == nil {
 		err = derr
 	}
 	return err
+}
+
+// awaitRecovery blocks until every injected connection kill has been
+// answered by a reconnect and no deferred peer-down flush is pending.
+func (r *Runner) awaitRecovery(deadline time.Time) error {
+	for {
+		kills := r.cfg.Fault.M.TCPKills.Value()
+		if r.m.Reconnects.Value() >= kills && r.guard.pending() == 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("live: recovery incomplete at drain deadline: %d kills, %d reconnects, %d deferred peer-downs",
+				kills, r.m.Reconnects.Value(), r.guard.pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Reconcile verifies the shutdown invariants: every sent update was
@@ -188,6 +257,9 @@ func (r *Runner) Shutdown() error {
 	}
 	if r.listener != nil {
 		keep(r.listener.Close())
+	}
+	if r.guard != nil {
+		r.guard.stop()
 	}
 	if r.expConn != nil {
 		keep(r.expConn.Close())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/stats"
 )
 
 // State is the position of a session in the (simplified) RFC 4271 FSM.
@@ -43,8 +44,13 @@ type SessionConfig struct {
 	// this long is torn down with a hold-timer-expired NOTIFICATION
 	// (RFC 4271 §6.5). Keepalives go out every HoldTime/3.
 	HoldTime time.Duration
-	// ReconnectMin/Max bound the speaker's exponential reconnect backoff.
+	// ReconnectMin/Max bound the speaker's jittered exponential
+	// reconnect backoff (see nextBackoff).
 	ReconnectMin, ReconnectMax time.Duration
+	// Wrap, if set, is installed on every freshly dialed connection
+	// before the open exchange. It is the seam the faultnet impairment
+	// middleware plugs into; nil means the raw connection is used.
+	Wrap func(net.Conn) net.Conn
 }
 
 // DefaultSessionConfig returns timers suitable for in-process loopback
@@ -71,6 +77,24 @@ func (c *SessionConfig) fill() {
 }
 
 func (c SessionConfig) keepaliveEvery() time.Duration { return c.HoldTime / 3 }
+
+// nextBackoff returns the delay before reconnect attempt number attempt
+// (zero-based): exponential from min, capped at max, with uniform jitter
+// in [d/2, d) so a fleet of speakers knocked over by the same event does
+// not reconnect in lockstep (the classic thundering-herd fix; compare
+// the fixed ladder this replaced, which synchronized every speaker onto
+// the same retry schedule).
+func nextBackoff(min, max time.Duration, attempt int, rng *stats.RNG) time.Duration {
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(d-half))
+}
 
 // holdTimeSecs clamps the hold time for the 16-bit OPEN field.
 func (c SessionConfig) holdTimeSecs() uint16 {

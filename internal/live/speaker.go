@@ -8,17 +8,20 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/faultnet"
+	"repro/internal/stats"
 )
 
 // Speaker is the active (connecting) side of a BGP session: one scenario
 // peer talking to the route server's listener. It owns a background FSM
 // goroutine that dials, handshakes, keeps the session alive, and
-// reconnects with exponential backoff after failures.
+// reconnects with jittered exponential backoff after failures.
 type Speaker struct {
 	asn  uint32
 	addr string
 	cfg  SessionConfig
 	m    *Metrics
+	rng  *stats.RNG // backoff jitter; per-speaker, seeded by ASN
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -43,6 +46,7 @@ func Dial(addr string, asn uint32, cfg SessionConfig, m *Metrics) *Speaker {
 		addr:  addr,
 		cfg:   cfg,
 		m:     m,
+		rng:   stats.NewRNG(0xbac0ff ^ uint64(asn)),
 		state: StateIdle,
 		done:  make(chan struct{}),
 	}
@@ -88,7 +92,7 @@ func (s *Speaker) isClosed() bool {
 // back to Connect (after backoff) whenever the session dies.
 func (s *Speaker) run() {
 	defer s.wg.Done()
-	backoff := s.cfg.ReconnectMin
+	attempt := 0
 	established := 0
 	for {
 		if s.isClosed() {
@@ -98,6 +102,9 @@ func (s *Speaker) run() {
 		s.setState(StateConnect, nil)
 		conn, err := net.DialTimeout("tcp", s.addr, s.cfg.HoldTime)
 		if err == nil {
+			if s.cfg.Wrap != nil {
+				conn = s.cfg.Wrap(conn)
+			}
 			s.setConn(conn)
 			err = s.handshake(conn)
 			if err != nil {
@@ -111,15 +118,12 @@ func (s *Speaker) run() {
 			}
 			select {
 			case <-s.done:
-			case <-time.After(backoff):
+			case <-time.After(nextBackoff(s.cfg.ReconnectMin, s.cfg.ReconnectMax, attempt, s.rng)):
 			}
-			backoff *= 2
-			if backoff > s.cfg.ReconnectMax {
-				backoff = s.cfg.ReconnectMax
-			}
+			attempt++
 			continue
 		}
-		backoff = s.cfg.ReconnectMin
+		attempt = 0
 		if established > 0 {
 			s.m.Reconnects.Inc()
 		}
@@ -234,28 +238,41 @@ func (s *Speaker) write(conn net.Conn, b []byte) error {
 }
 
 // Send transmits one encoded BGP message on the session, blocking until
-// the session is established. It does not retry across reconnects: a
-// write error means the message may or may not have reached the peer, so
-// resending could double-deliver — callers decide.
+// the session is established. An ordinary write error is returned to the
+// caller: the message may or may not have reached the peer, so resending
+// could double-deliver. The one exception is faultnet.ErrConnKilled,
+// which guarantees zero bytes of msg were written — the injected kill
+// landed on an earlier message boundary — so Send waits for the FSM to
+// establish a replacement session and resends there, preserving
+// exactly-once delivery under injected connection kills.
 func (s *Speaker) Send(msg []byte) error {
-	s.mu.Lock()
-	for s.state != StateEstablished && s.err == nil && !s.isClosed() {
-		s.cond.Wait()
+	var failed net.Conn
+	for {
+		s.mu.Lock()
+		for s.err == nil && !s.isClosed() &&
+			!(s.state == StateEstablished && s.conn != failed) {
+			s.cond.Wait()
+		}
+		conn, err := s.conn, s.err
+		closed := s.isClosed()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if closed {
+			return errors.New("live: speaker closed")
+		}
+		werr := s.write(conn, msg)
+		if werr == nil {
+			s.m.UpdatesSent.Inc()
+			return nil
+		}
+		if !errors.Is(werr, faultnet.ErrConnKilled) {
+			return fmt.Errorf("live: AS%d send: %w", s.asn, werr)
+		}
+		s.m.SendRetries.Inc()
+		failed = conn
 	}
-	conn, err := s.conn, s.err
-	closed := s.isClosed()
-	s.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if closed {
-		return errors.New("live: speaker closed")
-	}
-	if err := s.write(conn, msg); err != nil {
-		return fmt.Errorf("live: AS%d send: %w", s.asn, err)
-	}
-	s.m.UpdatesSent.Inc()
-	return nil
 }
 
 // Close gracefully ends the session: a Cease NOTIFICATION, then the

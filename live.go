@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bgp"
 	"repro/internal/fabric"
+	"repro/internal/faultnet"
 	"repro/internal/ipfix"
 	"repro/internal/live"
 	"repro/internal/mrt"
@@ -39,10 +40,15 @@ type LiveRun struct {
 	w        *scenario.World
 	analyzer *OnlineAnalyzer
 	lm       *live.Metrics
+	plan     *faultnet.Plan
 
 	ran         bool
 	interrupted bool
 }
+
+// ChaosProfiles lists the fault-injection profile names accepted by
+// EnableChaos and the -chaos-profile flag.
+func ChaosProfiles() []string { return faultnet.ProfileNames() }
 
 // NewLiveRun plans the world described by cfg and prepares the online
 // analyzer. Nothing is written and no sockets open until Run. When reg
@@ -71,6 +77,37 @@ func NewLiveRun(cfg Config, dir string, reg *MetricsRegistry) (*LiveRun, error) 
 // Analyzer returns the run's online analyzer. Snapshot it at any time —
 // before, during or after Run.
 func (lr *LiveRun) Analyzer() *OnlineAnalyzer { return lr.analyzer }
+
+// EnableChaos arms a seeded fault-injection plan for the run: the given
+// profile's impairments are applied to the BGP/TCP sessions and the
+// IPFIX/UDP export path, scheduled deterministically from seed (see
+// internal/faultnet). Call before Run. The plan's injection counters
+// register on the run's metrics registry under "faultnet.*", so a
+// snapshot reconciles injected faults against observed recovery.
+func (lr *LiveRun) EnableChaos(seed uint64, profile string) error {
+	if lr.ran {
+		return fmt.Errorf("rtbh: live run already executed")
+	}
+	p, err := faultnet.ParseProfile(profile)
+	if err != nil {
+		return err
+	}
+	lr.plan = faultnet.NewPlan(seed, p)
+	if lr.reg != nil {
+		lr.plan.M.Register(lr.reg)
+	}
+	return nil
+}
+
+// ChaosJournal renders every fault the plan injected, grouped by stream:
+// byte-identical across runs with the same seed, profile and Config. It
+// is empty until Run and when chaos is not enabled.
+func (lr *LiveRun) ChaosJournal() string {
+	if lr.plan == nil {
+		return ""
+	}
+	return lr.plan.Journal()
+}
 
 // Interrupted reports whether Run ended early because its context was
 // cancelled (the dataset then covers the delivered prefix of the run).
@@ -153,7 +190,18 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 		return nil
 	}
 
-	runner, err := live.NewRunner(ctx, live.RunnerConfig{}, lr.lm, deliver, onPeerFlush, flowSink)
+	rcfg := live.RunnerConfig{Fault: lr.plan}
+	if lr.plan != nil {
+		// Chaos tuning: reconnect fast enough that injected kills heal
+		// well inside the restart tolerance, with a hold time that
+		// injected stalls (≤2ms) can never expire.
+		rcfg.Session = live.SessionConfig{
+			HoldTime:     30 * time.Second,
+			ReconnectMin: 2 * time.Millisecond,
+			ReconnectMax: 50 * time.Millisecond,
+		}
+	}
+	runner, err := live.NewRunner(ctx, rcfg, lr.lm, deliver, onPeerFlush, flowSink)
 	if err != nil {
 		return nil, err
 	}
