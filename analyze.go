@@ -214,7 +214,7 @@ type Report struct {
 // stageTimers are the per-stage span timers shared by both Analyze paths;
 // all fields are nil when the run is not instrumented.
 type stageTimers struct {
-	pass1, finish1, pass2, compose *obs.Timer
+	observe, compose *obs.Timer
 }
 
 // newStageTimers registers the stage timers (and the dataset-level
@@ -225,9 +225,7 @@ func newStageTimers(reg *MetricsRegistry, d *Dataset) stageTimers {
 	}
 	reg.GaugeFunc("analysis.control_updates", func() int64 { return int64(len(d.Updates)) })
 	return stageTimers{
-		pass1:   reg.Timer("pipeline.pass1"),
-		finish1: reg.Timer("pipeline.finish1"),
-		pass2:   reg.Timer("pipeline.pass2"),
+		observe: reg.Timer("pipeline.observe"),
 		compose: reg.Timer("analysis.compose"),
 	}
 }
@@ -242,9 +240,11 @@ func span(t *obs.Timer, fn func() error) error {
 	return fn()
 }
 
-// Analyze runs the full two-pass pipeline and composes the report. With
-// Options.Workers != 1 the passes run on the sharded parallel pipeline;
-// the report is byte-identical either way.
+// Analyze streams the archive through the single-pass operator pipeline
+// and composes the report. With Options.Workers != 1 the pass runs on
+// the sharded parallel pipeline; the report is byte-identical either way,
+// and identical to what the online analyzer's Snapshot produces over the
+// same stream (see DESIGN.md, "Incremental analysis").
 func (d *Dataset) Analyze(opts Options) (*Report, error) {
 	workers := opts.Workers
 	if workers == 0 {
@@ -261,15 +261,11 @@ func (d *Dataset) Analyze(opts Options) (*Report, error) {
 		pp.Instrument(opts.Metrics)
 	}
 	tm := newStageTimers(opts.Metrics, d)
-	if err := span(tm.pass1, func() error { return pp.RunPass1(d.EachFlow) }); err != nil {
-		return nil, err
-	}
-	_ = span(tm.finish1, func() error { pp.FinishPass1(opts.MinActiveDays); return nil })
-	if err := span(tm.pass2, func() error { return pp.RunPass2(d.EachFlow) }); err != nil {
+	if err := span(tm.observe, func() error { return pp.Run(d.EachFlow) }); err != nil {
 		return nil, err
 	}
 	var report *Report
-	_ = span(tm.compose, func() error { report = composeReport(d, pp.Pipeline(), opts); return nil })
+	_ = span(tm.compose, func() error { report = composeReport(d.Meta, d.Updates, pp.Pipeline(), opts); return nil })
 	return report, nil
 }
 
@@ -283,19 +279,9 @@ func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 		p.RegisterMetrics(opts.Metrics)
 	}
 	tm := newStageTimers(opts.Metrics, d)
-	err = span(tm.pass1, func() error {
+	err = span(tm.observe, func() error {
 		return d.EachFlow(func(rec *flowRecord) error {
-			p.ObservePass1(rec)
-			return nil
-		})
-	})
-	if err != nil {
-		return nil, err
-	}
-	_ = span(tm.finish1, func() error { p.FinishPass1(opts.MinActiveDays); return nil })
-	err = span(tm.pass2, func() error {
-		return d.EachFlow(func(rec *flowRecord) error {
-			p.ObservePass2(rec)
+			p.Observe(rec)
 			return nil
 		})
 	})
@@ -303,7 +289,7 @@ func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 		return nil, err
 	}
 	var report *Report
-	_ = span(tm.compose, func() error { report = composeReport(d, p, opts); return nil })
+	_ = span(tm.compose, func() error { report = composeReport(d.Meta, d.Updates, p, opts); return nil })
 	return report, nil
 }
 

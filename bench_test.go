@@ -69,12 +69,7 @@ func benchSetup(b *testing.B) (*Dataset, *pipeline.Pipeline, *Report, Options) {
 			bench.err = err
 			return
 		}
-		if err := ds.EachFlow(func(rec *FlowRecord) error { p.ObservePass1(rec); return nil }); err != nil {
-			bench.err = err
-			return
-		}
-		p.FinishPass1(opts.MinActiveDays)
-		if err := ds.EachFlow(func(rec *FlowRecord) error { p.ObservePass2(rec); return nil }); err != nil {
+		if err := ds.EachFlow(func(rec *FlowRecord) error { p.Observe(rec); return nil }); err != nil {
 			bench.err = err
 			return
 		}
@@ -369,7 +364,7 @@ func BenchmarkFig17PortVariation(b *testing.B) {
 	var profiles []HostProfile
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		profiles = p.Hosts.Profiles(opts.MinActiveDays)
+		profiles = p.ComposeProfiles(opts.MinActiveDays)
 	}
 	servers, clients := 0, 0
 	for i := range profiles {
@@ -397,14 +392,16 @@ func BenchmarkTable4HostASTypes(b *testing.B) {
 	b.ReportMetric(100*tt.ServerTypes["Content"], "server_content_pct")
 }
 
-// BenchmarkFig18CollateralDamage summarizes the collateral-damage counts
+// BenchmarkFig18CollateralDamage materializes the pending per-event cells
+// against the server profiles and summarizes the collateral-damage counts
 // (paper: up to 10^6 packets, ~300 events).
 func BenchmarkFig18CollateralDamage(b *testing.B) {
-	_, p, _, _ := benchSetup(b)
+	_, p, _, opts := benchSetup(b)
+	profiles := p.ComposeProfiles(opts.MinActiveDays)
 	var res *CollateralResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res = p.Collateral.Result()
+		res = p.ComposeCollateral(profiles).Result()
 	}
 	b.ReportMetric(float64(res.Events), "events_with_damage")
 	b.ReportMetric(float64(res.MaxAll), "max_damage_pkts")
@@ -564,8 +561,8 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
-// BenchmarkAnalyzeFull measures the complete two-pass analysis over the
-// shared dataset.
+// BenchmarkAnalyzeFull measures the complete single-pass analysis over
+// the shared dataset.
 func BenchmarkAnalyzeFull(b *testing.B) {
 	ds, _, _, opts := benchSetup(b)
 	b.ResetTimer()
@@ -574,6 +571,84 @@ func BenchmarkAnalyzeFull(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOnlineSnapshot contrasts the online analyzer's incremental
+// snapshot against a cold batch re-analysis of the same streams, at two
+// stream lengths with the event population held fixed. Everything past
+// the ~73h seal horizon is folded into compact operator state and the
+// raw records released, so a snapshot clones that state and replays
+// only the horizon-sized tail: doubling the stream length roughly
+// doubles the cold cost while the incremental cost stays flat —
+// sub-linear in total stream length. retained_records (vs
+// total_records) is the steady-state memory bound, which depends on the
+// horizon, not on how long the run has streamed.
+func BenchmarkOnlineSnapshot(b *testing.B) {
+	for _, days := range []int{14, 28} {
+		b.Run(fmt.Sprintf("days=%d", days), func(b *testing.B) {
+			benchOnlineSnapshot(b, days)
+		})
+	}
+}
+
+func benchOnlineSnapshot(b *testing.B, days int) {
+	cfg := TestConfig()
+	cfg.Days = days
+	cfg.EventsTotal = 300
+	cfg.UniqueVictims = 150
+	cfg.Members = 60
+	cfg.RTBHUsers = 12
+	cfg.VictimOriginASes = 16
+	cfg.RemoteOriginASes = 200
+	dir, err := os.MkdirTemp("", "rtbh-online-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := Simulate(cfg, dir); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := OpenDataset(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SweepDeltas = nil
+	opts.OffsetStep = 100 * time.Millisecond
+	opts.Workers = 1
+
+	reg := NewMetricsRegistry()
+	a := NewOnlineAnalyzer(ds.Meta)
+	a.RegisterMetrics(reg)
+	for i := range ds.Updates {
+		a.ObserveControl(ds.Updates[i])
+	}
+	if err := ds.EachFlow(func(rec *FlowRecord) error { a.ObserveFlow(rec); return nil }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.Snapshot(opts); err != nil { // seal everything eligible once
+		b.Fatal(err)
+	}
+	_, total := a.Counts()
+	retained := reg.Snapshot().Gauge("online.retained_flows")
+
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Snapshot(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(retained), "retained_records")
+		b.ReportMetric(float64(total), "total_records")
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.Analyze(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(total), "total_records")
+	})
 }
 
 // benchFlows caches the shared dataset's flow archive in memory so the
@@ -598,8 +673,8 @@ func loadBenchFlows(b *testing.B, ds *Dataset) []FlowRecord {
 	return benchFlows.recs
 }
 
-// runPipelineBench times both streaming passes over the in-memory archive
-// at the given worker count (0 = sequential pipeline, no dispatch layer).
+// runPipelineBench times the streaming pass over the in-memory archive at
+// the given worker count (0 = sequential pipeline, no dispatch layer).
 func runPipelineBench(b *testing.B, workers int) {
 	ds, _, _, opts := benchSetup(b)
 	recs := loadBenchFlows(b, ds)
@@ -619,33 +694,25 @@ func runPipelineBench(b *testing.B, workers int) {
 				b.Fatal(err)
 			}
 			for j := range recs {
-				p.ObservePass1(&recs[j])
-			}
-			p.FinishPass1(opts.MinActiveDays)
-			for j := range recs {
-				p.ObservePass2(&recs[j])
+				p.Observe(&recs[j])
 			}
 		} else {
 			pp, err := pipeline.NewParallel(ds.Meta, ds.Updates, opts.Delta, workers)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := pp.RunPass1(src); err != nil {
-				b.Fatal(err)
-			}
-			pp.FinishPass1(opts.MinActiveDays)
-			if err := pp.RunPass2(src); err != nil {
+			if err := pp.Run(src); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(2*len(recs))*float64(b.N)/secs, "records/s")
+		b.ReportMetric(float64(len(recs))*float64(b.N)/secs, "records/s")
 	}
 }
 
-// BenchmarkPipelineSequential is the two-pass baseline: the plain
+// BenchmarkPipelineSequential is the single-pass baseline: the plain
 // Pipeline with no sharding or dispatch overhead.
 func BenchmarkPipelineSequential(b *testing.B) { runPipelineBench(b, 0) }
 

@@ -78,6 +78,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
 		os.Exit(2)
 	}
+	// The default 0 disables periodic snapshots; only an explicitly set
+	// cadence must be a positive duration.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "snapshot-every" {
+			return
+		}
+		if err := cliutil.CheckSnapshotEvery(*snapEvery); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+	})
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

@@ -28,7 +28,7 @@ func goldenConfig() rtbh.Config {
 }
 
 // TestGoldenEndToEnd drives the full chain — route server and fabric
-// simulation, dataset round trip, two-pass analysis, text rendering —
+// simulation, dataset round trip, single-pass analysis, text rendering —
 // and byte-compares the rendered report against the checked-in fixture,
 // for the sequential runner and the sharded parallel runner alike. On
 // the way it reconciles every layer's metrics snapshot with the ground
@@ -176,7 +176,7 @@ func reconcile(t *testing.T, snap, simSnap rtbh.MetricsSnapshot, report *rtbh.Re
 
 	// Stage timers fired once each; the parallel runner also accounts
 	// every record to a shard and counts its merges.
-	for _, name := range []string{"pipeline.pass1", "pipeline.finish1", "pipeline.pass2", "analysis.compose"} {
+	for _, name := range []string{"pipeline.observe", "analysis.compose"} {
 		tv, ok := snap.Timers[name]
 		if !ok || tv.Count != 1 {
 			t.Errorf("workers=%d: timer %s = %+v, want exactly one span", workers, name, tv)
@@ -187,15 +187,15 @@ func reconcile(t *testing.T, snap, simSnap rtbh.MetricsSnapshot, report *rtbh.Re
 		for i := 0; i < workers; i++ {
 			sharded += snap.Counter(fmt.Sprintf("pipeline.shard.%02d.records", i))
 		}
-		// Pass 2 feeds every record to exactly one shard; pass 1 feeds a
-		// record to two shards when its source and destination hash apart
-		// (the role split in parallel.go). So the entry sum is bounded by
-		// 2x..3x the record total.
-		if lo, hi := 2*report.TotalRecords, 3*report.TotalRecords; sharded < lo || sharded > hi {
+		// The single pass feeds every record to its destination shard, and
+		// to a second shard when the source hashes apart (the role split in
+		// parallel.go). So the entry sum is bounded by 1x..2x the record
+		// total.
+		if lo, hi := report.TotalRecords, 2*report.TotalRecords; sharded < lo || sharded > hi {
 			t.Errorf("workers=%d: shard counters sum to %d, want within [%d, %d]", workers, sharded, lo, hi)
 		}
-		if got := snap.Counter("pipeline.merges"); got != int64(2*workers) {
-			t.Errorf("workers=%d: pipeline.merges = %d, want %d", workers, got, 2*workers)
+		if got := snap.Counter("pipeline.merges"); got != int64(workers) {
+			t.Errorf("workers=%d: pipeline.merges = %d, want %d", workers, got, workers)
 		}
 		if got := snap.Gauge("pipeline.workers"); got != int64(workers) {
 			t.Errorf("workers=%d: pipeline.workers gauge = %d", workers, got)

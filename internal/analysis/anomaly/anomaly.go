@@ -117,6 +117,23 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the aggregator; further
+// Adds on either side do not affect the other (Operator contract in
+// internal/analysis).
+func (a *Aggregator) Snapshot() *Aggregator {
+	s := New()
+	for k, sf := range a.slots {
+		s.slots[k] = &slotFeat{
+			packets:  sf.packets,
+			nonTCP:   sf.nonTCP,
+			flows:    sf.flows.Clone(),
+			srcIPs:   sf.srcIPs.Clone(),
+			dstPorts: sf.dstPorts.Clone(),
+		}
+	}
+	return s
+}
+
 // features returns the five feature values of a slot (zeros if empty).
 func (a *Aggregator) features(prefix bgp.Prefix, slot int64) [NumFeatures]float64 {
 	sf := a.slots[slotKey{prefix: prefix, slot: slot}]

@@ -67,6 +67,17 @@ func (s *BoundedSet) Merge(o *BoundedSet) {
 // Exact reports whether the count is exact (the set never saturated).
 func (s *BoundedSet) Exact() bool { return s.saturated == 0 }
 
+// Clone returns an independent copy of the set: further Adds on either
+// side do not affect the other. Used by the copy-on-snapshot path of the
+// incremental operators (see the Operator contract in this package).
+func (s *BoundedSet) Clone() BoundedSet {
+	return BoundedSet{
+		keys:      append([]uint64(nil), s.keys...),
+		saturated: s.saturated,
+		cap:       s.cap,
+	}
+}
+
 // Hash64 mixes up to four 16-bit fields and two 32-bit fields into a
 // 64-bit key for BoundedSet (a splitmix-style finalizer).
 func Hash64(a, b uint32, c, d uint16, e uint8) uint64 {
@@ -137,6 +148,15 @@ func (c *TopCounter) Top() (key uint32, count uint64, ok bool) {
 		}
 	}
 	return c.keys[best], c.counts[best], true
+}
+
+// Clone returns an independent copy of the counter.
+func (c *TopCounter) Clone() *TopCounter {
+	return &TopCounter{
+		keys:   append([]uint32(nil), c.keys...),
+		counts: append([]uint64(nil), c.counts...),
+		cap:    c.cap,
+	}
 }
 
 // Len returns the number of tracked keys.

@@ -83,6 +83,116 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the aggregator (Operator
+// contract in internal/analysis). The top-port sets are shared — they are
+// immutable after New.
+func (a *Aggregator) Snapshot() *Aggregator {
+	s := &Aggregator{
+		topPorts: a.topPorts,
+		perEvent: make(map[int]*counts, len(a.perEvent)),
+	}
+	for id, c := range a.perEvent {
+		cp := *c
+		s.perEvent[id] = &cp
+	}
+	return s
+}
+
+// AddCounts folds pre-tallied packet counts for one (event, dstIP, port)
+// cell, applying the same top-port filter as Add. Pending.Materialize
+// uses this to replay the compact during-event tallies once the server
+// profiles — and therefore the top-port sets — are known.
+func (a *Aggregator) AddCounts(eventID int, dstIP uint32, portKey uint32, all, dropped int64) {
+	set := a.topPorts[dstIP]
+	if set == nil || !set[portKey] {
+		return
+	}
+	c := a.perEvent[eventID]
+	if c == nil {
+		c = &counts{}
+		a.perEvent[eventID] = c
+	}
+	c.all += all
+	c.dropped += dropped
+}
+
+// pendingKey identifies one (event, destination, proto/port) tally cell.
+type pendingKey struct {
+	eventID int
+	dstIP   uint32
+	portKey uint32 // proto<<16|port
+}
+
+// Pending accumulates during-event traffic toward blackholed destinations
+// *before* the server profiles exist, keyed by (event, dstIP,
+// proto<<16|port). It is the compact per-event aggregate that lets the
+// pipeline run in a single pass: whether a packet counts as collateral
+// damage depends only on these coordinates, never on arrival order, so
+// tallying now and filtering against the top-port sets at compose time
+// (Materialize) is exact. State is bounded by the distinct (event, host,
+// port) combinations with during-event traffic — far below the raw record
+// count — and is what the online analyzer retains for open events.
+type Pending struct {
+	cells map[pendingKey]*counts
+}
+
+// NewPending returns an empty pending store.
+func NewPending() *Pending {
+	return &Pending{cells: make(map[pendingKey]*counts)}
+}
+
+// Add tallies one sampled packet observed during eventID's window toward
+// dstIP on (proto, dstPort).
+func (p *Pending) Add(eventID int, dstIP uint32, dstPort uint16, proto uint8, dropped bool, pkts int64) {
+	key := pendingKey{eventID: eventID, dstIP: dstIP, portKey: uint32(proto)<<16 | uint32(dstPort)}
+	c := p.cells[key]
+	if c == nil {
+		c = &counts{}
+		p.cells[key] = c
+	}
+	c.all += pkts
+	if dropped {
+		c.dropped += pkts
+	}
+}
+
+// Merge folds o's cells into p, summing colliding cells. Exact regardless
+// of sharding: cell sums are commutative. o must not be used afterwards.
+func (p *Pending) Merge(o *Pending) {
+	for k, oc := range o.cells {
+		c := p.cells[k]
+		if c == nil {
+			p.cells[k] = oc
+			continue
+		}
+		c.all += oc.all
+		c.dropped += oc.dropped
+	}
+}
+
+// Snapshot returns an independent deep copy (Operator contract in
+// internal/analysis).
+func (p *Pending) Snapshot() *Pending {
+	s := NewPending()
+	for k, c := range p.cells {
+		cp := *c
+		s.cells[k] = &cp
+	}
+	return s
+}
+
+// Len returns the number of tally cells retained.
+func (p *Pending) Len() int { return len(p.cells) }
+
+// Materialize filters the pending tallies through agg's top-port sets,
+// producing the same per-event damage counters a dedicated second pass
+// over the raw records would have.
+func (p *Pending) Materialize(agg *Aggregator) {
+	for k, c := range p.cells {
+		agg.AddCounts(k.eventID, k.dstIP, k.portKey, c.all, c.dropped)
+	}
+}
+
 // Result is the Fig 18 outcome.
 type Result struct {
 	// Events is the number of RTBH events with collateral damage.

@@ -134,6 +134,23 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the aggregator; further
+// Adds on either side do not affect the other (Operator contract in
+// internal/analysis).
+func (a *Aggregator) Snapshot() *Aggregator {
+	s := New()
+	s.byLen = a.byLen
+	for id, ec := range a.byEvent {
+		cp := *ec
+		s.byEvent[id] = &cp
+	}
+	for m, c := range a.bySource {
+		cp := *c
+		s.bySource[m] = &cp
+	}
+	return s
+}
+
 // LengthStat is one row of Fig 5.
 type LengthStat struct {
 	PrefixLen uint8

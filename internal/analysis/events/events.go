@@ -139,7 +139,13 @@ func Merge(updates []analysis.ControlUpdate, delta time.Duration, periodEnd time
 		}
 	}
 
-	sort.Slice(all, func(i, j int) bool {
+	// Stable sort over the first-announce order: appending updates to the
+	// stream can only append events whose Start is at or past the previous
+	// maximum timestamp, so the IDs of events that started earlier never
+	// renumber as a live stream grows — the online analyzer's sealed
+	// per-event aggregates rely on this (DESIGN.md, "Incremental
+	// analysis").
+	sort.SliceStable(all, func(i, j int) bool {
 		if !all[i].Start().Equal(all[j].Start()) {
 			return all[i].Start().Before(all[j].Start())
 		}

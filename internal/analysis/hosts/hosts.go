@@ -149,6 +149,24 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the aggregator; further
+// Adds on either side do not affect the other (Operator contract in
+// internal/analysis).
+func (a *Aggregator) Snapshot() *Aggregator {
+	s := New()
+	for ip, h := range a.hosts {
+		ch := &hostAgg{days: make(map[int32]*dayAgg, len(h.days))}
+		for d, da := range h.days {
+			ch.days[d] = &dayAgg{hasIn: da.hasIn, hasOut: da.hasOut, inTop: da.inTop.Clone()}
+		}
+		for f := range h.feat {
+			ch.feat[f] = h.feat[f].Clone()
+		}
+		s.hosts[ip] = ch
+	}
+	return s
+}
+
 // Profile is the per-host analysis outcome.
 type Profile struct {
 	IP uint32
@@ -172,8 +190,21 @@ const ClassifyThreshold = 0.5
 // Profiles computes per-host outcomes for hosts meeting minActiveDays
 // (use MinActiveDays for the paper's criterion), sorted by IP.
 func (a *Aggregator) Profiles(minActiveDays int) []Profile {
+	return a.ProfilesFunc(minActiveDays, nil)
+}
+
+// ProfilesFunc is Profiles restricted to hosts for which keep returns
+// true (nil keeps every host). The online analyzer profiles candidate
+// hosts speculatively — before knowing whether their prefix will ever be
+// blackholed — and applies the ever-blackholed predicate here, at compose
+// time, which makes the surviving set identical to what a batch pass
+// (which knows the full control stream up front) would have fed.
+func (a *Aggregator) ProfilesFunc(minActiveDays int, keep func(ip uint32) bool) []Profile {
 	var out []Profile
 	for ip, h := range a.hosts {
+		if keep != nil && !keep(ip) {
+			continue
+		}
 		p := Profile{IP: ip}
 		inDays := 0
 		topSet := map[uint32]bool{}

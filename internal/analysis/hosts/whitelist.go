@@ -25,8 +25,18 @@ type Coverage struct {
 // WhitelistCoverage computes per-host whitelist coverage for hosts with
 // at least minActiveDays active days (the same criterion as Profiles).
 func (a *Aggregator) WhitelistCoverage(minActiveDays int) []Coverage {
+	return a.WhitelistCoverageFunc(minActiveDays, nil)
+}
+
+// WhitelistCoverageFunc is WhitelistCoverage restricted to hosts for
+// which keep returns true (nil keeps every host) — the compose-time
+// counterpart of ProfilesFunc for speculatively profiled hosts.
+func (a *Aggregator) WhitelistCoverageFunc(minActiveDays int, keep func(ip uint32) bool) []Coverage {
 	var out []Coverage
 	for ip, h := range a.hosts {
+		if keep != nil && !keep(ip) {
+			continue
+		}
 		active := 0
 		for _, da := range h.days {
 			if da.hasIn && da.hasOut {

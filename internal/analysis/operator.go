@@ -1,0 +1,32 @@
+package analysis
+
+// Operator is the incremental-operator contract shared by every streaming
+// analysis stage (dropstats, anomaly, protomix, hosts, timealign, and the
+// collateral pending store). An operator accumulates observations through
+// its stage-specific Observe methods (Add, AddDropped, AddIncoming, ...),
+// supports the three uniform lifecycle operations below, and derives its
+// figures from the accumulated state only when asked:
+//
+//   - Observe (stage-specific signature): fold one flow observation into
+//     the compact aggregate state. O(1) amortized per record; never
+//     retains the raw record.
+//   - Merge: fold another operator's state into this one. The sharded
+//     parallel pipeline merges per-worker operators whose key populations
+//     are disjoint by shard routing, which makes Merge exact; the online
+//     path never merges overlapping operators — it snapshots and replays
+//     instead (see Snapshot).
+//   - Snapshot: return an independent deep copy of the state. The
+//     original may continue observing concurrently-arriving records; the
+//     copy is immutable input for report composition. Cost is
+//     proportional to the compact state, not to the records observed.
+//
+// The control-plane stages (events, load, visibility, the Fig 10 sweep)
+// deliberately do not implement this contract: they are pure functions of
+// the retained control-update stream, which is several orders of
+// magnitude smaller than the flow stream, and recomputing them at
+// snapshot time is both cheap and trivially byte-identical to batch (see
+// DESIGN.md, "Incremental analysis").
+type Operator[T any] interface {
+	Merge(T)
+	Snapshot() T
+}

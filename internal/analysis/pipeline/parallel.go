@@ -1,21 +1,22 @@
-// Parallel execution of the two-pass analysis: flow records fan out in
-// batches to N workers, each owning a private shard of every aggregator;
-// after a pass the shards merge into the exact state the sequential
+// Parallel execution of the single-pass analysis: flow records fan out in
+// batches to N workers, each owning a private shard of every operator;
+// after the pass the shards Merge into the exact state the sequential
 // pipeline would have produced.
 //
-// Determinism argument. Every piece of order-sensitive aggregator state
-// is keyed by an address inside a blackholed prefix: anomaly slots by
-// the matched prefix, protocol mixes and drop counters by the event (and
-// thus its prefix), host profiles by the host address, collateral damage
-// by the event. Records are partitioned by the top minLen bits of the
-// relevant address, where minLen is the shortest blackhole prefix length
-// present — so every address inside any one blackholed prefix maps to
-// the same shard, and all records feeding one keyed aggregate arrive at
-// one shard in stream order. Shard-local state is therefore bit-identical
-// to the sequential aggregator's state for those keys, and Merge is a
-// disjoint map union plus commutative counter sums. Records touching
-// destination-keyed and source-keyed state are dispatched to both owning
-// shards with a role mask, counted once by the destination role.
+// Determinism argument. Every piece of order-sensitive operator state is
+// keyed by an address inside a blackholed prefix: anomaly slots by the
+// matched prefix, protocol mixes and drop counters by the event (and
+// thus its prefix), host profiles by the host address, pending collateral
+// cells by the event's prefix. Records are partitioned by the top minLen
+// bits of the relevant address, where minLen is the shortest blackhole
+// prefix length present — so every address inside any one blackholed
+// prefix maps to the same shard, and all records feeding one keyed
+// aggregate arrive at one shard in stream order. Shard-local state is
+// therefore bit-identical to the sequential operator's state for those
+// keys, and Merge is a disjoint map union plus commutative counter sums.
+// Records touching destination-keyed and source-keyed state are
+// dispatched to both owning shards with a role mask, counted once by the
+// destination role.
 package pipeline
 
 import (
@@ -25,7 +26,6 @@ import (
 	"time"
 
 	"repro/internal/analysis"
-	"repro/internal/analysis/collateral"
 	"repro/internal/ipfix"
 	"repro/internal/obs"
 )
@@ -34,12 +34,11 @@ import (
 // amortizes channel synchronization over ~200KB of records.
 const DefaultBatchSize = 4096
 
-// Source streams flow records to fn, exactly like Dataset.EachFlow. The
-// runner re-invokes it once per pass.
+// Source streams flow records to fn, exactly like Dataset.EachFlow.
 type Source func(fn func(*ipfix.FlowRecord) error) error
 
 // roles a record plays in its shard: destination-keyed processing
-// (counters, drop/proto/anomaly/align/incoming-host state) and
+// (counters, drop/proto/anomaly/align/incoming-host/pending state) and
 // source-keyed processing (outgoing-host state).
 const (
 	roleDst = 1 << iota
@@ -51,9 +50,9 @@ type batchEntry struct {
 	role uint8
 }
 
-// Parallel runs the two-pass analysis across worker-owned aggregator
-// shards. Build with NewParallel, then RunPass1, FinishPass1, RunPass2,
-// and read results from Pipeline().
+// Parallel runs the single-pass analysis across worker-owned operator
+// shards. Build with NewParallel, then Run, and read results from
+// Pipeline().
 type Parallel struct {
 	workers   int
 	batchSize int
@@ -71,7 +70,7 @@ type Parallel struct {
 
 // parallelObs is the parallel runner's instrumentation: per-shard record
 // counters (incremented by the worker goroutines, hence atomic obs
-// counters), per-aggregator merge timers, and a merge counter.
+// counters), per-operator merge timers, and a merge counter.
 type parallelObs struct {
 	shardRecords []*obs.Counter
 	mergeTimers  MergeTimers
@@ -81,9 +80,9 @@ type parallelObs struct {
 // Instrument registers the runner's metrics: the merged pipeline's
 // counters (pipeline.*, dropstats.*), one records counter per shard
 // (pipeline.shard.NN.records, counting every record role the shard
-// processed across both passes), the per-aggregator shard-merge timers
-// (pipeline.merge.*), and pipeline.merges, the number of shard merges
-// performed. Call before RunPass1.
+// processed), the per-operator shard-merge timers (pipeline.merge.*),
+// and pipeline.merges, the number of shard merges performed. Call before
+// Run.
 func (pp *Parallel) Instrument(reg *obs.Registry) {
 	pp.merged.RegisterMetrics(reg)
 	po := &parallelObs{}
@@ -129,8 +128,8 @@ func NewParallel(meta *analysis.Metadata, updates []analysis.ControlUpdate, delt
 // Workers returns the number of worker shards.
 func (pp *Parallel) Workers() int { return pp.workers }
 
-// Pipeline returns the merged pipeline. Its aggregators are complete for
-// a pass once the corresponding Run/Finish call returned.
+// Pipeline returns the merged pipeline. Its operators are complete once
+// Run returned.
 func (pp *Parallel) Pipeline() *Pipeline { return pp.merged }
 
 // shardOf maps an address to its owning shard. Addresses inside the same
@@ -147,10 +146,10 @@ func (pp *Parallel) shardOf(ip uint32) int {
 	return int(key % uint64(pp.workers))
 }
 
-// RunPass1 streams src through the shards and merges first-pass state
-// into the merged pipeline.
-func (pp *Parallel) RunPass1(src Source) error {
-	if err := pp.run(src, 1); err != nil {
+// Run streams src through the shards and merges the operator state into
+// the merged pipeline.
+func (pp *Parallel) Run(src Source) error {
+	if err := pp.run(src); err != nil {
 		return err
 	}
 	var tm *MergeTimers
@@ -158,47 +157,15 @@ func (pp *Parallel) RunPass1(src Source) error {
 		tm = &pp.obs.mergeTimers
 	}
 	for _, sh := range pp.shards {
-		pp.merged.mergePass1(sh, tm)
+		pp.merged.merge(sh, tm)
 		if pp.obs != nil {
 			pp.obs.merges.Inc()
 		}
 	}
-	// Shards are consumed: replace their pass-1 aggregators so a later
-	// misuse cannot double-count into adopted structures.
+	// Shards are consumed: replace their operators so a later misuse
+	// cannot double-count into adopted structures.
 	for i, sh := range pp.shards {
 		pp.shards[i] = sh.newShard()
-	}
-	return nil
-}
-
-// FinishPass1 computes host profiles on the merged state and equips every
-// shard with a collateral aggregator over the detected servers.
-func (pp *Parallel) FinishPass1(minActiveDays int) {
-	pp.merged.FinishPass1(minActiveDays)
-	for _, sh := range pp.shards {
-		sh.Profiles = pp.merged.Profiles
-		sh.Collateral = collateral.New(pp.merged.Profiles)
-	}
-}
-
-// RunPass2 streams src through the shards' collateral aggregators and
-// merges them into the merged pipeline. It panics if FinishPass1 has not
-// run, like Pipeline.ObservePass2.
-func (pp *Parallel) RunPass2(src Source) error {
-	if pp.merged.Collateral == nil {
-		panic("pipeline: RunPass2 before FinishPass1")
-	}
-	if err := pp.run(src, 2); err != nil {
-		return err
-	}
-	for _, sh := range pp.shards {
-		var ct *obs.Timer
-		if pp.obs != nil {
-			ct = &pp.obs.mergeTimers.Collateral
-			pp.obs.merges.Inc()
-		}
-		spanned(ct, func() { pp.merged.Collateral.Merge(sh.Collateral) })
-		sh.Collateral = collateral.New(nil)
 	}
 	return nil
 }
@@ -206,7 +173,7 @@ func (pp *Parallel) RunPass2(src Source) error {
 // run streams records into per-shard batch channels and waits for the
 // workers to drain them. Per-shard record order equals stream order,
 // which the determinism argument relies on.
-func (pp *Parallel) run(src Source, pass int) error {
+func (pp *Parallel) run(src Source) error {
 	chans := make([]chan []batchEntry, pp.workers)
 	var wg sync.WaitGroup
 	for i := range chans {
@@ -221,15 +188,11 @@ func (pp *Parallel) run(src Source, pass int) error {
 			for batch := range ch {
 				for j := range batch {
 					e := &batch[j]
-					if pass == 1 {
-						if e.role&roleDst != 0 {
-							sh.observePass1Dst(&e.rec)
-						}
-						if e.role&roleSrc != 0 {
-							sh.observePass1Src(&e.rec)
-						}
-					} else {
-						sh.ObservePass2(&e.rec)
+					if e.role&roleDst != 0 {
+						sh.observeDst(&e.rec)
+					}
+					if e.role&roleSrc != 0 {
+						sh.observeSrc(&e.rec)
 					}
 				}
 				if recCount != nil {
@@ -262,11 +225,6 @@ func (pp *Parallel) run(src Source, pass int) error {
 
 	err := src(func(rec *ipfix.FlowRecord) error {
 		sd := pp.shardOf(rec.DstIP)
-		if pass != 1 {
-			// The second pass is destination-keyed only.
-			push(sd, rec, roleDst)
-			return nil
-		}
 		if ss := pp.shardOf(rec.SrcIP); ss != sd {
 			push(sd, rec, roleDst)
 			push(ss, rec, roleSrc)

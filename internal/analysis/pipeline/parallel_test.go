@@ -190,6 +190,7 @@ type snapshot struct {
 
 func snap(p *Pipeline) snapshot {
 	withData := p.Proto.EventsWithData()
+	profiles := p.ComposeProfiles(2)
 	return snapshot{
 		Total: p.TotalRecords, Internal: p.InternalRecords,
 		Attributed: p.AttributedRecords, Dropped: p.DroppedRecords,
@@ -211,11 +212,11 @@ func snap(p *Pipeline) snapshot {
 		Scale:      p.Proto.Scale(withData),
 
 		Hosts:    p.Hosts.Hosts(),
-		Profiles: p.Hosts.Profiles(2),
+		Profiles: profiles,
 
 		Align: p.Align.Estimate(50 * time.Millisecond),
 
-		Collateral: p.Collateral.Result(),
+		Collateral: p.ComposeCollateral(profiles).Result(),
 	}
 }
 
@@ -248,16 +249,12 @@ func TestParallelParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range recs {
-		seq.ObservePass1(&recs[i])
-	}
-	seq.FinishPass1(2)
-	if len(seq.Profiles) == 0 {
-		t.Fatal("fixture produced no host profiles; parity would be vacuous")
-	}
-	for i := range recs {
-		seq.ObservePass2(&recs[i])
+		seq.Observe(&recs[i])
 	}
 	ref := snap(seq)
+	if len(ref.Profiles) == 0 {
+		t.Fatal("fixture produced no host profiles; parity would be vacuous")
+	}
 	if ref.Attributed == 0 || ref.Dropped == 0 || ref.Slots == 0 || len(ref.WithData) == 0 {
 		t.Fatalf("fixture too thin: %+v", ref.Cleaning)
 	}
@@ -269,11 +266,7 @@ func TestParallelParity(t *testing.T) {
 				t.Fatal(err)
 			}
 			pp.batchSize = 64 // force many batches per shard
-			if err := pp.RunPass1(src); err != nil {
-				t.Fatal(err)
-			}
-			pp.FinishPass1(2)
-			if err := pp.RunPass2(src); err != nil {
+			if err := pp.Run(src); err != nil {
 				t.Fatal(err)
 			}
 			snap(pp.Pipeline()).mustEqual(t, ref, fmt.Sprintf("workers=%d", workers))
@@ -281,7 +274,7 @@ func TestParallelParity(t *testing.T) {
 	}
 }
 
-// TestParallelSourceError verifies a source error aborts both passes.
+// TestParallelSourceError verifies a source error aborts the run.
 func TestParallelSourceError(t *testing.T) {
 	pp, err := NewParallel(testMeta(), parityUpdates(), events.DefaultDelta, 3)
 	if err != nil {
@@ -289,12 +282,8 @@ func TestParallelSourceError(t *testing.T) {
 	}
 	boom := fmt.Errorf("boom")
 	bad := Source(func(fn func(*ipfix.FlowRecord) error) error { return boom })
-	if err := pp.RunPass1(bad); err != boom {
-		t.Fatalf("RunPass1 err = %v, want boom", err)
-	}
-	pp.FinishPass1(2)
-	if err := pp.RunPass2(bad); err != boom {
-		t.Fatalf("RunPass2 err = %v, want boom", err)
+	if err := pp.Run(bad); err != boom {
+		t.Fatalf("Run err = %v, want boom", err)
 	}
 }
 

@@ -1,13 +1,22 @@
 // Package pipeline orchestrates the full data-plane analysis: it joins
 // each sampled flow record against the control-plane event structure
 // exactly once and dispatches the attributed observation to the
-// per-question aggregators (drop statistics, anomaly features, protocol
-// mix, host profiles, time alignment, collateral damage).
+// per-question incremental operators (drop statistics, anomaly features,
+// protocol mix, host profiles, time alignment, collateral damage).
 //
-// The pipeline runs in two streaming passes over the flow archive, like
-// the paper's own processing: the first pass needs only the control
-// plane; the second pass (collateral damage) additionally needs the
-// server top-ports detected by the first.
+// The pipeline runs in a single streaming pass over the flow archive.
+// The collateral-damage question — which historically forced a second
+// pass because it needs the server top-ports detected by host profiling —
+// is answered from a compact pending store keyed by (event, destination,
+// proto/port): whether a packet counts as collateral depends only on
+// those coordinates, so tallying during the pass and filtering against
+// the top-port sets at compose time is exact (see collateral.Pending).
+//
+// Every aggregator satisfies the analysis.Operator contract
+// (Observe/Merge/Snapshot), which is what lets one engine serve three
+// drivers: the sequential batch pass, the sharded parallel runner
+// (Merge), and the online analyzer (Snapshot + speculative observation;
+// see NewSpeculative and DESIGN.md, "Incremental analysis").
 package pipeline
 
 import (
@@ -26,12 +35,24 @@ import (
 	"repro/internal/obs"
 )
 
+// Compile-time checks that every streaming stage satisfies the Operator
+// contract (internal/analysis).
+var (
+	_ analysis.Operator[*dropstats.Aggregator]  = (*dropstats.Aggregator)(nil)
+	_ analysis.Operator[*anomaly.Aggregator]    = (*anomaly.Aggregator)(nil)
+	_ analysis.Operator[*protomix.Aggregator]   = (*protomix.Aggregator)(nil)
+	_ analysis.Operator[*hosts.Aggregator]      = (*hosts.Aggregator)(nil)
+	_ analysis.Operator[*timealign.Aggregator]  = (*timealign.Aggregator)(nil)
+	_ analysis.Operator[*collateral.Aggregator] = (*collateral.Aggregator)(nil)
+	_ analysis.Operator[*collateral.Pending]    = (*collateral.Pending)(nil)
+)
+
 // ReactionBuffer is prepended to each event when selecting legitimate
 // traffic for host profiling (§6.1: a 10-minute reaction time during
 // which traffic is not classified as legitimate).
 const ReactionBuffer = 10 * time.Minute
 
-// Pipeline is the two-pass streaming analyzer.
+// Pipeline is the single-pass streaming analyzer.
 type Pipeline struct {
 	Meta   *analysis.Metadata
 	Events []*events.Event
@@ -43,57 +64,135 @@ type Pipeline struct {
 	Hosts   *hosts.Aggregator
 	Align   *timealign.Aggregator
 
-	// Collateral is available after StartPass2.
-	Collateral *collateral.Aggregator
-	// Profiles are the host profiles computed by FinishPass1.
-	Profiles []hosts.Profile
+	// Pending holds the compact during-event tallies that become the
+	// collateral-damage result once ComposeCollateral filters them
+	// through the detected server top ports.
+	Pending *collateral.Pending
 
 	// Counters of the cleaning and attribution steps (§3.1).
 	TotalRecords      int64
 	InternalRecords   int64
 	AttributedRecords int64
 	DroppedRecords    int64
+
+	// speculative marks a pipeline observing records before the control
+	// stream is complete (the online analyzer). It widens two gates that
+	// batch mode can evaluate eagerly because EverBlackholed grows
+	// monotonically as updates arrive: host profiling observes every
+	// external candidate (filtered by the final predicate at compose
+	// time), and records attributable only through a not-yet-announced
+	// blackhole are tallied in pairs for FinalAttributed to resolve.
+	speculative bool
+	// pairs counts records whose destination/source pair was not (yet)
+	// ever-blackholed at observation time, keyed dst<<32|src.
+	pairs map[uint64]int64
+
+	// profileCount is set by ComposeProfiles for the pipeline.profiles
+	// gauge.
+	profileCount int64
 }
 
-// New builds a pipeline: events are merged from the update stream with
-// the given threshold (events.DefaultDelta for the paper's 10 minutes).
+// New builds a batch pipeline: events are merged from the complete update
+// stream with the given threshold (events.DefaultDelta for the paper's
+// 10 minutes).
 func New(meta *analysis.Metadata, updates []analysis.ControlUpdate, delta time.Duration) (*Pipeline, error) {
 	if err := meta.Validate(); err != nil {
 		return nil, err
 	}
 	evs := events.Merge(updates, delta, meta.End)
 	ix := events.NewIndex(evs, meta.End)
+	p := newEmpty(meta)
+	p.Events = evs
+	p.Index = ix
+	p.Align = timealign.New(ix)
+	return p, nil
+}
+
+// NewSpeculative builds a pipeline for the online analyzer: the control
+// stream is still growing, so observation runs in speculative mode (see
+// the field comment) against an index the caller advances with Rebind as
+// updates arrive.
+func NewSpeculative(meta *analysis.Metadata) (*Pipeline, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	p := newEmpty(meta)
+	p.speculative = true
+	p.pairs = make(map[uint64]int64)
+	p.Index = events.NewIndex(nil, meta.End)
+	p.Align = timealign.New(p.Index)
+	return p, nil
+}
+
+func newEmpty(meta *analysis.Metadata) *Pipeline {
 	return &Pipeline{
 		Meta:    meta,
-		Events:  evs,
-		Index:   ix,
 		Drop:    dropstats.New(),
 		Anomaly: anomaly.New(),
 		Proto:   protomix.New(),
 		Hosts:   hosts.New(),
-		Align:   timealign.New(ix),
-	}, nil
+		Pending: collateral.NewPending(),
+	}
+}
+
+// Rebind points the pipeline at a rebuilt control-plane view (events plus
+// attribution index). Only meaningful for speculative pipelines, whose
+// sealed observations stay valid because records are only finalized once
+// no new event can still cover them (DESIGN.md, "Incremental analysis").
+func (p *Pipeline) Rebind(evs []*events.Event, ix *events.Index) {
+	p.Events = evs
+	p.Index = ix
+	p.Align.Rebind(ix)
+}
+
+// Clone returns an independent deep copy of the pipeline's operator state
+// (shared immutable control-plane view). The original may continue
+// observing; the clone is the copy-on-snapshot input for report
+// composition.
+func (p *Pipeline) Clone() *Pipeline {
+	c := &Pipeline{
+		Meta:              p.Meta,
+		Events:            p.Events,
+		Index:             p.Index,
+		Drop:              p.Drop.Snapshot(),
+		Anomaly:           p.Anomaly.Snapshot(),
+		Proto:             p.Proto.Snapshot(),
+		Hosts:             p.Hosts.Snapshot(),
+		Align:             p.Align.Snapshot(),
+		Pending:           p.Pending.Snapshot(),
+		TotalRecords:      p.TotalRecords,
+		InternalRecords:   p.InternalRecords,
+		AttributedRecords: p.AttributedRecords,
+		DroppedRecords:    p.DroppedRecords,
+		speculative:       p.speculative,
+	}
+	if p.pairs != nil {
+		c.pairs = make(map[uint64]int64, len(p.pairs))
+		for k, v := range p.pairs {
+			c.pairs[k] = v
+		}
+	}
+	return c
 }
 
 // newShard returns a pipeline sharing p's immutable control-plane state
 // (metadata, events, attribution index — all read-only during the
-// streaming passes) with fresh, empty aggregators.
+// streaming pass) with fresh, empty operators.
 func (p *Pipeline) newShard() *Pipeline {
-	return &Pipeline{
-		Meta:    p.Meta,
-		Events:  p.Events,
-		Index:   p.Index,
-		Drop:    dropstats.New(),
-		Anomaly: anomaly.New(),
-		Proto:   protomix.New(),
-		Hosts:   hosts.New(),
-		Align:   timealign.New(p.Index),
+	s := newEmpty(p.Meta)
+	s.Events = p.Events
+	s.Index = p.Index
+	s.Align = timealign.New(p.Index)
+	s.speculative = p.speculative
+	if p.speculative {
+		s.pairs = make(map[uint64]int64)
 	}
+	return s
 }
 
-// MergeTimers holds per-aggregator span timers for the shard-merge stage
-// of the parallel runner. Each shard merge contributes one span per
-// aggregator.
+// MergeTimers holds per-operator span timers for the shard-merge stage of
+// the parallel runner. Each shard merge contributes one span per
+// operator.
 type MergeTimers struct {
 	Drop, Anomaly, Proto, Hosts, Align, Collateral obs.Timer
 }
@@ -109,38 +208,42 @@ func spanned(t *obs.Timer, fn func()) {
 	sp.End()
 }
 
-// mergePass1 folds o's first-pass state into p, timing each aggregator
-// merge when tm is non-nil. o must not observe any further records.
-func (p *Pipeline) mergePass1(o *Pipeline, tm *MergeTimers) {
+// merge folds o's state into p, timing each operator merge when tm is
+// non-nil. o must not observe any further records.
+func (p *Pipeline) merge(o *Pipeline, tm *MergeTimers) {
 	p.TotalRecords += o.TotalRecords
 	p.InternalRecords += o.InternalRecords
 	p.AttributedRecords += o.AttributedRecords
 	p.DroppedRecords += o.DroppedRecords
-	var drop, anom, proto, hosts, align *obs.Timer
+	var drop, anom, proto, hosts, align, coll *obs.Timer
 	if tm != nil {
-		drop, anom, proto, hosts, align = &tm.Drop, &tm.Anomaly, &tm.Proto, &tm.Hosts, &tm.Align
+		drop, anom, proto, hosts, align, coll = &tm.Drop, &tm.Anomaly, &tm.Proto, &tm.Hosts, &tm.Align, &tm.Collateral
 	}
 	spanned(drop, func() { p.Drop.Merge(o.Drop) })
 	spanned(anom, func() { p.Anomaly.Merge(o.Anomaly) })
 	spanned(proto, func() { p.Proto.Merge(o.Proto) })
 	spanned(hosts, func() { p.Hosts.Merge(o.Hosts) })
 	spanned(align, func() { p.Align.Merge(o.Align) })
+	spanned(coll, func() { p.Pending.Merge(o.Pending) })
+	for k, v := range o.pairs {
+		p.pairs[k] += v
+	}
 }
 
 // RegisterMetrics exposes the pipeline's cleaning counters, event and
 // profile populations, and the drop-statistics totals under the
 // "pipeline." and "dropstats." prefixes. The gauges read pipeline state
-// at snapshot time; snapshot after the passes finished. The registered
+// at snapshot time; snapshot after the pass finished. The registered
 // values reconcile exactly with the rendered report: records.dropped
 // equals the report's DroppedRecords, and the dropstats totals sum the
 // Fig 5 rows (see DESIGN.md, "Observability").
 func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("pipeline.records.total", func() int64 { return p.TotalRecords })
 	reg.GaugeFunc("pipeline.records.internal", func() int64 { return p.InternalRecords })
-	reg.GaugeFunc("pipeline.records.attributed", func() int64 { return p.AttributedRecords })
+	reg.GaugeFunc("pipeline.records.attributed", func() int64 { return p.FinalAttributed() })
 	reg.GaugeFunc("pipeline.records.dropped", func() int64 { return p.DroppedRecords })
 	reg.GaugeFunc("pipeline.events", func() int64 { return int64(len(p.Events)) })
-	reg.GaugeFunc("pipeline.profiles", func() int64 { return int64(len(p.Profiles)) })
+	reg.GaugeFunc("pipeline.profiles", func() int64 { return p.profileCount })
 	reg.GaugeFunc("dropstats.events", func() int64 { return int64(p.Drop.Events()) })
 	reg.GaugeFunc("dropstats.dropped_pkts", func() int64 { return p.Drop.Totals().DroppedPkts })
 	reg.GaugeFunc("dropstats.forwarded_pkts", func() int64 { return p.Drop.Totals().ForwardedPkts })
@@ -148,21 +251,21 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("dropstats.forwarded_bytes", func() int64 { return p.Drop.Totals().ForwardedBytes })
 }
 
-// ObservePass1 processes one flow record in the first pass.
+// Observe processes one flow record.
 //
 // The pass is split into a destination-keyed and a source-keyed half so
 // that the parallel runner can route each half to the shard owning the
 // respective address; run back to back they are exactly the sequential
-// first pass.
-func (p *Pipeline) ObservePass1(rec *ipfix.FlowRecord) {
-	p.observePass1Dst(rec)
-	p.observePass1Src(rec)
+// pass.
+func (p *Pipeline) Observe(rec *ipfix.FlowRecord) {
+	p.observeDst(rec)
+	p.observeSrc(rec)
 }
 
-// observePass1Dst handles the cleaning counters and all aggregations
-// keyed by the destination address (drop stats, protocol mix, anomaly
-// features, time alignment, incoming host traffic).
-func (p *Pipeline) observePass1Dst(rec *ipfix.FlowRecord) {
+// observeDst handles the cleaning counters and all aggregations keyed by
+// the destination address (drop stats, protocol mix, anomaly features,
+// time alignment, incoming host traffic, pending collateral tallies).
+func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	p.TotalRecords++
 	if p.Meta.IsInternal(rec) {
 		p.InternalRecords++
@@ -179,39 +282,54 @@ func (p *Pipeline) observePass1Dst(rec *ipfix.FlowRecord) {
 
 	_, dstBH := p.Index.EverBlackholed(rec.DstIP)
 	_, srcBH := p.Index.EverBlackholed(rec.SrcIP)
-	if !dstBH && !srcBH {
-		return
+	if dstBH || srcBH {
+		p.AttributedRecords++
+	} else if p.speculative {
+		// Neither endpoint has been blackholed *yet*; a later
+		// announcement can still make this record attributable.
+		// EverBlackholed is monotone, so tallying the pair now and
+		// resolving it against the final predicate (FinalAttributed)
+		// reproduces the batch count exactly.
+		p.pairs[uint64(rec.DstIP)<<32|uint64(rec.SrcIP)]++
 	}
-	p.AttributedRecords++
-	if !dstBH {
+	if !dstBH && !p.speculative {
 		return
 	}
 	day := int32(analysis.Day(p.Meta.Start, rec.Start))
 
 	m := p.Index.Lookup(rec.DstIP, rec.Start)
-	if m.Active {
-		p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
+	if dstBH {
+		if m.Active {
+			p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
+		}
+		if m.Event != nil {
+			originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)
+			p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
+			p.Pending.Add(m.Event.ID, rec.DstIP, rec.DstPort, rec.Proto, dropped, pkts)
+		}
+		if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
+			p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
+		}
 	}
-	if m.Event != nil {
-		originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)
-		p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
-	}
-	if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
-		p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
-	}
+	// Host profiling. Batch mode knows the final ever-blackholed set up
+	// front and only profiles those destinations; speculative mode
+	// reaches here for every external candidate and leaves the (by then
+	// final) predicate to ComposeProfiles. The event-window gates
+	// evaluate identically either way: once a record is old enough to
+	// be observed here, no future event can still cover it.
 	if m.Event == nil && p.legitAt(rec.DstIP, rec.Start) {
 		p.Hosts.AddIncoming(rec.DstIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
 	}
 }
 
-// observePass1Src handles the aggregation keyed by the source address
-// (outgoing host traffic). Counters are owned by observePass1Dst so that
-// a record dispatched to two shards is counted once.
-func (p *Pipeline) observePass1Src(rec *ipfix.FlowRecord) {
+// observeSrc handles the aggregation keyed by the source address
+// (outgoing host traffic). Counters are owned by observeDst so that a
+// record dispatched to two shards is counted once.
+func (p *Pipeline) observeSrc(rec *ipfix.FlowRecord) {
 	if p.Meta.IsInternal(rec) {
 		return
 	}
-	if _, srcBH := p.Index.EverBlackholed(rec.SrcIP); !srcBH {
+	if _, srcBH := p.Index.EverBlackholed(rec.SrcIP); !srcBH && !p.speculative {
 		return
 	}
 	mSrc := p.Index.Lookup(rec.SrcIP, rec.Start)
@@ -229,30 +347,65 @@ func (p *Pipeline) legitAt(ip uint32, t time.Time) bool {
 	return m.Event == nil
 }
 
-// FinishPass1 computes host profiles (the §6 population) and prepares the
-// collateral aggregator for the second pass. minActiveDays is the
-// detection criterion (hosts.MinActiveDays for the paper's 20).
-func (p *Pipeline) FinishPass1(minActiveDays int) {
-	p.Profiles = p.Hosts.Profiles(minActiveDays)
-	p.Collateral = collateral.New(p.Profiles)
+// EverBlackholed reports whether ip lies inside a prefix that was
+// blackholed at any point of the (currently known) control stream.
+func (p *Pipeline) EverBlackholed(ip uint32) bool {
+	_, ok := p.Index.EverBlackholed(ip)
+	return ok
 }
 
-// ObservePass2 processes one flow record in the second pass. It panics if
-// FinishPass1 has not run — that is a programming error, not bad data.
-func (p *Pipeline) ObservePass2(rec *ipfix.FlowRecord) {
-	if p.Collateral == nil {
-		panic("pipeline: ObservePass2 before FinishPass1")
+// FinalAttributed returns the attributed-record count under the current
+// control-plane view: the eagerly counted records plus the speculative
+// pairs whose destination or source has since entered the
+// ever-blackholed set. Batch pipelines have no pairs, so this equals
+// AttributedRecords.
+func (p *Pipeline) FinalAttributed() int64 {
+	n := p.AttributedRecords
+	for k, v := range p.pairs {
+		if p.EverBlackholed(uint32(k>>32)) || p.EverBlackholed(uint32(k)) {
+			n += v
+		}
 	}
-	if p.Meta.IsInternal(rec) {
-		return
-	}
-	m := p.Index.Lookup(rec.DstIP, rec.Start)
-	if m.Event == nil {
-		return
-	}
-	dropped := rec.DstMAC == p.Meta.BlackholeMAC
-	p.Collateral.Add(m.Event.ID, rec.DstIP, rec.DstPort, rec.Proto, dropped, int64(rec.Packets))
+	return n
 }
+
+// ComposeProfiles computes the host profiles (the §6 population) from the
+// accumulated host state. minActiveDays is the detection criterion
+// (hosts.MinActiveDays for the paper's 20). Speculative pipelines filter
+// their candidate hosts through the ever-blackholed predicate here,
+// which is exactly the population a batch pass would have profiled.
+func (p *Pipeline) ComposeProfiles(minActiveDays int) []hosts.Profile {
+	profiles := p.Hosts.ProfilesFunc(minActiveDays, p.hostKeep())
+	p.profileCount = int64(len(profiles))
+	return profiles
+}
+
+// ComposeWhitelist computes the §7.2 whitelist coverage under the same
+// host predicate as ComposeProfiles.
+func (p *Pipeline) ComposeWhitelist(minActiveDays int) []hosts.Coverage {
+	return p.Hosts.WhitelistCoverageFunc(minActiveDays, p.hostKeep())
+}
+
+func (p *Pipeline) hostKeep() func(uint32) bool {
+	if !p.speculative {
+		return nil
+	}
+	return p.EverBlackholed
+}
+
+// ComposeCollateral builds the collateral-damage aggregator for the
+// detected server profiles and materializes the pending during-event
+// tallies into it (§6.3, Fig 18).
+func (p *Pipeline) ComposeCollateral(profiles []hosts.Profile) *collateral.Aggregator {
+	agg := collateral.New(profiles)
+	p.Pending.Materialize(agg)
+	return agg
+}
+
+// PendingCells returns the number of compact per-event tally cells
+// currently retained for the collateral question (the
+// online.open_event_records gauge).
+func (p *Pipeline) PendingCells() int { return p.Pending.Len() }
 
 // CleaningSummary describes the §3.1 data-cleaning outcome. With no
 // records processed the internal share is reported as "n/a" rather than
@@ -260,10 +413,10 @@ func (p *Pipeline) ObservePass2(rec *ipfix.FlowRecord) {
 func (p *Pipeline) CleaningSummary() string {
 	if p.TotalRecords == 0 {
 		return fmt.Sprintf("records=0 internal=0 (n/a) attributed=%d dropped=%d",
-			p.AttributedRecords, p.DroppedRecords)
+			p.FinalAttributed(), p.DroppedRecords)
 	}
 	return fmt.Sprintf("records=%d internal=%d (%.4f%%) attributed=%d dropped=%d",
 		p.TotalRecords, p.InternalRecords,
 		100*float64(p.InternalRecords)/float64(p.TotalRecords),
-		p.AttributedRecords, p.DroppedRecords)
+		p.FinalAttributed(), p.DroppedRecords)
 }

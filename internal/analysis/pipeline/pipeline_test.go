@@ -74,7 +74,7 @@ func TestNewRejectsBadMetadata(t *testing.T) {
 
 func TestInternalRecordsCleaned(t *testing.T) {
 	p := newPipeline(t)
-	p.ObservePass1(rec(t0, memberMAC100, internalMAC, 1, 2, 3, 4, 6))
+	p.Observe(rec(t0, memberMAC100, internalMAC, 1, 2, 3, 4, 6))
 	if p.InternalRecords != 1 || p.AttributedRecords != 0 {
 		t.Fatalf("counters: %s", p.CleaningSummary())
 	}
@@ -83,10 +83,10 @@ func TestInternalRecordsCleaned(t *testing.T) {
 func TestDuringEventAttribution(t *testing.T) {
 	p := newPipeline(t)
 	// Dropped packet during the active episode.
-	p.ObservePass1(rec(t0.Add(10*time.Minute), memberMAC200, blackholeMAC,
+	p.Observe(rec(t0.Add(10*time.Minute), memberMAC200, blackholeMAC,
 		0x50000001, victim.Addr, 389, 44444, 17))
 	// Forwarded packet during the active episode.
-	p.ObservePass1(rec(t0.Add(11*time.Minute), memberMAC200, memberMAC100,
+	p.Observe(rec(t0.Add(11*time.Minute), memberMAC200, memberMAC100,
 		0x50000002, victim.Addr, 389, 44445, 17))
 	if p.AttributedRecords != 2 || p.DroppedRecords != 1 {
 		t.Fatalf("counters: %s", p.CleaningSummary())
@@ -107,7 +107,7 @@ func TestDuringEventAttribution(t *testing.T) {
 
 func TestUnrelatedTrafficIgnored(t *testing.T) {
 	p := newPipeline(t)
-	p.ObservePass1(rec(t0, memberMAC100, memberMAC200, 0x01010101, 0x02020202, 1, 2, 6))
+	p.Observe(rec(t0, memberMAC100, memberMAC200, 0x01010101, 0x02020202, 1, 2, 6))
 	if p.AttributedRecords != 0 || p.TotalRecords != 1 {
 		t.Fatalf("counters: %s", p.CleaningSummary())
 	}
@@ -117,10 +117,10 @@ func TestLegitTrafficExcludesReactionBuffer(t *testing.T) {
 	p := newPipeline(t)
 	// 5 minutes before the event: inside the 10-minute reaction buffer,
 	// must NOT count as legitimate host traffic.
-	p.ObservePass1(rec(t0.Add(-5*time.Minute), memberMAC200, memberMAC100,
+	p.Observe(rec(t0.Add(-5*time.Minute), memberMAC200, memberMAC100,
 		0x50000001, victim.Addr, 12345, 443, 6))
 	// 3 hours before: legitimate.
-	p.ObservePass1(rec(t0.Add(-3*time.Hour), memberMAC200, memberMAC100,
+	p.Observe(rec(t0.Add(-3*time.Hour), memberMAC200, memberMAC100,
 		0x50000001, victim.Addr, 12345, 443, 6))
 	if p.Hosts.Hosts() != 1 {
 		t.Fatalf("hosts = %d", p.Hosts.Hosts())
@@ -139,7 +139,7 @@ func TestLegitTrafficExcludesReactionBuffer(t *testing.T) {
 
 func TestOutgoingTrafficProfiled(t *testing.T) {
 	p := newPipeline(t)
-	p.ObservePass1(rec(t0.Add(-3*time.Hour), memberMAC100, memberMAC200,
+	p.Observe(rec(t0.Add(-3*time.Hour), memberMAC100, memberMAC200,
 		victim.Addr, 0x50000001, 443, 23456, 6))
 	profiles := p.Hosts.Profiles(0)
 	if len(profiles) != 1 || profiles[0].IP != victim.Addr {
@@ -147,40 +147,35 @@ func TestOutgoingTrafficProfiled(t *testing.T) {
 	}
 }
 
-func TestPass2RequiresFinishPass1(t *testing.T) {
-	p := newPipeline(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ObservePass2 before FinishPass1 did not panic")
-		}
-	}()
-	p.ObservePass2(rec(t0, memberMAC100, blackholeMAC, 1, victim.Addr, 1, 2, 6))
-}
-
-func TestCollateralPass(t *testing.T) {
+func TestCollateralSinglePass(t *testing.T) {
 	p := newPipeline(t)
 	// Build a server profile: incoming+outgoing on stable port 443 for
 	// 25 days before the event.
 	for d := 0; d < 25; d++ {
 		at := p.Meta.Start.Add(time.Duration(d)*24*time.Hour + time.Hour)
 		for i := 0; i < 3; i++ {
-			p.ObservePass1(rec(at, memberMAC200, memberMAC100,
+			p.Observe(rec(at, memberMAC200, memberMAC100,
 				0x50000001+uint32(i), victim.Addr, uint16(20000+d*31+i), 443, 6))
-			p.ObservePass1(rec(at, memberMAC100, memberMAC200,
+			p.Observe(rec(at, memberMAC100, memberMAC200,
 				victim.Addr, 0x50000001, 443, uint16(30000+d*17+i), 6))
 		}
 	}
-	p.FinishPass1(20)
-	if len(p.Profiles) != 1 || p.Profiles[0].Kind.String() != "server" {
-		t.Fatalf("profiles = %+v", p.Profiles)
+	// Dropped packet to the top port during the event: a pending cell
+	// that must survive the compose-time top-port filter.
+	p.Observe(rec(t0.Add(5*time.Minute), memberMAC200, blackholeMAC,
+		0x50000009, victim.Addr, 55555, 443, 6))
+	// Outside the event: no event window, no pending cell.
+	p.Observe(rec(t0.Add(48*time.Hour), memberMAC200, memberMAC100,
+		0x50000009, victim.Addr, 55555, 443, 6))
+
+	profiles := p.ComposeProfiles(20)
+	if len(profiles) != 1 || profiles[0].Kind.String() != "server" {
+		t.Fatalf("profiles = %+v", profiles)
 	}
-	// Pass 2: dropped packet to the top port during the event.
-	p.ObservePass2(rec(t0.Add(5*time.Minute), memberMAC200, blackholeMAC,
-		0x50000009, victim.Addr, 55555, 443, 6))
-	// Outside the event: ignored.
-	p.ObservePass2(rec(t0.Add(48*time.Hour), memberMAC200, memberMAC100,
-		0x50000009, victim.Addr, 55555, 443, 6))
-	res := p.Collateral.Result()
+	if p.PendingCells() != 1 {
+		t.Fatalf("pending cells = %d, want 1", p.PendingCells())
+	}
+	res := p.ComposeCollateral(profiles).Result()
 	if res.Events != 1 || res.AllPkts[0] != 1 || res.DroppedPkts[0] != 1 {
 		t.Fatalf("collateral = %+v", res)
 	}
@@ -192,7 +187,7 @@ func TestCleaningSummaryEmpty(t *testing.T) {
 		t.Fatalf("empty summary = %q, want %q", got, want)
 	}
 	// One record makes the share well-defined again.
-	p.ObservePass1(rec(t0, memberMAC100, internalMAC, 1, 2, 3, 4, 6))
+	p.Observe(rec(t0, memberMAC100, internalMAC, 1, 2, 3, 4, 6))
 	if got, want := p.CleaningSummary(), "records=1 internal=1 (100.0000%) attributed=0 dropped=0"; got != want {
 		t.Fatalf("summary = %q, want %q", got, want)
 	}
@@ -200,7 +195,7 @@ func TestCleaningSummaryEmpty(t *testing.T) {
 
 func TestDroppedRecordFeedsTimeAlign(t *testing.T) {
 	p := newPipeline(t)
-	p.ObservePass1(rec(t0.Add(time.Minute), memberMAC200, blackholeMAC,
+	p.Observe(rec(t0.Add(time.Minute), memberMAC200, blackholeMAC,
 		0x50000001, victim.Addr, 389, 44444, 17))
 	res := p.Align.Estimate(100 * time.Millisecond)
 	if res.Dropped != 1 || res.BestOverlap != 1 {

@@ -113,6 +113,37 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the aggregator; further
+// Adds on either side do not affect the other (Operator contract in
+// internal/analysis).
+func (a *Aggregator) Snapshot() *Aggregator {
+	s := New()
+	for id, ea := range a.events {
+		cp := &eventAgg{
+			udp:          ea.udp,
+			tcp:          ea.tcp,
+			icmp:         ea.icmp,
+			other:        ea.other,
+			nonAmpUDP:    ea.nonAmpUDP,
+			srcIPs:       ea.srcIPs.Clone(),
+			ampPkts:      make(map[uint16]int64, len(ea.ampPkts)),
+			originASes:   make(map[uint32]bool, len(ea.originASes)),
+			handoverASes: make(map[uint32]bool, len(ea.handoverASes)),
+		}
+		for port, pkts := range ea.ampPkts {
+			cp.ampPkts[port] = pkts
+		}
+		for as := range ea.originASes {
+			cp.originASes[as] = true
+		}
+		for as := range ea.handoverASes {
+			cp.handoverASes[as] = true
+		}
+		s.events[id] = cp
+	}
+	return s
+}
+
 // ProtocolShares is the §5.4 transport mix over a set of events.
 type ProtocolShares struct {
 	UDP, TCP, ICMP, Other float64

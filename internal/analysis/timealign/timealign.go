@@ -120,6 +120,26 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	a.total += o.total
 }
 
+// Snapshot returns an independent deep copy of the aggregator's interval
+// state; the copy shares the (immutable) event index. Further AddDropped
+// calls on either side do not affect the other (Operator contract in
+// internal/analysis).
+func (a *Aggregator) Snapshot() *Aggregator {
+	return &Aggregator{
+		index:  a.index,
+		starts: append([]float64(nil), a.starts...),
+		ends:   append([]float64(nil), a.ends...),
+		total:  a.total,
+	}
+}
+
+// Rebind points the aggregator at a rebuilt event index. The online
+// analyzer rebuilds the index when new control updates arrive; the
+// already-recorded offset intervals stay valid because sealed records are
+// only finalized once no event that could cover them can still appear
+// (see DESIGN.md, "Incremental analysis").
+func (a *Aggregator) Rebind(ix *events.Index) { a.index = ix }
+
 // Point is one sample of the likelihood curve.
 type Point struct {
 	Offset  time.Duration

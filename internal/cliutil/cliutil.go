@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // CheckWorkers validates a -workers flag: 0 means GOMAXPROCS, positive
@@ -25,6 +26,16 @@ func CheckWorkers(n int) error {
 func CheckDays(n int) error {
 	if n < 0 {
 		return fmt.Errorf("-days must be >= 0 (0 keeps the scale default), got %d", n)
+	}
+	return nil
+}
+
+// CheckSnapshotEvery validates an explicitly set -snapshot-every flag:
+// the cadence must be a positive duration (omit the flag to disable
+// periodic snapshots).
+func CheckSnapshotEvery(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("-snapshot-every must be a positive duration (omit the flag to disable snapshots), got %v", d)
 	}
 	return nil
 }

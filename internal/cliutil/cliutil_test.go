@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestCheckWorkers(t *testing.T) {
@@ -24,6 +25,19 @@ func TestCheckDays(t *testing.T) {
 	}
 	if err := CheckDays(-7); err == nil {
 		t.Error("CheckDays(-7) accepted")
+	}
+}
+
+func TestCheckSnapshotEvery(t *testing.T) {
+	for _, d := range []time.Duration{time.Millisecond, time.Second, time.Hour} {
+		if err := CheckSnapshotEvery(d); err != nil {
+			t.Errorf("CheckSnapshotEvery(%v) = %v, want nil", d, err)
+		}
+	}
+	for _, d := range []time.Duration{0, -time.Second} {
+		if err := CheckSnapshotEvery(d); err == nil {
+			t.Errorf("CheckSnapshotEvery(%v) accepted", d)
+		}
 	}
 }
 

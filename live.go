@@ -61,15 +61,17 @@ func NewLiveRun(cfg Config, dir string, reg *MetricsRegistry) (*LiveRun, error) 
 		return nil, err
 	}
 	lm := live.NewMetrics()
+	analyzer := NewOnlineAnalyzer(analysisMeta(w))
 	if reg != nil {
 		lm.Register(reg)
+		analyzer.RegisterMetrics(reg)
 	}
 	return &LiveRun{
 		cfg:      cfg,
 		dir:      dir,
 		reg:      reg,
 		w:        w,
-		analyzer: NewOnlineAnalyzer(analysisMeta(w)),
+		analyzer: analyzer,
 		lm:       lm,
 	}, nil
 }

@@ -1,79 +1,285 @@
 package rtbh
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/events"
+	"repro/internal/analysis/pipeline"
 	"repro/internal/bgp"
 	"repro/internal/ipfix"
+	"repro/internal/obs"
 )
+
+// ControlUpdate is the public name of the expanded RTBH control-plane
+// update record.
+type ControlUpdate = analysis.ControlUpdate
+
+// sealHorizon is how far a flow record must lie behind the control-plane
+// watermark before the online analyzer folds it into the incremental
+// operators and releases it. events.PreWindow covers the longest
+// look-back any stage performs (a future event's 72-hour pre-window);
+// the extra hour generously covers every shorter-range gate (the
+// 10-minute reaction buffer, the ±2s time-alignment search). A record
+// older than this can never be re-attributed by an update that has not
+// arrived yet, so observing it through the operators now is final (see
+// DESIGN.md, "Incremental analysis").
+const sealHorizon = events.PreWindow + time.Hour
+
+// sealCheckEvery is how many ingested flow records pass between
+// opportunistic seal/compact attempts on the ingest path.
+const sealCheckEvery = 4096
+
+// onlineMetrics is the optional obs instrumentation of the online path.
+type onlineMetrics struct {
+	retainedUpdates  *obs.Gauge
+	retainedFlows    *obs.Gauge
+	openEventRecords *obs.Gauge
+	recordsCompacted *obs.Counter
+	snapshotLatency  *obs.Histogram
+}
 
 // OnlineAnalyzer accumulates a live run's measurement streams
 // incrementally and can produce a Report at any point: a partial
 // snapshot while the run is still streaming, or the final report once
 // the streams have drained. A report over the complete streams is
 // byte-identical (rendered) to analyzing the archived dataset with
-// Dataset.Analyze, because both paths feed the same updates and flow
-// records through the same pipeline.
+// Dataset.Analyze, because both paths feed the same records through the
+// same incremental operators in the same order.
 //
-// ObserveUpdate and ObserveFlow may be called from different
-// goroutines (in live mode they are: updates arrive on the route
-// server's delivery goroutine, flows on the collector's decode
-// goroutine); Snapshot may be called concurrently with both.
+// Unlike the batch driver, the analyzer does not buffer the flow stream
+// forever: once a record falls a seal horizon (~73 hours of stream time)
+// behind the newest control update, no future announcement can change
+// its attribution, so it is folded into the compact operator state and
+// released. Retained memory is therefore bounded by the horizon-sized
+// tail of the flow stream plus the per-event aggregates, and Snapshot
+// costs O(state + horizon tail), not O(everything ever observed).
+//
+// ObserveUpdate and ObserveFlow may be called from different goroutines
+// (in live mode they are: updates arrive on the route server's delivery
+// goroutine, flows on the collector's decode goroutine); Snapshot may be
+// called concurrently with both and never blocks ingest — the ingest
+// paths only take a mutex held for O(1) appends.
+//
+// Updates must arrive in non-decreasing timestamp order (the live
+// sequencer's delivery order guarantees this); feeding an update older
+// than the seal horizon behind the newest one voids the batch-parity
+// guarantee for already-sealed records.
 type OnlineAnalyzer struct {
-	meta *analysis.Metadata
+	meta  *analysis.Metadata
+	delta time.Duration
 
-	mu      sync.Mutex
-	updates []analysis.ControlUpdate
-	flows   []ipfix.FlowRecord
+	// mu guards the O(1) ingest state: stream appends and counters.
+	// Ingest never blocks on analysis work.
+	mu        sync.Mutex
+	updates   []analysis.ControlUpdate
+	pending   []ipfix.FlowRecord // arrival-order FIFO; [:head] sealed
+	flowCount int64
+	watermark time.Time // newest control-update timestamp
+
+	// opMu guards the incremental operator state and the seal machinery.
+	// Lock order: opMu before mu; mu is never held while taking opMu.
+	opMu sync.Mutex
+	// ops holds the operator state of every sealed record, observing in
+	// speculative mode (see pipeline.NewSpeculative).
+	ops *pipeline.Pipeline
+	// head is the count of pending records already folded into ops.
+	head int
+	// sortedUpdates/opUpdates cache the time-sorted control stream and
+	// how many raw updates it covers; events/index rebuild only when the
+	// update stream grew.
+	sortedUpdates []analysis.ControlUpdate
+	opUpdates     int
+
+	// initErr records an invalid-metadata failure; Snapshot surfaces it.
+	initErr error
+
+	metrics *onlineMetrics
 }
 
 // NewOnlineAnalyzer returns an analyzer accumulating against the given
 // dataset metadata (side tables, sampling rate, measurement period).
+// Events are merged at the paper's default threshold; Snapshot rejects
+// Options with a different Delta — the merge threshold shapes the sealed
+// per-event state and cannot change per snapshot.
 func NewOnlineAnalyzer(meta *analysis.Metadata) *OnlineAnalyzer {
-	return &OnlineAnalyzer{meta: meta}
+	a := &OnlineAnalyzer{
+		meta:  meta,
+		delta: events.DefaultDelta,
+	}
+	a.ops, a.initErr = pipeline.NewSpeculative(meta)
+	return a
+}
+
+// RegisterMetrics exposes the analyzer's retention and snapshot metrics
+// under the "online." prefix: gauges for retained control updates,
+// retained (unsealed) flow records and open-event collateral cells, a
+// counter of records compacted into operator state, and a snapshot
+// latency histogram (milliseconds). Call once, before the run starts.
+func (a *OnlineAnalyzer) RegisterMetrics(reg *obs.Registry) {
+	a.metrics = &onlineMetrics{
+		retainedUpdates:  reg.Gauge("online.retained_updates"),
+		retainedFlows:    reg.Gauge("online.retained_flows"),
+		openEventRecords: reg.Gauge("online.open_event_records"),
+		recordsCompacted: reg.Counter("online.records_compacted"),
+		snapshotLatency: reg.Histogram("online.snapshot_latency_ms",
+			1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000),
+	}
 }
 
 // ObserveUpdate ingests one BGP UPDATE the route server processed,
-// expanding it into RTBH control updates exactly as the batch MRT
-// parser would.
+// expanding it into RTBH control updates exactly as the batch MRT parser
+// would.
 func (a *OnlineAnalyzer) ObserveUpdate(ts time.Time, peer uint32, upd *bgp.Update) {
 	a.mu.Lock()
 	a.updates = analysis.ExpandUpdate(a.updates, ts, peer, upd)
+	if ts.After(a.watermark) {
+		a.watermark = ts
+	}
+	a.mu.Unlock()
+}
+
+// ObserveControl ingests one already-expanded control update (the
+// archive replay path; live mode uses ObserveUpdate).
+func (a *OnlineAnalyzer) ObserveControl(u ControlUpdate) {
+	a.mu.Lock()
+	a.updates = append(a.updates, u)
+	if u.Time.After(a.watermark) {
+		a.watermark = u.Time
+	}
 	a.mu.Unlock()
 }
 
 // ObserveFlow ingests one collected flow record (copied; the caller may
-// reuse rec).
+// reuse rec). Every sealCheckEvery records it opportunistically folds
+// sealed records into the operators — skipped without blocking when a
+// Snapshot holds the operator state.
 func (a *OnlineAnalyzer) ObserveFlow(rec *ipfix.FlowRecord) {
 	a.mu.Lock()
-	a.flows = append(a.flows, *rec)
+	a.pending = append(a.pending, *rec)
+	a.flowCount++
+	n := a.flowCount
 	a.mu.Unlock()
+
+	if n%sealCheckEvery == 0 && a.opMu.TryLock() {
+		a.advanceLocked()
+		a.opMu.Unlock()
+	}
 }
 
 // Counts reports how much the analyzer has accumulated so far.
 func (a *OnlineAnalyzer) Counts() (updates int, flows int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.updates), int64(len(a.flows))
+	return len(a.updates), a.flowCount
 }
 
-// Snapshot runs the full analysis pipeline over everything observed so
-// far and returns the report. Safe to call at any time, including while
-// the streams are still being fed; the snapshot covers a consistent
-// prefix of each stream.
-func (a *OnlineAnalyzer) Snapshot(opts Options) (*Report, error) {
+// ingestView returns a consistent view of the ingest state: the slices
+// are stable prefixes (elements are never mutated and appends either
+// write past the view or relocate the backing array).
+func (a *OnlineAnalyzer) ingestView() (updates []analysis.ControlUpdate, pend []ipfix.FlowRecord, w time.Time) {
 	a.mu.Lock()
-	updates := append([]analysis.ControlUpdate(nil), a.updates...)
-	flows := append([]ipfix.FlowRecord(nil), a.flows...)
-	a.mu.Unlock()
+	defer a.mu.Unlock()
+	return a.updates, a.pending, a.watermark
+}
 
-	// The batch parser sorts by time after reading the archive; the live
-	// stream arrives in processing order, which equal-timestamp stability
-	// preserves.
-	analysis.SortUpdates(updates)
-	return NewDataset(a.meta, updates, flows).Analyze(opts)
+// advanceLocked brings the operator state up to date: it rebuilds the
+// control-plane view if new updates arrived, then folds every pending
+// record older than the seal horizon into the operators and accounts the
+// retention metrics. Caller holds opMu.
+func (a *OnlineAnalyzer) advanceLocked() {
+	if a.ops == nil {
+		return
+	}
+	updates, pend, w := a.ingestView()
+
+	if len(updates) != a.opUpdates {
+		// The batch parser sorts by time after reading the archive; the
+		// live stream arrives in processing order, which equal-timestamp
+		// stability preserves.
+		sorted := append([]analysis.ControlUpdate(nil), updates...)
+		analysis.SortUpdates(sorted)
+		evs := events.Merge(sorted, a.delta, a.meta.End)
+		ix := events.NewIndex(evs, a.meta.End)
+		a.ops.Rebind(evs, ix)
+		a.sortedUpdates = sorted
+		a.opUpdates = len(updates)
+	}
+
+	// Seal strictly in arrival order from the head: a young head record
+	// blocks older successors, so the sealed stream plus the replayed
+	// tail is always exactly the arrival order — the order the batch
+	// pipeline would observe.
+	cutoff := w.Add(-sealHorizon)
+	sealed := 0
+	for a.head < len(pend) && pend[a.head].Start.Before(cutoff) {
+		a.ops.Observe(&pend[a.head])
+		a.head++
+		sealed++
+	}
+
+	if m := a.metrics; m != nil {
+		if sealed > 0 {
+			m.recordsCompacted.Add(int64(sealed))
+		}
+		m.retainedUpdates.Set(int64(len(updates)))
+		m.retainedFlows.Set(int64(len(pend) - a.head))
+		m.openEventRecords.Set(int64(a.ops.PendingCells()))
+	}
+
+	// Release sealed raw records once they dominate the buffer.
+	if a.head > 2*sealCheckEvery && a.head > len(pend)/2 {
+		a.mu.Lock()
+		remain := make([]ipfix.FlowRecord, len(a.pending)-a.head)
+		copy(remain, a.pending[a.head:])
+		a.pending = remain
+		a.mu.Unlock()
+		a.head = 0
+	}
+}
+
+// Snapshot composes a report over everything observed so far. Safe to
+// call at any time, including while the streams are still being fed; the
+// snapshot covers a consistent prefix of each stream and its rendered
+// output is byte-identical to Dataset.Analyze over that prefix. Cost is
+// proportional to the compact operator state plus the records and
+// updates that arrived since sealing last caught up — not to the total
+// stream length.
+//
+// opts.Delta must equal the construction-time merge threshold
+// (events.DefaultDelta, as in DefaultOptions). opts.Metrics is ignored:
+// a snapshot is repeatable, and re-registering the pipeline gauges on
+// each call would collide — use RegisterMetrics for the online path's
+// own instrumentation.
+func (a *OnlineAnalyzer) Snapshot(opts Options) (*Report, error) {
+	if a.initErr != nil {
+		return nil, a.initErr
+	}
+	if opts.Delta != a.delta {
+		return nil, fmt.Errorf("rtbh: online snapshot delta %v does not match analyzer delta %v", opts.Delta, a.delta)
+	}
+	start := time.Now()
+
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.advanceLocked()
+
+	// Copy-on-snapshot: clone the compact operator state and replay the
+	// unsealed tail through the clone, giving the exact state of a batch
+	// pass over the full prefix while a.ops keeps accepting seals.
+	_, pend, _ := a.ingestView()
+	clone := a.ops.Clone()
+	for i := a.head; i < len(pend); i++ {
+		clone.Observe(&pend[i])
+	}
+	report := composeReport(a.meta, a.sortedUpdates, clone, opts)
+
+	if m := a.metrics; m != nil {
+		m.snapshotLatency.Observe(time.Since(start).Milliseconds())
+	}
+	return report, nil
 }
 
 // Final is the report over the drained streams: call it after the live

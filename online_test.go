@@ -1,0 +1,199 @@
+package rtbh_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+// onlineTestOpts are the analysis options shared by the snapshot tests:
+// the paper's parameters with the Fig 10 sweep disabled and a coarser
+// Fig 2 grid, so each of the many batch references stays cheap. Both
+// sides of every comparison use the same options, so parity is
+// unaffected.
+func onlineTestOpts() rtbh.Options {
+	opts := rtbh.DefaultOptions()
+	opts.OffsetStep = 20 * time.Millisecond
+	opts.SweepDeltas = nil
+	opts.Workers = 1
+	return opts
+}
+
+// renderSnapshot renders a report plus its cleaning counters, the same
+// shape the parallel parity test byte-compares.
+func renderSnapshot(t *testing.T, report *rtbh.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "records %d/%d/%d/%d events %d\n",
+		report.TotalRecords, report.InternalRecords,
+		report.AttributedRecords, report.DroppedRecords, len(report.Events))
+	textreport.RenderAll(&buf, report)
+	return buf.Bytes()
+}
+
+// onlineTestDataset simulates the shared snapshot-test world and loads
+// its flow archive into memory so prefixes of the stream can be replayed.
+func onlineTestDataset(t *testing.T) (*rtbh.Dataset, []rtbh.FlowRecord) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "rtbh-online-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	cfg := rtbh.TestConfig()
+	cfg.Seed = 0x0B5E55ED
+	if _, err := rtbh.Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows []rtbh.FlowRecord
+	if err := ds.EachFlow(func(rec *rtbh.FlowRecord) error {
+		flows = append(flows, *rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 || len(ds.Updates) == 0 {
+		t.Fatalf("empty test world: %d updates, %d flows", len(ds.Updates), len(flows))
+	}
+	return ds, flows
+}
+
+// TestOnlineSnapshotCutPoints feeds one OnlineAnalyzer incrementally and
+// snapshots it at several cut points of the streams. Each mid-stream
+// snapshot must render byte-identical to a cold batch analysis of
+// exactly the prefix fed so far — the incremental-operator engine and
+// the event-scoped retention scheme may never show through in the
+// output (DESIGN.md, "Incremental analysis") — and the snapshot
+// counters must grow monotonically from cut to cut.
+func TestOnlineSnapshotCutPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a test-scale world and analyzes several prefixes of it")
+	}
+	ds, flows := onlineTestDataset(t)
+	opts := onlineTestOpts()
+
+	a := rtbh.NewOnlineAnalyzer(ds.Meta)
+	cuts := []int{8, 4, 2, 1} // denominators: 1/8, 1/4, 1/2, all
+	fedUpd, fedFlow := 0, 0
+	var prevRecords, prevAttributed, prevDropped int64
+	prevEvents := 0
+	for _, div := range cuts {
+		u, f := len(ds.Updates)/div, len(flows)/div
+		for ; fedUpd < u; fedUpd++ {
+			a.ObserveControl(ds.Updates[fedUpd])
+		}
+		for ; fedFlow < f; fedFlow++ {
+			a.ObserveFlow(&flows[fedFlow])
+		}
+
+		snap, err := a.Snapshot(opts)
+		if err != nil {
+			t.Fatalf("cut 1/%d: snapshot: %v", div, err)
+		}
+		batch, err := rtbh.NewDataset(ds.Meta, ds.Updates[:u], flows[:f]).Analyze(opts)
+		if err != nil {
+			t.Fatalf("cut 1/%d: batch reference: %v", div, err)
+		}
+		got, want := renderSnapshot(t, snap), renderSnapshot(t, batch)
+		if !bytes.Equal(got, want) {
+			gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+			for i := range wantLines {
+				if i >= len(gotLines) || !bytes.Equal(gotLines[i], wantLines[i]) {
+					t.Fatalf("cut 1/%d (%d updates, %d flows): snapshot diverges from batch at line %d:\nbatch:  %s\nonline: %s",
+						div, u, f, i+1, wantLines[i], gotLines[i])
+				}
+			}
+			t.Fatalf("cut 1/%d: snapshot has %d extra lines", div, len(gotLines)-len(wantLines))
+		}
+
+		if snap.TotalRecords < prevRecords || snap.AttributedRecords < prevAttributed ||
+			snap.DroppedRecords < prevDropped || len(snap.Events) < prevEvents {
+			t.Fatalf("cut 1/%d: snapshot counts regressed: records %d->%d attributed %d->%d dropped %d->%d events %d->%d",
+				div, prevRecords, snap.TotalRecords, prevAttributed, snap.AttributedRecords,
+				prevDropped, snap.DroppedRecords, prevEvents, len(snap.Events))
+		}
+		prevRecords, prevAttributed = snap.TotalRecords, snap.AttributedRecords
+		prevDropped, prevEvents = snap.DroppedRecords, len(snap.Events)
+	}
+	if prevRecords == 0 || prevEvents == 0 {
+		t.Fatalf("final snapshot empty: %d records, %d events", prevRecords, prevEvents)
+	}
+}
+
+// TestOnlineSnapshotConcurrent exercises the live-mode contract under
+// the race detector: updates and flows arrive on separate goroutines
+// (as they do from the route server and the collector) while a third
+// goroutine snapshots continuously. Ingest must never block on a
+// snapshot, successive snapshot counts must be monotonically
+// non-decreasing, and the snapshot after both streams drain must be
+// byte-identical to the batch analysis of the full archive.
+func TestOnlineSnapshotConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a test-scale world and snapshots it under concurrent ingest")
+	}
+	ds, flows := onlineTestDataset(t)
+	opts := onlineTestOpts()
+
+	a := rtbh.NewOnlineAnalyzer(ds.Meta)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := range ds.Updates {
+			a.ObserveControl(ds.Updates[i])
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := range flows {
+			a.ObserveFlow(&flows[i])
+		}
+	}()
+	go func() { wg.Wait(); close(done) }()
+
+	var prevRecords int64
+	prevEvents := 0
+	for stop := false; !stop; {
+		select {
+		case <-done:
+			stop = true
+		default:
+		}
+		snap, err := a.Snapshot(opts)
+		if err != nil {
+			t.Fatalf("concurrent snapshot: %v", err)
+		}
+		if snap.TotalRecords < prevRecords || len(snap.Events) < prevEvents {
+			t.Fatalf("snapshot counts regressed under concurrent ingest: records %d->%d events %d->%d",
+				prevRecords, snap.TotalRecords, prevEvents, len(snap.Events))
+		}
+		prevRecords, prevEvents = snap.TotalRecords, len(snap.Events)
+	}
+
+	final, err := a.Final(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ds.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := renderSnapshot(t, final), renderSnapshot(t, batch)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("final online report diverges from batch (%d vs %d bytes)", len(got), len(want))
+	}
+	if final.TotalRecords != int64(len(flows)) {
+		t.Fatalf("final report covers %d records, stream had %d", final.TotalRecords, len(flows))
+	}
+}

@@ -1,6 +1,9 @@
 package rtbh
 
 import (
+	"time"
+
+	"repro/internal/analysis"
 	"repro/internal/analysis/anomaly"
 	"repro/internal/analysis/events"
 	"repro/internal/analysis/hosts"
@@ -18,24 +21,29 @@ type flowRecord = ipfix.FlowRecord
 // FlowRecord is the public name of the sampled-packet record type.
 type FlowRecord = ipfix.FlowRecord
 
-// composeReport assembles every figure/table from the finished pipeline.
-func composeReport(d *Dataset, p *pipeline.Pipeline, opts Options) *Report {
+// composeReport assembles every figure/table from the finished pipeline
+// state and the (time-sorted) control-update stream. Both the batch
+// driver and the online analyzer's Snapshot call it: the pipeline carries
+// the flow-derived operator state, and the control-plane figures are
+// recomputed from the updates — they are cheap pure functions of a stream
+// several orders of magnitude smaller than the flow archive.
+func composeReport(meta *analysis.Metadata, updates []analysis.ControlUpdate, p *pipeline.Pipeline, opts Options) *Report {
 	r := &Report{
 		TotalRecords:      p.TotalRecords,
 		InternalRecords:   p.InternalRecords,
-		AttributedRecords: p.AttributedRecords,
+		AttributedRecords: p.FinalAttributed(),
 		DroppedRecords:    p.DroppedRecords,
 		Events:            p.Events,
 	}
 
 	// Control-plane figures.
-	r.Fig3 = load.Compute(d.Updates, d.Meta.Start, d.Meta.End)
-	peers := make([]uint32, 0, len(d.Meta.MemberByMAC))
-	for _, asn := range d.Meta.MemberByMAC {
+	r.Fig3 = load.Compute(updates, meta.Start, meta.End)
+	peers := make([]uint32, 0, len(meta.MemberByMAC))
+	for _, asn := range meta.MemberByMAC {
 		peers = append(peers, asn)
 	}
-	r.Fig4 = visibility.Compute(d.Updates, peers, d.Meta.Start, d.Meta.End, opts.VisibilityInterval)
-	r.Fig10, r.Fig10LowerBound = sweep(d, opts)
+	r.Fig4 = visibility.Compute(updates, peers, meta.Start, meta.End, opts.VisibilityInterval)
+	r.Fig10, r.Fig10LowerBound = sweep(updates, meta.End, opts)
 
 	// Data-plane: time alignment.
 	r.Fig2 = p.Align.Estimate(opts.OffsetStep)
@@ -47,10 +55,10 @@ func composeReport(d *Dataset, p *pipeline.Pipeline, opts Options) *Report {
 	r.Fig6Slash32 = p.Drop.DropRateCDF(32, opts.MinEventPkts)
 	r.Fig7 = p.Drop.TopSources(opts.TopSources)
 	r.Fig7Classes = p.Drop.ClassifyTopSources(opts.TopSources)
-	r.Fig8 = p.Drop.TypesOfTopSources(opts.TopSources, d.Meta.PDB)
+	r.Fig8 = p.Drop.TypesOfTopSources(opts.TopSources, meta.PDB)
 
 	// Anomaly analysis.
-	r.Verdicts = p.Anomaly.Analyze(p.Events, d.Meta.End, opts.Threshold)
+	r.Verdicts = p.Anomaly.Analyze(p.Events, meta.End, opts.Threshold)
 	r.Table2 = anomaly.Classify(r.Verdicts)
 	lastMax, withPreData := 0, 0
 	var anomalyAndDataIDs []int
@@ -95,24 +103,25 @@ func composeReport(d *Dataset, p *pipeline.Pipeline, opts Options) *Report {
 	r.Fig15Scale = p.Proto.Scale(anomalyAndDataIDs)
 
 	// Host profiling.
-	r.Whitelist = p.Hosts.WhitelistCoverage(opts.MinActiveDays)
-	r.Fig17 = p.Profiles
+	profiles := p.ComposeProfiles(opts.MinActiveDays)
+	r.Whitelist = p.ComposeWhitelist(opts.MinActiveDays)
+	r.Fig17 = profiles
 	proj := radviz.New(hosts.NumFeatures)
-	for i := range p.Profiles {
-		r.Fig16 = append(r.Fig16, proj.Project(p.Profiles[i].Features[:]))
+	for i := range profiles {
+		r.Fig16 = append(r.Fig16, proj.Project(profiles[i].Features[:]))
 	}
-	r.Table4 = hosts.Types(p.Profiles, d.Meta.IP2AS, d.Meta.PDB)
+	r.Table4 = hosts.Types(profiles, meta.IP2AS, meta.PDB)
 
 	// Collateral damage and use cases.
-	r.Fig18 = p.Collateral.Result()
-	r.Fig19 = usecase.Classify(p.Events, r.Verdicts, d.Meta.End)
+	r.Fig18 = p.ComposeCollateral(profiles).Result()
+	r.Fig19 = usecase.Classify(p.Events, r.Verdicts, meta.End)
 	return r
 }
 
 // sweep runs the Fig 10 merge-threshold sweep.
-func sweep(d *Dataset, opts Options) ([]SweepPoint, float64) {
+func sweep(updates []analysis.ControlUpdate, periodEnd time.Time, opts Options) ([]SweepPoint, float64) {
 	if len(opts.SweepDeltas) == 0 {
 		return nil, 0
 	}
-	return events.Sweep(d.Updates, opts.SweepDeltas, d.Meta.End)
+	return events.Sweep(updates, opts.SweepDeltas, periodEnd)
 }
