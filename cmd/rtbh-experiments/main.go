@@ -7,7 +7,15 @@
 //	rtbh-experiments -run fig6                 # one experiment
 //	rtbh-experiments -run fig2,fig5,table3     # several
 //	rtbh-experiments -run all -simulate bench  # everything, fresh world
+//	rtbh-experiments -ixps 3 -simulate test    # federated world, merged report
 //	rtbh-experiments -list                     # available experiments
+//
+// With -ixps N (N > 1) the world is federated across N exchanges: each
+// exchange observes only its members' control messages and traffic, the
+// per-exchange snapshots are merged through the federation coordinator,
+// and the report adds the cross-exchange leakage view. An existing
+// federated dataset is analyzed with -data DIR where DIR holds the
+// ixp0..ixpN-1 subdirectories SimulateFederated writes.
 //
 // With -metrics, one JSON snapshot spanning the whole run — the simulated
 // world's route-server and fabric counters (when -simulate) plus the
@@ -34,6 +42,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
+	ixps := flag.Int("ixps", 1, "federate the world across this many exchanges (with -data, the directory holds ixp0..ixpN-1 datasets)")
 	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
 	flag.Parse()
 
@@ -52,6 +61,9 @@ func main() {
 	if err := cliutil.CheckWorkers(*workers); err != nil {
 		usageFail(err)
 	}
+	if err := cliutil.CheckIXPs(*ixps); err != nil {
+		usageFail(err)
+	}
 	var knownIDs []string
 	for _, e := range textreport.All() {
 		knownIDs = append(knownIDs, e.ID)
@@ -61,7 +73,13 @@ func main() {
 		usageFail(err)
 	}
 	if *data != "" {
-		if err := cliutil.CheckDatasetDir(*data, rtbh.FileMetadata); err != nil {
+		if *ixps > 1 {
+			for i := 0; i < *ixps; i++ {
+				if err := cliutil.CheckDatasetDir(rtbh.IXPDir(*data, i), rtbh.FileMetadata); err != nil {
+					usageFail(err)
+				}
+			}
+		} else if err := cliutil.CheckDatasetDir(*data, rtbh.FileMetadata); err != nil {
 			usageFail(err)
 		}
 	}
@@ -95,30 +113,52 @@ func main() {
 		defer os.RemoveAll(tmp)
 		fmt.Fprintf(os.Stderr, "simulating %s-scale world into %s ...\n", *simulate, tmp)
 		start := time.Now()
-		if _, err := rtbh.SimulateObserved(cfg, tmp, reg); err != nil {
+		if *ixps > 1 {
+			cfg.IXPs = *ixps
+			if _, err := rtbh.SimulateFederated(cfg, tmp); err != nil {
+				fail(err)
+			}
+		} else if _, err := rtbh.SimulateObserved(cfg, tmp, reg); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(start).Round(time.Millisecond))
 		dir = tmp
 	}
 
-	ds, err := rtbh.OpenDataset(dir)
-	if err != nil {
-		fail(err)
-	}
 	start := time.Now()
 	opts := rtbh.DefaultOptions()
 	opts.Workers = *workers
-	opts.Metrics = reg
-	report, err := ds.Analyze(opts)
-	if err != nil {
-		fail(err)
+
+	var report *rtbh.Report
+	var fed *rtbh.FederatedReport
+	if *ixps > 1 {
+		dirs := make([]string, *ixps)
+		for i := range dirs {
+			dirs[i] = rtbh.IXPDir(dir, i)
+		}
+		var err error
+		if fed, err = rtbh.AnalyzeFederated(dirs, opts); err != nil {
+			fail(err)
+		}
+		report = fed.Global
+	} else {
+		ds, err := rtbh.OpenDataset(dir)
+		if err != nil {
+			fail(err)
+		}
+		opts.Metrics = reg
+		if report, err = ds.Analyze(opts); err != nil {
+			fail(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "analysis done in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if selected == nil {
+	switch {
+	case fed != nil && selected == nil:
+		textreport.RenderFederation(w, fed)
+	case selected == nil:
 		textreport.RenderAll(w, report)
-	} else {
+	default:
 		for _, id := range selected {
 			e, _ := textreport.ByID(id)
 			textreport.RenderOne(w, report, e)

@@ -11,6 +11,14 @@
 //	rtbh-live -out DIR [-scale test|bench|full] [-seed N] [-days N]
 //	          [-snapshot-every 30s] [-report=false] [-metrics PATH]
 //	          [-pprof ADDR] [-chaos-profile NAME] [-chaos-seed N]
+//	          [-ixps N] [-snapshot-chaos-profile NAME]
+//
+// With -ixps N (N > 1) the run federates across N exchanges: each has
+// its own route server, fabric, BGP sessions and IPFIX export, writes a
+// standalone dataset into OUT/ixp<i>, and accumulates its own online
+// analyzer. At the end the per-exchange snapshots cross the federation
+// TCP transport — impaired by -snapshot-chaos-profile when set — and
+// the merged federated report is printed.
 //
 // With -chaos-profile, a seeded fault-injection plan (internal/faultnet)
 // impairs the live transports — connection kills, handshake resets and
@@ -56,6 +64,9 @@ func main() {
 	chaosProfile := flag.String("chaos-profile", "",
 		fmt.Sprintf("inject transport faults from this profile (%s; empty disables)", strings.Join(rtbh.ChaosProfiles(), ", ")))
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault-injection schedule (same seed, same faults)")
+	ixps := flag.Int("ixps", 1, "federate the live run across this many exchanges (datasets land in OUT/ixp0..ixpN-1)")
+	snapChaos := flag.String("snapshot-chaos-profile", "",
+		"with -ixps > 1, impair the snapshot transport with this fault profile (empty disables)")
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -75,6 +86,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cliutil.CheckWorkers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckIXPs(*ixps); err != nil {
 		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
 		os.Exit(2)
 	}
@@ -101,6 +116,11 @@ func main() {
 		if err := obs.StartDebugServer(*pprofAddr, reg); err != nil {
 			fail(err)
 		}
+	}
+
+	if *ixps > 1 {
+		runFederated(cfg, *out, reg, *ixps, *workers, *report, *chaosProfile, *chaosSeed, *snapChaos, *metricsOut)
+		return
 	}
 
 	lr, err := rtbh.NewLiveRun(cfg, *out, reg)
@@ -160,6 +180,73 @@ func main() {
 
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runFederated is the -ixps > 1 path: one live exchange per IXP, a
+// standalone dataset per exchange under OUT/ixp<i>, and a federated
+// report merged over the snapshot transport. Periodic snapshots
+// (-snapshot-every) are not printed in federated mode.
+func runFederated(cfg rtbh.Config, out string, reg *rtbh.MetricsRegistry, ixps, workers int,
+	report bool, chaosProfile string, chaosSeed uint64, snapChaos, metricsOut string) {
+	cfg.IXPs = ixps
+	flr, err := rtbh.NewFederatedLiveRun(cfg, out, reg)
+	if err != nil {
+		fail(err)
+	}
+	if chaosProfile != "" {
+		if err := flr.EnableChaos(chaosSeed, chaosProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if snapChaos != "" {
+		if err := flr.EnableSnapshotChaos(chaosSeed, snapChaos); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	sum, err := flr.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	stop()
+
+	verb := "completed"
+	if flr.Interrupted() {
+		verb = "interrupted; drained gracefully —"
+	}
+	fmt.Printf("federated live run %s in %v across %d exchanges, datasets written under %s\n",
+		verb, time.Since(start).Round(time.Millisecond), sum.IXPs, out)
+	fmt.Printf("period: %s + %d days, seed %d, sampling 1:%d, multi-homed members: %d\n",
+		cfg.Start.Format("2006-01-02"), cfg.Days, cfg.Seed, cfg.SamplingRate, len(sum.MultiHomedMembers))
+	for i := 0; i < sum.IXPs; i++ {
+		fmt.Printf("ixp%d: %d control messages, %d flow records (%d packets offered, %d dropped)\n",
+			i, sum.ControlMsgs[i], sum.FlowRecords[i], sum.PacketsIn[i], sum.PacketsDropped[i])
+	}
+
+	if report {
+		opts := rtbh.DefaultOptions()
+		opts.Workers = workers
+		fr, err := flr.Report(opts)
+		if err != nil {
+			fail(err)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		fmt.Fprintln(w)
+		textreport.RenderFederation(w, fr)
+		w.Flush()
+	}
+
+	if metricsOut != "" {
+		if err := writeMetrics(reg, metricsOut); err != nil {
 			fail(err)
 		}
 	}

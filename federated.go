@@ -1,0 +1,259 @@
+package rtbh
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analysis/pipeline"
+	"repro/internal/federation"
+	"repro/internal/ipfix"
+	"repro/internal/mrt"
+	"repro/internal/scenario"
+)
+
+// IXPDir names the per-exchange dataset subdirectory of a federated
+// dataset: <dir>/ixp0, <dir>/ixp1, ...
+func IXPDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("ixp%d", i))
+}
+
+// FederatedSummary reports what a federated simulation produced.
+type FederatedSummary struct {
+	IXPs              int
+	MultiHomedMembers []uint32
+	Events            int
+	Hosts             int
+	Members           int
+	Announcements     int
+	Withdrawals       int
+	// Per-exchange measurement volumes, indexed by IXP.
+	ControlMsgs    []int
+	FlowRecords    []int64
+	PacketsIn      []int64
+	PacketsDropped []int64
+}
+
+// SimulateFederated plans the world once and runs it across
+// cfg.IXPs exchanges, writing one complete standalone dataset per
+// exchange into dir/ixp<i>. Each dataset carries the full member table
+// (every exchange knows the shared member universe) but only the
+// control messages and flow records observed at that exchange. With
+// cfg.IXPs <= 1 the single dataset written to dir/ixp0 is
+// byte-identical to what Simulate writes.
+func SimulateFederated(cfg Config, dir string) (*FederatedSummary, error) {
+	w, err := scenario.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.IXPs
+	if n < 1 {
+		n = 1
+	}
+
+	type ixpFiles struct {
+		mrtFile, flowFile *os.File
+		mrtW              *mrt.Writer
+		flowW             *ipfix.Writer
+	}
+	files := make([]*ixpFiles, n)
+	sinks := make([]scenario.Sinks, n)
+	defer func() {
+		for _, f := range files {
+			if f == nil {
+				continue
+			}
+			f.mrtFile.Close()
+			f.flowFile.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		sub := IXPDir(dir, i)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("rtbh: %w", err)
+		}
+		f := &ixpFiles{}
+		if f.mrtFile, err = os.Create(filepath.Join(sub, FileUpdates)); err != nil {
+			return nil, fmt.Errorf("rtbh: %w", err)
+		}
+		files[i] = f
+		if f.flowFile, err = os.Create(filepath.Join(sub, FileFlows)); err != nil {
+			return nil, fmt.Errorf("rtbh: %w", err)
+		}
+		f.mrtW = mrt.NewWriter(f.mrtFile)
+		f.flowW = ipfix.NewWriter(f.flowFile, 1)
+		mrtW := f.mrtW
+		sinks[i] = scenario.Sinks{
+			Control: func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
+				rec := mrt.Record{
+					Timestamp: ts, PeerAS: peerAS, LocalAS: uint32(w.RSASN),
+					PeerIP: peerIP, LocalIP: w.RSIP, Message: msg,
+				}
+				_ = mrtW.WriteRecord(&rec)
+			},
+			Flow: f.flowW.WriteRecord,
+		}
+	}
+
+	res, err := scenario.RunFederated(w, sinks)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range files {
+		if err := f.mrtW.Flush(); err != nil {
+			return nil, fmt.Errorf("rtbh: flushing MRT for IXP %d: %w", i, err)
+		}
+		if err := f.flowW.Flush(); err != nil {
+			return nil, fmt.Errorf("rtbh: flushing IPFIX for IXP %d: %w", i, err)
+		}
+		sub := IXPDir(dir, i)
+		if err := writeJSON(filepath.Join(sub, FileMetadata), metaOf(w)); err != nil {
+			return nil, err
+		}
+		if err := writeFile(filepath.Join(sub, FileIP2AS), w.IP2AS.WriteJSON); err != nil {
+			return nil, err
+		}
+		if err := writeFile(filepath.Join(sub, FilePDB), w.PDB.WriteJSON); err != nil {
+			return nil, err
+		}
+		if err := writeFile(filepath.Join(sub, FileTruth), scenario.Truth(w).WriteJSON); err != nil {
+			return nil, err
+		}
+	}
+
+	sum := &FederatedSummary{
+		IXPs:              res.Federation.N,
+		MultiHomedMembers: res.Federation.MultiHomedMembers(),
+		Events:            len(w.Events),
+		Hosts:             len(w.Hosts),
+		Members:           len(w.Members),
+		Announcements:     res.Announcements,
+		Withdrawals:       res.Withdrawals,
+		ControlMsgs:       res.ControlMsgs,
+		FlowRecords:       res.FlowRecords,
+	}
+	for _, st := range res.FabricStats {
+		sum.PacketsIn = append(sum.PacketsIn, st.PacketsIn)
+		sum.PacketsDropped = append(sum.PacketsDropped, st.PacketsDropped)
+	}
+	return sum, nil
+}
+
+// IXPReport is one exchange's view within a federated report.
+type IXPReport struct {
+	IXP int
+	// ClockOffset is the skew the exchange declared in its snapshot.
+	ClockOffset time.Duration
+	// Report is the full analysis over this exchange's measurements
+	// alone, in its local event numbering.
+	Report *Report
+}
+
+// FederatedReport combines the exchanges' views.
+type FederatedReport struct {
+	// Global is the analysis over the union control plane and the folded
+	// operator state — what a single exchange observing everything would
+	// have reported.
+	Global *Report
+	// PerIXP lists each exchange's standalone report.
+	PerIXP []*IXPReport
+	// Cross joins every exchange's during-event traffic against the
+	// union event structure: which attacks one exchange dropped while
+	// another delivered.
+	Cross *federation.CrossView
+}
+
+// snapshotDataset reduces one opened dataset to a federation snapshot:
+// a sequential (non-speculative) pipeline pass over its flows, then the
+// marshaled state. The sequential pass keeps per-stream observation
+// order identical to a union pass, which makes the canonical state
+// encoding a fingerprint the parity tests compare directly.
+func snapshotDataset(ds *Dataset, ixp int, seq uint64, opts Options) (*federation.Snapshot, error) {
+	p, err := pipeline.New(ds.Meta, ds.Updates, opts.Delta)
+	if err != nil {
+		return nil, err
+	}
+	err = ds.EachFlow(func(rec *flowRecord) error {
+		p.Observe(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	state, err := p.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return &federation.Snapshot{IXP: ixp, Seq: seq, Updates: ds.Updates, State: state}, nil
+}
+
+// AnalyzeFederated opens the per-exchange datasets in dirs, reduces
+// each to a snapshot, and merges them through the federation
+// coordinator — round-tripping every snapshot through its wire encoding
+// exactly as a distributed deployment would. The returned global report
+// over N partitioned datasets is identical to Analyze over the
+// equivalent single dataset (see DESIGN.md, "Federation").
+func AnalyzeFederated(dirs []string, opts Options) (*FederatedReport, error) {
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("rtbh: no federated dataset directories")
+	}
+	datasets := make([]*Dataset, len(dirs))
+	for i, dir := range dirs {
+		ds, err := OpenDataset(dir)
+		if err != nil {
+			return nil, err
+		}
+		datasets[i] = ds
+	}
+
+	coord := federation.NewCoordinator(datasets[0].Meta, opts.Delta)
+	for i, ds := range datasets {
+		snap, err := snapshotDataset(ds, i, 1, opts)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := snap.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if err := coord.OfferBytes(frame); err != nil {
+			return nil, err
+		}
+	}
+	merged, err := coord.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return composeFederatedReport(merged, datasets, opts)
+}
+
+// composeFederatedReport renders a merged federation state: the global
+// report, the per-IXP reports, and — when flow sources are available —
+// the cross-IXP traffic join.
+func composeFederatedReport(merged *federation.MergedState, datasets []*Dataset, opts Options) (*FederatedReport, error) {
+	fr := &FederatedReport{
+		Global: composeReport(merged.Meta, merged.Updates, merged.Pipeline, opts),
+	}
+	for _, v := range merged.IXPs {
+		fr.PerIXP = append(fr.PerIXP, &IXPReport{
+			IXP:         v.IXP,
+			ClockOffset: v.ClockOffset,
+			Report:      composeReport(merged.Meta, v.Updates, v.Pipeline, opts),
+		})
+	}
+	if len(merged.IXPs) > 1 && datasets != nil {
+		sources := make(map[int]federation.FlowSource)
+		for _, v := range merged.IXPs {
+			if v.IXP >= 0 && v.IXP < len(datasets) && datasets[v.IXP] != nil {
+				sources[v.IXP] = datasets[v.IXP].EachFlow
+			}
+		}
+		cross, err := merged.Cross(sources)
+		if err != nil {
+			return nil, err
+		}
+		fr.Cross = cross
+	}
+	return fr, nil
+}

@@ -1,0 +1,312 @@
+package rtbh_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/textreport"
+)
+
+// federationOptions mirrors the golden test's parameterization so the
+// N=1 federated rendering is comparable against the same fixture.
+func federationOptions() rtbh.Options {
+	opts := rtbh.DefaultOptions()
+	opts.OffsetStep = 20 * time.Millisecond
+	return opts
+}
+
+// renderGolden renders a report exactly as the golden fixture is built.
+func renderGolden(r *rtbh.Report) []byte {
+	var buf bytes.Buffer
+	textreport.RenderAll(&buf, r)
+	return buf.Bytes()
+}
+
+// TestFederatedParityGolden runs the golden world through the
+// federation machinery with a single exchange: the simulated dataset,
+// the snapshot wire round trip, the coordinator merge, and the rendered
+// global report must all collapse to exactly the single-IXP pipeline —
+// byte-identical to the checked-in golden fixture.
+func TestFederatedParityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	cfg := goldenConfig()
+	cfg.IXPs = 1
+	dir := t.TempDir()
+	sum, err := rtbh.SimulateFederated(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.IXPs != 1 {
+		t.Fatalf("summary reports %d IXPs, want 1", sum.IXPs)
+	}
+
+	fr, err := rtbh.AnalyzeFederated([]string{rtbh.IXPDir(dir, 0)}, federationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatalf("%v (run TestGoldenEndToEnd with -update to create the fixture)", err)
+	}
+	if got := renderGolden(fr.Global); !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatal("N=1 federated global report does not match the golden fixture")
+	}
+	if len(fr.PerIXP) != 1 {
+		t.Fatalf("got %d per-IXP reports, want 1", len(fr.PerIXP))
+	}
+	if got := renderGolden(fr.PerIXP[0].Report); !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatal("N=1 per-IXP report does not match the golden fixture")
+	}
+	if fr.Cross != nil {
+		t.Fatal("single-exchange federation should produce no cross view")
+	}
+}
+
+// TestFederatedParityUnion partitions the golden world across three
+// exchanges with disjoint member subsets and merges the three datasets
+// back through the coordinator: the global report must be byte-identical
+// to analyzing the union (single-IXP) dataset of the same world.
+func TestFederatedParityUnion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes two full test-scale worlds")
+	}
+	opts := federationOptions()
+
+	unionDir := t.TempDir()
+	if _, err := rtbh.Simulate(goldenConfig(), unionDir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(unionDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unionOpts := opts
+	unionOpts.Workers = 1
+	unionReport, err := ds.Analyze(unionOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderGolden(unionReport)
+
+	cfg := goldenConfig()
+	cfg.IXPs = 3
+	fedDir := t.TempDir()
+	sum, err := rtbh.SimulateFederated(cfg, fedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.IXPs != 3 {
+		t.Fatalf("summary reports %d IXPs, want 3", sum.IXPs)
+	}
+	var total int64
+	for i, n := range sum.FlowRecords {
+		if n == 0 {
+			t.Errorf("IXP %d observed no flow records", i)
+		}
+		total += n
+	}
+
+	dirs := []string{rtbh.IXPDir(fedDir, 0), rtbh.IXPDir(fedDir, 1), rtbh.IXPDir(fedDir, 2)}
+	fr, err := rtbh.AnalyzeFederated(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderGolden(fr.Global); !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatal("N=3 federated global report does not match the union analysis")
+	}
+	if fr.Global.TotalRecords != total {
+		t.Errorf("global report counts %d records, datasets hold %d", fr.Global.TotalRecords, total)
+	}
+	if len(fr.PerIXP) != 3 {
+		t.Fatalf("got %d per-IXP reports, want 3", len(fr.PerIXP))
+	}
+	if fr.Cross == nil {
+		t.Fatal("multi-exchange federation should produce a cross view")
+	}
+	// Disjoint member subsets: every event's traffic is observed only at
+	// its own exchange, so nothing leaks across.
+	if fr.Cross.ForeignPkts != 0 {
+		t.Errorf("disjoint federation delivered %d foreign packets, want 0", fr.Cross.ForeignPkts)
+	}
+	if fr.Cross.DroppedPkts == 0 {
+		t.Error("cross view saw no during-event drops")
+	}
+}
+
+// TestFederatedMultiHomed turns on multi-homing: selected members
+// connect at two exchanges while signaling RTBH only at their home, so
+// the secondary exchange keeps delivering attack traffic the home
+// exchange drops. The cross view must surface that leakage.
+func TestFederatedMultiHomed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	cfg := goldenConfig()
+	cfg.IXPs = 3
+	cfg.MultiHomedShare = 0.6
+	cfg.IXPClockSkewStep = 2 * time.Millisecond
+	dir := t.TempDir()
+	sum, err := rtbh.SimulateFederated(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.MultiHomedMembers) == 0 {
+		t.Fatal("no members were multi-homed at share 0.6")
+	}
+
+	fr, err := rtbh.AnalyzeFederated([]string{
+		rtbh.IXPDir(dir, 0), rtbh.IXPDir(dir, 1), rtbh.IXPDir(dir, 2),
+	}, federationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Cross == nil {
+		t.Fatal("no cross view")
+	}
+	if fr.Cross.ForeignPkts == 0 {
+		t.Error("multi-homed federation shows no foreign-delivered packets")
+	}
+	if fr.Cross.LeakedEvents == 0 {
+		t.Error("multi-homed federation shows no leaked events")
+	}
+	if fr.Cross.ForeignShare <= 0 || fr.Cross.ForeignShare >= 1 {
+		t.Errorf("foreign share = %v, want in (0, 1)", fr.Cross.ForeignShare)
+	}
+	// Every exchange still composes a full standalone report.
+	for i, r := range fr.PerIXP {
+		if r.Report.Fig2 == nil || r.Report.TotalRecords == 0 {
+			t.Errorf("IXP %d report is incomplete", i)
+		}
+	}
+}
+
+// runFederatedLive drives one federated live run to completion and
+// returns its report alongside the batch AnalyzeFederated result over
+// the archives the run wrote — the two views every live-parity test
+// compares.
+func runFederatedLive(t *testing.T, cfg rtbh.Config, dir, snapChaosProfile string) (*rtbh.FederatedReport, *rtbh.FederatedReport) {
+	t.Helper()
+	flr, err := rtbh.NewFederatedLiveRun(cfg, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapChaosProfile != "" {
+		if err := flr.EnableSnapshotChaos(cfg.Seed+7, snapChaosProfile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := flr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flr.Interrupted() {
+		t.Fatal("uninterrupted federated run reports Interrupted")
+	}
+	if sum.IXPs != cfg.IXPs {
+		t.Fatalf("summary reports %d IXPs, want %d", sum.IXPs, cfg.IXPs)
+	}
+
+	opts := federationOptions()
+	live, err := flr.Report(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, cfg.IXPs)
+	for i := range dirs {
+		dirs[i] = rtbh.IXPDir(dir, i)
+	}
+	batch, err := rtbh.AnalyzeFederated(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live, batch
+}
+
+// TestLiveFederatedParity is the federated live guarantee: a run whose
+// exchanges each stream over their own BGP/TCP sessions and IPFIX/UDP
+// export writes archives byte-identical to SimulateFederated's, and the
+// report merged from the online analyzers' snapshots — shipped over the
+// federation TCP transport — renders byte-identical to the batch
+// AnalyzeFederated over those archives.
+func TestLiveFederatedParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a federated test-scale world through live transports")
+	}
+	cfg := goldenConfig()
+	cfg.IXPs = 3
+
+	batchDir, liveDir := t.TempDir(), t.TempDir()
+	if _, err := rtbh.SimulateFederated(cfg, batchDir); err != nil {
+		t.Fatal(err)
+	}
+	live, batch := runFederatedLive(t, cfg, liveDir, "")
+
+	// Each exchange's archives must match the batch simulation's bytes.
+	for i := 0; i < cfg.IXPs; i++ {
+		for _, name := range []string{rtbh.FileUpdates, rtbh.FileFlows} {
+			want, err := os.ReadFile(filepath.Join(rtbh.IXPDir(batchDir, i), name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(rtbh.IXPDir(liveDir, i), name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("ixp%d %s differs: batch %d bytes, live %d bytes", i, name, len(want), len(got))
+			}
+		}
+	}
+
+	if got, want := renderGolden(live.Global), renderGolden(batch.Global); !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatal("live federated global report does not match batch AnalyzeFederated")
+	}
+	if len(live.PerIXP) != len(batch.PerIXP) {
+		t.Fatalf("live has %d per-IXP reports, batch %d", len(live.PerIXP), len(batch.PerIXP))
+	}
+	for i := range live.PerIXP {
+		if got, want := renderGolden(live.PerIXP[i].Report), renderGolden(batch.PerIXP[i].Report); !bytes.Equal(got, want) {
+			diffLines(t, want, got)
+			t.Fatalf("live per-IXP report %d does not match batch", i)
+		}
+	}
+}
+
+// TestChaosFederatedSnapshotTransport impairs the snapshot transport
+// with the flapping-tcp profile: frames are truncated mid-write and
+// connections cut, yet retransmission plus the coordinator's Seq dedup
+// still converge on the same merged report a clean transport produces.
+func TestChaosFederatedSnapshotTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a federated test-scale world through live transports")
+	}
+	cfg := goldenConfig()
+	cfg.IXPs = 3
+	cfg.MultiHomedShare = 0.5
+
+	live, batch := runFederatedLive(t, cfg, t.TempDir(), "flapping-tcp")
+	if got, want := renderGolden(live.Global), renderGolden(batch.Global); !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatal("global report merged over a chaotic snapshot transport diverges")
+	}
+	if live.Cross == nil || batch.Cross == nil {
+		t.Fatal("missing cross view")
+	}
+	if live.Cross.ForeignPkts != batch.Cross.ForeignPkts ||
+		live.Cross.LeakedEvents != batch.Cross.LeakedEvents {
+		t.Errorf("cross view diverges: live foreign=%d leaked=%d, batch foreign=%d leaked=%d",
+			live.Cross.ForeignPkts, live.Cross.LeakedEvents,
+			batch.Cross.ForeignPkts, batch.Cross.LeakedEvents)
+	}
+}

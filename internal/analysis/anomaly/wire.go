@@ -1,0 +1,83 @@
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+// wireVersion is the anomaly snapshot codec version.
+const wireVersion = 1
+
+// MarshalBinary encodes the per-slot features canonically: slots sorted
+// by (prefix address, prefix length, slot index), each with its packet
+// counters and the three bounded feature sets.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(wireVersion)
+	keys := make([]slotKey, 0, len(a.slots))
+	for k := range a.slots {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.prefix.Addr != b.prefix.Addr {
+			return a.prefix.Addr < b.prefix.Addr
+		}
+		if a.prefix.Len != b.prefix.Len {
+			return a.prefix.Len < b.prefix.Len
+		}
+		return a.slot < b.slot
+	})
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		sf := a.slots[k]
+		w.Uvarint(uint64(k.prefix.Addr))
+		w.Byte(k.prefix.Len)
+		w.Varint(k.slot)
+		w.Uvarint(uint64(sf.packets))
+		w.Uvarint(uint64(sf.nonTCP))
+		sf.flows.EncodeWire(w)
+		sf.srcIPs.EncodeWire(w)
+		sf.dstPorts.EncodeWire(w)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the aggregator's state with the decoded
+// snapshot. On error the aggregator is left unchanged.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(wireVersion)
+	// One slot needs at least addr+len+slot+packets+nonTCP plus three
+	// minimal sets (3 bytes each).
+	n := r.Count(14)
+	slots := make(map[slotKey]*slotFeat, n)
+	for i := 0; i < n; i++ {
+		var k slotKey
+		addr, plen := r.U32(), r.Byte()
+		if plen > 32 {
+			return fmt.Errorf("anomaly: prefix length %d > 32", plen)
+		}
+		k.prefix = bgp.MakePrefix(addr, plen)
+		k.slot = r.Varint()
+		sf := &slotFeat{
+			packets: r.U32(),
+			nonTCP:  r.U32(),
+		}
+		sf.flows.DecodeWire(r)
+		sf.srcIPs.DecodeWire(r)
+		sf.dstPorts.DecodeWire(r)
+		if r.Err() != nil {
+			break
+		}
+		slots[k] = sf
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("anomaly: %w", err)
+	}
+	a.slots = slots
+	return nil
+}

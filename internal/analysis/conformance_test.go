@@ -1,0 +1,451 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/anomaly"
+	"repro/internal/analysis/collateral"
+	"repro/internal/analysis/dropstats"
+	"repro/internal/analysis/events"
+	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/protomix"
+	"repro/internal/analysis/timealign"
+	"repro/internal/bgp"
+)
+
+// The operator-contract conformance suite. Every registered operator
+// (the analysis.Operator implementations the pipeline composes) must
+// satisfy four properties the engine relies on:
+//
+//	(a) merging over any split of the observation stream produces the
+//	    same state as a sequential pass (parallel shards, federation);
+//	(b) Merge is associative across three-way splits (merge trees);
+//	(c) Snapshot is a deep copy — neither side sees the other's
+//	    subsequent observations (copy-on-snapshot in the online path);
+//	(d) the wire codec round-trips: Marshal → Unmarshal → Marshal is
+//	    byte-identical (federation snapshots are state fingerprints).
+//
+// State equality is compared through MarshalBinary, whose canonical
+// (sorted) encodings are exactly the fingerprint property (d) asserts.
+
+// handle wraps one operator instance behind the uniform surface the
+// conformance properties drive. self holds the concrete aggregator for
+// the merge type assertion.
+type handle struct {
+	self      any
+	feed      func(i int)
+	merge     func(o *handle)
+	snapshot  func() *handle
+	marshal   func() ([]byte, error)
+	unmarshal func(data []byte) (*handle, error)
+}
+
+// operatorCase is one registered operator plus its deterministic
+// observation stream. Stream lengths stay well below every bounded
+// structure's capacity (BoundedSet, TopCounter, the per-event AS caps),
+// where the aggregates are exact and split-invariant.
+type operatorCase struct {
+	name   string
+	stream int
+	fresh  func() *handle
+}
+
+func conformanceBase() time.Time {
+	return time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// conformanceIndex builds a small event structure for the operators
+// that attribute against one: two prefixes, three episodes.
+func conformanceIndex() (*events.Index, time.Time) {
+	base := conformanceBase()
+	end := base.Add(48 * time.Hour)
+	p24 := bgp.MakePrefix(0x0a000000, 24) // 10.0.0.0/24
+	p32 := bgp.MakePrefix(0x0a000007, 32) // 10.0.0.7/32
+	ups := []analysis.ControlUpdate{
+		{Time: base.Add(1 * time.Hour), Peer: 65001, Prefix: p24, Announce: true, OriginAS: 65100},
+		{Time: base.Add(2 * time.Hour), Peer: 65001, Prefix: p24, Announce: false, OriginAS: 65100},
+		{Time: base.Add(3 * time.Hour), Peer: 65001, Prefix: p32, Announce: true, OriginAS: 65100},
+		{Time: base.Add(4 * time.Hour), Peer: 65001, Prefix: p32, Announce: false, OriginAS: 65100},
+		{Time: base.Add(30 * time.Hour), Peer: 65002, Prefix: p32, Announce: true, OriginAS: 65101},
+		{Time: base.Add(31 * time.Hour), Peer: 65002, Prefix: p32, Announce: false, OriginAS: 65101},
+	}
+	analysis.SortUpdates(ups)
+	evs := events.Merge(ups, events.DefaultDelta, end)
+	return events.NewIndex(evs, end), end
+}
+
+func dropstatsCase() operatorCase {
+	var wrap func(a *dropstats.Aggregator) *handle
+	wrap = func(a *dropstats.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			a.Add(i%5, uint8(22+i%11), uint32(64500+i%4), i%3 == 0, int64(1+i%4), int64(40+16*(i%7)))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*dropstats.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := dropstats.New()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "dropstats", stream: 64, fresh: func() *handle { return wrap(dropstats.New()) }}
+}
+
+func anomalyCase() operatorCase {
+	base := conformanceBase()
+	var wrap func(a *anomaly.Aggregator) *handle
+	wrap = func(a *anomaly.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			prefix := bgp.MakePrefix(0x0a000000+uint32(i%2)<<8, 24)
+			t := base.Add(time.Duration(i%9) * 5 * time.Minute)
+			a.Add(prefix, t, 0xc0a80000+uint32(i%6), uint16(1024+i), uint16(i%5), uint8(6+11*(i%2)), int64(1+i%3))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*anomaly.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := anomaly.New()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "anomaly", stream: 48, fresh: func() *handle { return wrap(anomaly.New()) }}
+}
+
+func protomixCase() operatorCase {
+	var wrap func(a *protomix.Aggregator) *handle
+	wrap = func(a *protomix.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			proto := []uint8{6, 17, 1, 17}[i%4]
+			srcPort := uint16([]int{123, 53, 80, 11211}[i%4])
+			a.Add(i%4, proto, 0xac100000+uint32(i%8), srcPort, int64(1+i%5), uint32(65100+i%3), uint32(64500+i%3))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*protomix.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := protomix.New()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "protomix", stream: 56, fresh: func() *handle { return wrap(protomix.New()) }}
+}
+
+func hostsCase() operatorCase {
+	var wrap func(a *hosts.Aggregator) *handle
+	wrap = func(a *hosts.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			ip := 0x0a000001 + uint32(i%3)
+			day := int32(i % 23)
+			if i%2 == 0 {
+				a.AddIncoming(ip, day, uint16(40000+i%9), uint16(443+i%3), 6, int64(1+i%2))
+			} else {
+				a.AddOutgoing(ip, day, uint16(443+i%3), uint16(50000+i%9), 6, 1)
+			}
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*hosts.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := hosts.New()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "hosts", stream: 72, fresh: func() *handle { return wrap(hosts.New()) }}
+}
+
+func timealignCase() operatorCase {
+	ix, _ := conformanceIndex()
+	base := conformanceBase()
+	var wrap func(a *timealign.Aggregator) *handle
+	wrap = func(a *timealign.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			// Drops near the three episodes, some outside any episode.
+			hour := []time.Duration{1, 3, 30, 10}[i%4]
+			t := base.Add(hour*time.Hour + time.Duration(i%7)*13*time.Second)
+			a.AddDropped(0x0a000000+uint32(i%12), t)
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*timealign.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := timealign.New(ix)
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "timealign", stream: 40, fresh: func() *handle { return wrap(timealign.New(ix)) }}
+}
+
+// conformanceProfiles is the fixed server population the collateral
+// aggregator filters against.
+func conformanceProfiles() []hosts.Profile {
+	return []hosts.Profile{
+		{IP: 0x0a000001, Kind: hosts.KindServer, TopPorts: []uint32{6<<16 | 443, 6<<16 | 80}},
+		{IP: 0x0a000002, Kind: hosts.KindServer, TopPorts: []uint32{17<<16 | 53}},
+		{IP: 0x0a000003, Kind: hosts.KindClient, TopPorts: []uint32{6<<16 | 443}},
+	}
+}
+
+func collateralCase() operatorCase {
+	var wrap func(a *collateral.Aggregator) *handle
+	wrap = func(a *collateral.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			ip := 0x0a000001 + uint32(i%4)
+			port := uint16([]int{443, 80, 53, 8080}[i%4])
+			proto := uint8(6)
+			if i%4 == 2 {
+				proto = 17
+			}
+			a.Add(i%3, ip, port, proto, i%2 == 0, int64(1+i%3))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*collateral.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := collateral.New(nil)
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{
+		name:   "collateral",
+		stream: 60,
+		fresh:  func() *handle { return wrap(collateral.New(conformanceProfiles())) },
+	}
+}
+
+func pendingCase() operatorCase {
+	var wrap func(p *collateral.Pending) *handle
+	wrap = func(p *collateral.Pending) *handle {
+		h := &handle{self: p}
+		h.feed = func(i int) {
+			p.Add(i%5, 0x0a000001+uint32(i%6), uint16(1+i%9), uint8(6+11*(i%2)), i%3 == 0, int64(1+i%4))
+		}
+		h.merge = func(o *handle) { p.Merge(o.self.(*collateral.Pending)) }
+		h.marshal = p.MarshalBinary
+		h.snapshot = func() *handle { return wrap(p.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := collateral.NewPending()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "collateral-pending", stream: 64, fresh: func() *handle { return wrap(collateral.NewPending()) }}
+}
+
+func operatorCases() []operatorCase {
+	return []operatorCase{
+		dropstatsCase(),
+		anomalyCase(),
+		protomixCase(),
+		hostsCase(),
+		timealignCase(),
+		collateralCase(),
+		pendingCase(),
+	}
+}
+
+func mustMarshal(t *testing.T, h *handle) []byte {
+	t.Helper()
+	data, err := h.marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+// feedRange feeds observations [lo, hi) of the deterministic stream.
+func feedRange(h *handle, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		h.feed(i)
+	}
+}
+
+// TestOperatorMergeSplitParity: property (a). testing/quick draws the
+// split points; every split of the stream, merged, must fingerprint
+// identically to the sequential pass.
+func TestOperatorMergeSplitParity(t *testing.T) {
+	for _, c := range operatorCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seq := c.fresh()
+			feedRange(seq, 0, c.stream)
+			want := mustMarshal(t, seq)
+
+			prop := func(split uint16) bool {
+				k := int(split) % (c.stream + 1)
+				a, b := c.fresh(), c.fresh()
+				feedRange(a, 0, k)
+				feedRange(b, k, c.stream)
+				a.merge(b)
+				got, err := a.marshal()
+				return err == nil && bytes.Equal(got, want)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Errorf("split merge diverges from sequential: %v", err)
+			}
+		})
+	}
+}
+
+// TestOperatorMergeAssociativity: property (b). For quick-drawn cut
+// points i <= j, ((P1+P2)+P3) and (P1+(P2+P3)) must both fingerprint
+// identically to the sequential pass.
+func TestOperatorMergeAssociativity(t *testing.T) {
+	for _, c := range operatorCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			seq := c.fresh()
+			feedRange(seq, 0, c.stream)
+			want := mustMarshal(t, seq)
+
+			parts := func(i, j int) (*handle, *handle, *handle) {
+				p1, p2, p3 := c.fresh(), c.fresh(), c.fresh()
+				feedRange(p1, 0, i)
+				feedRange(p2, i, j)
+				feedRange(p3, j, c.stream)
+				return p1, p2, p3
+			}
+			prop := func(x, y uint16) bool {
+				i := int(x) % (c.stream + 1)
+				j := i + int(y)%(c.stream-i+1)
+
+				l1, l2, l3 := parts(i, j)
+				l1.merge(l2)
+				l1.merge(l3)
+				left, err := l1.marshal()
+				if err != nil || !bytes.Equal(left, want) {
+					return false
+				}
+				r1, r2, r3 := parts(i, j)
+				r2.merge(r3)
+				r1.merge(r2)
+				right, err := r1.marshal()
+				return err == nil && bytes.Equal(right, want)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Errorf("three-way merge not associative: %v", err)
+			}
+		})
+	}
+}
+
+// TestOperatorSnapshotIsolation: property (c). A snapshot taken halfway
+// must be unaffected by further observations on the original, and
+// observations on the snapshot must not leak back.
+func TestOperatorSnapshotIsolation(t *testing.T) {
+	for _, c := range operatorCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			half := c.stream / 2
+
+			a := c.fresh()
+			feedRange(a, 0, half)
+			atHalf := mustMarshal(t, a)
+
+			snap := a.snapshot()
+			if got := mustMarshal(t, snap); !bytes.Equal(got, atHalf) {
+				t.Fatal("snapshot does not fingerprint like its origin")
+			}
+			feedRange(a, half, c.stream)
+			if got := mustMarshal(t, snap); !bytes.Equal(got, atHalf) {
+				t.Error("observations on the original leaked into the snapshot")
+			}
+
+			b := c.fresh()
+			feedRange(b, 0, half)
+			keep := b.snapshot()
+			feedRange(b, half, c.stream) // mutate through the snapshot's sibling
+			full := mustMarshal(t, b)
+			feedRange(keep, half, c.stream)
+			if got := mustMarshal(t, keep); !bytes.Equal(got, full) {
+				t.Error("snapshot fed the remaining stream diverges from the sequential pass")
+			}
+			seq := c.fresh()
+			feedRange(seq, 0, c.stream)
+			if got := mustMarshal(t, seq); !bytes.Equal(got, full) {
+				t.Error("original diverged after its snapshot observed independently")
+			}
+		})
+	}
+}
+
+// TestOperatorWireRoundTrip: property (d). Marshal → Unmarshal →
+// Marshal must be a byte-level fixed point, and the decoded state must
+// snapshot into the same fingerprint.
+func TestOperatorWireRoundTrip(t *testing.T) {
+	for _, c := range operatorCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, n := range []int{0, 1, c.stream / 2, c.stream} {
+				a := c.fresh()
+				feedRange(a, 0, n)
+				data := mustMarshal(t, a)
+
+				dec, err := a.unmarshal(data)
+				if err != nil {
+					t.Fatalf("unmarshal after %d observations: %v", n, err)
+				}
+				if got := mustMarshal(t, dec); !bytes.Equal(got, data) {
+					t.Errorf("re-marshal after %d observations is not a fixed point", n)
+				}
+				if snap := dec.snapshot(); snap != nil {
+					if got := mustMarshal(t, snap); !bytes.Equal(got, data) {
+						t.Errorf("decoded snapshot after %d observations diverges", n)
+					}
+				}
+			}
+
+			// Corrupt inputs must error, never panic: truncations of a
+			// valid encoding and a version bump.
+			a := c.fresh()
+			feedRange(a, 0, c.stream)
+			data := mustMarshal(t, a)
+			for cut := 0; cut < len(data); cut++ {
+				if _, err := a.unmarshal(data[:cut]); err == nil {
+					t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(data))
+				}
+			}
+			bumped := append([]byte(nil), data...)
+			bumped[0]++
+			if _, err := a.unmarshal(bumped); err == nil {
+				t.Error("future codec version decoded without error")
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package dropstats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// wireVersion is the dropstats snapshot codec version.
+const wireVersion = 1
+
+func encodeCounter(w *analysis.WireWriter, c *Counter) {
+	w.Varint(c.DroppedPkts)
+	w.Varint(c.ForwardedPkts)
+	w.Varint(c.DroppedBytes)
+	w.Varint(c.ForwardedBytes)
+}
+
+func decodeCounter(r *analysis.WireReader, c *Counter) {
+	c.DroppedPkts = r.Varint()
+	c.ForwardedPkts = r.Varint()
+	c.DroppedBytes = r.Varint()
+	c.ForwardedBytes = r.Varint()
+}
+
+// MarshalBinary encodes the aggregator canonically: the per-length
+// table, then the per-event counters sorted by event ID, then the
+// per-source counters sorted by member ASN.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(wireVersion)
+	for l := range a.byLen {
+		encodeCounter(w, &a.byLen[l])
+	}
+	ids := make([]int, 0, len(a.byEvent))
+	for id := range a.byEvent {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		ec := a.byEvent[id]
+		w.Uvarint(uint64(id))
+		w.Byte(ec.prefixLen)
+		encodeCounter(w, &ec.c)
+	}
+	members := make([]uint32, 0, len(a.bySource))
+	for m := range a.bySource {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	w.Uvarint(uint64(len(members)))
+	for _, m := range members {
+		w.Uvarint(uint64(m))
+		encodeCounter(w, a.bySource[m])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the aggregator's state with the decoded
+// snapshot. On error the aggregator is left unchanged.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(wireVersion)
+	var byLen [33]Counter
+	for l := range byLen {
+		decodeCounter(r, &byLen[l])
+	}
+	nEv := r.Count(6) // id + prefixLen + four counters
+	byEvent := make(map[int]*eventCounter, nEv)
+	for i := 0; i < nEv; i++ {
+		id := r.Int()
+		ec := &eventCounter{prefixLen: r.Byte()}
+		decodeCounter(r, &ec.c)
+		byEvent[id] = ec
+	}
+	nSrc := r.Count(5) // member + four counters
+	bySource := make(map[uint32]*Counter, nSrc)
+	for i := 0; i < nSrc; i++ {
+		m := r.U32()
+		c := &Counter{}
+		decodeCounter(r, c)
+		bySource[m] = c
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("dropstats: %w", err)
+	}
+	a.byLen = byLen
+	a.byEvent = byEvent
+	a.bySource = bySource
+	return nil
+}
+
+// RemapEvents rewrites the per-event keys through m (old ID -> new ID),
+// summing counters that land on the same new ID. Every present event
+// must be mapped; a missing mapping is an error because keeping a stale
+// ID could silently collide with a different event in the new space.
+func (a *Aggregator) RemapEvents(m map[int]int) error {
+	out := make(map[int]*eventCounter, len(a.byEvent))
+	for id, ec := range a.byEvent {
+		nid, ok := m[id]
+		if !ok {
+			return fmt.Errorf("dropstats: no mapping for event %d", id)
+		}
+		if cur := out[nid]; cur != nil {
+			cur.c.merge(&ec.c)
+		} else {
+			out[nid] = ec
+		}
+	}
+	a.byEvent = out
+	return nil
+}
+
+// EventStat is one event's drop tally, exposed for the federation's
+// cross-IXP views.
+type EventStat struct {
+	ID        int
+	PrefixLen uint8
+	Counter
+}
+
+// EventStats returns the per-event counters sorted by event ID.
+func (a *Aggregator) EventStats() []EventStat {
+	out := make([]EventStat, 0, len(a.byEvent))
+	for id, ec := range a.byEvent {
+		out = append(out, EventStat{ID: id, PrefixLen: ec.prefixLen, Counter: ec.c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,108 @@
+package hosts
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// wireVersion is the hosts snapshot codec version.
+const wireVersion = 1
+
+// MarshalBinary encodes the host aggregates canonically: hosts sorted by
+// IP; inside each host the days sorted ascending, each day carrying its
+// direction flags and top-port counter, followed by the four feature
+// sets.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(wireVersion)
+	ips := make([]uint32, 0, len(a.hosts))
+	for ip := range a.hosts {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	w.Uvarint(uint64(len(ips)))
+	for _, ip := range ips {
+		h := a.hosts[ip]
+		w.Uvarint(uint64(ip))
+		days := make([]int32, 0, len(h.days))
+		for d := range h.days {
+			days = append(days, d)
+		}
+		sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+		w.Uvarint(uint64(len(days)))
+		for _, d := range days {
+			da := h.days[d]
+			w.Varint(int64(d))
+			var flags byte
+			if da.hasIn {
+				flags |= 1
+			}
+			if da.hasOut {
+				flags |= 2
+			}
+			w.Byte(flags)
+			da.inTop.EncodeWire(w)
+		}
+		for f := range h.feat {
+			h.feat[f].EncodeWire(w)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the aggregator's state with the decoded
+// snapshot. On error the aggregator is left unchanged.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(wireVersion)
+	// Minimum per host: ip, day count, four minimal feature sets.
+	n := r.Count(14)
+	hs := make(map[uint32]*hostAgg, n)
+	for i := 0; i < n; i++ {
+		ip := r.U32()
+		nDays := r.Count(4) // day, flags, minimal counter
+		h := &hostAgg{days: make(map[int32]*dayAgg, nDays)}
+		for j := 0; j < nDays; j++ {
+			d := r.Varint()
+			if int64(int32(d)) != d {
+				return fmt.Errorf("hosts: day index %d out of range", d)
+			}
+			flags := r.Byte()
+			if flags > 3 {
+				return fmt.Errorf("hosts: invalid day flags %d", flags)
+			}
+			da := &dayAgg{
+				hasIn:  flags&1 != 0,
+				hasOut: flags&2 != 0,
+				inTop:  analysis.NewTopCounter(1),
+			}
+			da.inTop.DecodeWire(r)
+			h.days[int32(d)] = da
+		}
+		for f := range h.feat {
+			h.feat[f].DecodeWire(r)
+		}
+		if r.Err() != nil {
+			break
+		}
+		hs[ip] = h
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("hosts: %w", err)
+	}
+	a.hosts = hs
+	return nil
+}
+
+// Filter drops every host for which keep returns false. The federation's
+// live path uses this to reduce a speculative candidate population to
+// the hosts a batch pass would have profiled before shipping the state.
+func (a *Aggregator) Filter(keep func(ip uint32) bool) {
+	for ip := range a.hosts {
+		if !keep(ip) {
+			delete(a.hosts, ip)
+		}
+	}
+}

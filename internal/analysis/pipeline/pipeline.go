@@ -225,6 +225,9 @@ func (p *Pipeline) merge(o *Pipeline, tm *MergeTimers) {
 	spanned(hosts, func() { p.Hosts.Merge(o.Hosts) })
 	spanned(align, func() { p.Align.Merge(o.Align) })
 	spanned(coll, func() { p.Pending.Merge(o.Pending) })
+	if p.pairs == nil && len(o.pairs) > 0 {
+		p.pairs = make(map[uint64]int64, len(o.pairs))
+	}
 	for k, v := range o.pairs {
 		p.pairs[k] += v
 	}

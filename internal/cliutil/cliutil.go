@@ -30,6 +30,15 @@ func CheckDays(n int) error {
 	return nil
 }
 
+// CheckIXPs validates an -ixps flag: the federation needs at least one
+// exchange.
+func CheckIXPs(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-ixps must be >= 1, got %d", n)
+	}
+	return nil
+}
+
 // CheckSnapshotEvery validates an explicitly set -snapshot-every flag:
 // the cadence must be a positive duration (omit the flag to disable
 // periodic snapshots).

@@ -28,6 +28,19 @@ func TestCheckDays(t *testing.T) {
 	}
 }
 
+func TestCheckIXPs(t *testing.T) {
+	for _, n := range []int{1, 2, 16} {
+		if err := CheckIXPs(n); err != nil {
+			t.Errorf("CheckIXPs(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -3} {
+		if err := CheckIXPs(n); err == nil {
+			t.Errorf("CheckIXPs(%d) accepted", n)
+		}
+	}
+}
+
 func TestCheckSnapshotEvery(t *testing.T) {
 	for _, d := range []time.Duration{time.Millisecond, time.Second, time.Hour} {
 		if err := CheckSnapshotEvery(d); err != nil {

@@ -83,6 +83,12 @@ type Batch struct {
 	// such sources. The effective drop fraction is the maximum of this
 	// and the route-server-derived fraction.
 	BilateralDropFraction float64
+	// Owner is the member AS a federated run anchors the batch to: the
+	// batch is observed at whichever IXP that member connects to. For
+	// victim-bound traffic this is the victim's peering AS regardless of
+	// which member hands the traffic over; for outgoing and scan traffic
+	// it is the host's own member. Single-IXP runs ignore it.
+	Owner uint32
 }
 
 // Stats aggregates ground-truth counters maintained by the fabric,
@@ -113,20 +119,51 @@ type Fabric struct {
 	stats Stats
 }
 
-// New creates a fabric attached to route server rs, sampling at 1:rate,
-// emitting sampled flow records through emit.
-func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
-	if rs == nil {
-		return nil, fmt.Errorf("fabric: nil route server")
-	}
-	if emit == nil {
-		return nil, fmt.Errorf("fabric: nil record sink")
-	}
+// SampleSource bundles the edge sampler and the per-record randomness a
+// fabric draws from. A federated run shares one source across its
+// per-IXP fabrics, so the interleaved draw sequence — and with it every
+// sampled record — matches the single-fabric run over the same batch
+// dispatch order exactly.
+type SampleSource struct {
+	sampler *sampling.Sampler
+	rng     *stats.RNG
+}
+
+// NewSampleSource derives the sampler and record RNG from rng exactly as
+// New does, so a fabric built over the source behaves identically to one
+// built directly from rng.
+func NewSampleSource(rate int64, rng *stats.RNG) (*SampleSource, error) {
 	s, err := sampling.New(rate, rng.Fork(0xfab))
 	if err != nil {
 		return nil, err
 	}
-	return &Fabric{rs: rs, sampler: s, rng: rng.Fork(0x5eed), emit: emit}, nil
+	return &SampleSource{sampler: s, rng: rng.Fork(0x5eed)}, nil
+}
+
+// New creates a fabric attached to route server rs, sampling at 1:rate,
+// emitting sampled flow records through emit.
+func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
+	src, err := NewSampleSource(rate, rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithSource(rs, src, emit)
+}
+
+// NewWithSource creates a fabric drawing sampling and record randomness
+// from src, which may be shared with other fabrics. Shared-source
+// fabrics must be driven from a single goroutine.
+func NewWithSource(rs *routeserver.Server, src *SampleSource, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("fabric: nil route server")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("fabric: nil sample source")
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("fabric: nil record sink")
+	}
+	return &Fabric{rs: rs, sampler: src.sampler, rng: src.rng, emit: emit}, nil
 }
 
 // Stats returns the ground-truth counters accumulated so far.

@@ -1,0 +1,160 @@
+package federation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame format: 4-byte magic, 4-byte big-endian payload length, payload
+// (Snapshot.MarshalBinary). The receiver answers one ack byte after the
+// payload decodes and is offered; a sender that never sees the ack —
+// the connection died, or either half was cut — simply retransmits,
+// which the coordinator's Seq dedup makes idempotent.
+var frameMagic = [4]byte{'F', 'S', 'N', 'P'}
+
+const (
+	frameAck = 0x06
+	// maxFrame bounds the payload a receiver will allocate for.
+	maxFrame = 1 << 28
+	// ioTimeout bounds every read/write on a transport connection.
+	ioTimeout = 10 * time.Second
+)
+
+// Server accepts snapshot frames and offers them to a coordinator.
+type Server struct {
+	ln    net.Listener
+	coord *Coordinator
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and offers every received
+// snapshot to coord.
+func Serve(addr string, coord *Coordinator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+	s := &Server{ln: ln, coord: coord}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight receives.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle receives one frame. Truncated or corrupt frames — chaos cuts
+// connections mid-write — are dropped without an ack; the sender
+// retransmits.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(ioTimeout)) //nolint:errcheck
+	var hdr [8]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > maxFrame {
+		return
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return
+	}
+	if err := s.coord.OfferBytes(payload); err != nil {
+		return
+	}
+	conn.Write([]byte{frameAck}) //nolint:errcheck
+}
+
+// Send transmits one snapshot to addr and waits for the ack, retrying
+// up to attempts times. wrap, when non-nil, is installed on each dialed
+// connection — the seam for faultnet's deterministic chaos middleware.
+// Because the coordinator keeps the highest Seq per exchange, duplicate
+// deliveries from retries after a lost ack are harmless.
+func Send(addr string, snap *Snapshot, wrap func(net.Conn) net.Conn, attempts int) error {
+	payload, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("federation: snapshot of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	copy(frame, frameMagic[:])
+	binary.BigEndian.PutUint32(frame[4:], uint32(len(payload)))
+	copy(frame[8:], payload)
+
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := sendOnce(addr, frame, wrap); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("federation: snapshot for IXP %d not acked after %d attempts: %w",
+		snap.IXP, attempts, lastErr)
+}
+
+func sendOnce(addr string, frame []byte, wrap func(net.Conn) net.Conn) error {
+	conn, err := net.DialTimeout("tcp", addr, ioTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(ioTimeout)) //nolint:errcheck
+	c := conn
+	if wrap != nil {
+		c = wrap(conn)
+	}
+	if _, err := c.Write(frame); err != nil {
+		return err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != frameAck {
+		return fmt.Errorf("federation: unexpected ack byte %#x", ack[0])
+	}
+	return nil
+}

@@ -87,6 +87,26 @@ type Config struct {
 	// blackholed via private/bilateral agreements outside the route
 	// server (paper: ~5% of dropped bytes).
 	BilateralShare float64
+
+	// IXPs is the number of exchanges in a federated run. Each IXP gets
+	// its own route server, fabric, and member home assignment (member i
+	// homes at IXP i mod IXPs); the world itself — members, addresses,
+	// attack schedule — is planned once, independent of IXPs, so a
+	// federated run partitions exactly the single-IXP run's measurements.
+	// Zero or one means a single exchange.
+	IXPs int
+	// IXPClockSkewStep adds i*step to IXP i's data-plane clock offset,
+	// modeling independently drifting measurement clocks per exchange.
+	// IXP 0 always keeps the base ClockOffset.
+	IXPClockSkewStep time.Duration
+	// MultiHomedShare is the fraction of RTBH-using members connected at
+	// two exchanges (home and the next one). A multi-homed member's
+	// inbound traffic splits deterministically across both, but its RTBH
+	// signaling reaches only its home route server — so the secondary
+	// exchange keeps delivering attack traffic the home exchange drops,
+	// the cross-IXP blind spot the federated report surfaces. Non-zero
+	// values trade exact single-IXP parity for this effect.
+	MultiHomedShare float64
 }
 
 // DefaultConfig returns the full paper-scale configuration: 104 days,
@@ -178,6 +198,12 @@ func (c *Config) Validate() error {
 		return errf("MeanAmplifiersPerAttack must be >= 1")
 	case c.Start.IsZero():
 		return errf("Start must be set")
+	case c.IXPs < 0:
+		return errf("IXPs must be >= 0, got %d", c.IXPs)
+	case c.MultiHomedShare < 0 || c.MultiHomedShare > 1:
+		return errf("MultiHomedShare must be in [0, 1], got %g", c.MultiHomedShare)
+	case c.MultiHomedShare > 0 && c.IXPs < 2:
+		return errf("MultiHomedShare requires IXPs >= 2")
 	}
 	return nil
 }

@@ -1,0 +1,220 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/fabric"
+	"repro/internal/ipfix"
+	"repro/internal/routeserver"
+	"repro/internal/stats"
+)
+
+// Federation is the deterministic member-to-exchange assignment of a
+// multi-IXP run. The world itself is planned once, independent of the
+// exchange count; the federation only decides where each member — and
+// with it each control message and packet batch — is observed. Member i
+// homes at IXP i mod N, so disjoint member subsets per exchange.
+type Federation struct {
+	W *World
+	// N is the number of exchanges (>= 1).
+	N int
+	// ClockOffsets[i] is IXP i's data-plane clock skew: the base config
+	// offset plus i*IXPClockSkewStep. IXP 0 always keeps the base.
+	ClockOffsets []time.Duration
+
+	home  map[uint32]int
+	multi map[uint32]bool
+}
+
+// PlanFederation derives the federation of the planned world from its
+// config: home assignments for every member, per-IXP clock offsets, and
+// the deterministic multi-homed member selection (seed-derived, so the
+// same world always federates identically).
+func PlanFederation(w *World) *Federation {
+	n := w.Cfg.IXPs
+	if n < 1 {
+		n = 1
+	}
+	fed := &Federation{
+		W:            w,
+		N:            n,
+		ClockOffsets: make([]time.Duration, n),
+		home:         make(map[uint32]int, len(w.Members)),
+		multi:        make(map[uint32]bool),
+	}
+	for i := range fed.ClockOffsets {
+		fed.ClockOffsets[i] = w.Cfg.ClockOffset + time.Duration(i)*w.Cfg.IXPClockSkewStep
+	}
+	for i, m := range w.Members {
+		fed.home[m.ASN] = i % n
+	}
+	if n > 1 && w.Cfg.MultiHomedShare > 0 {
+		// Candidates are the members that anchor traffic: the peers
+		// announcing victim prefixes. Selection draws from a dedicated
+		// seed fork in sorted ASN order, so it is stable across runs and
+		// independent of everything else the seed drives.
+		seen := make(map[uint32]bool)
+		var peers []uint32
+		for _, v := range w.VictimASes {
+			if !seen[v.Peer] {
+				seen[v.Peer] = true
+				peers = append(peers, v.Peer)
+			}
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		r := stats.NewRNG(w.Cfg.Seed ^ 0xfed)
+		for _, p := range peers {
+			if r.Bool(w.Cfg.MultiHomedShare) {
+				fed.multi[p] = true
+			}
+		}
+	}
+	return fed
+}
+
+// Home returns the exchange a member connects to (its only one unless
+// multi-homed). Unknown ASNs map to IXP 0.
+func (f *Federation) Home(asn uint32) int { return f.home[asn] }
+
+// MultiHomed reports whether the member is additionally connected at
+// (Home+1) mod N.
+func (f *Federation) MultiHomed(asn uint32) bool { return f.multi[asn] }
+
+// MultiHomedMembers returns the sorted ASNs of all multi-homed members.
+func (f *Federation) MultiHomedMembers() []uint32 {
+	out := make([]uint32, 0, len(f.multi))
+	for asn := range f.multi {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DispatchIXP decides which exchange observes a batch: the owner
+// member's home, except that a multi-homed owner's traffic splits
+// deterministically between home and secondary by a hash of the flow
+// endpoints and the 5-minute slot — coarse enough that a given
+// src/dst pair sticks to one exchange within a slot, as real ingress
+// selection does.
+func (f *Federation) DispatchIXP(b *fabric.Batch) int {
+	h := f.home[b.Owner]
+	if !f.multi[b.Owner] {
+		return h
+	}
+	x := uint64(b.DstIP)<<32 | uint64(b.SrcIP)
+	x ^= uint64(b.Time.Unix()/300) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	if x&1 == 1 {
+		return (h + 1) % f.N
+	}
+	return h
+}
+
+// FederatedResult summarizes a completed federated run.
+type FederatedResult struct {
+	World      *World
+	Federation *Federation
+	// Per-IXP measurements, indexed by exchange.
+	FabricStats []fabric.Stats
+	ControlMsgs []int
+	FlowRecords []int64
+
+	Announcements int
+	Withdrawals   int
+}
+
+// federatedExecutor routes Drive's total event order across the per-IXP
+// executors: control messages to the announcing member's home exchange,
+// batches wherever DispatchIXP anchors them.
+type federatedExecutor struct {
+	fed *Federation
+	exs []Executor
+}
+
+func (e *federatedExecutor) Control(ts time.Time, peerAS uint32, upd *bgp.Update) error {
+	return e.exs[e.fed.Home(peerAS)].Control(ts, peerAS, upd)
+}
+
+func (e *federatedExecutor) Inject(b *fabric.Batch) error {
+	return e.exs[e.fed.DispatchIXP(b)].Inject(b)
+}
+
+// RunFederated executes the planned world across the federation's
+// exchanges: one route server and fabric per IXP, fed from the same
+// totally ordered action stream Run dispatches, with every fabric
+// drawing from one shared sample source. With IXPs == 1 the emitted
+// streams are byte-identical to Run's; with more, they partition them
+// (exactly, when MultiHomedShare is zero).
+//
+// sinks must have one entry per exchange.
+func RunFederated(w *World, sinks []Sinks) (*FederatedResult, error) {
+	fed := PlanFederation(w)
+	if len(sinks) != fed.N {
+		return nil, fmt.Errorf("scenario: %d sinks for %d IXPs", len(sinks), fed.N)
+	}
+	for i := range sinks {
+		if sinks[i].Flow == nil {
+			return nil, fmt.Errorf("scenario: Sinks[%d].Flow is required", i)
+		}
+	}
+
+	res := &FederatedResult{
+		World:       w,
+		Federation:  fed,
+		FabricStats: make([]fabric.Stats, fed.N),
+		ControlMsgs: make([]int, fed.N),
+		FlowRecords: make([]int64, fed.N),
+	}
+	rss := make([]*routeserver.Server, fed.N)
+	fbs := make([]*fabric.Fabric, fed.N)
+
+	st, err := Drive(w, func(fabricRNG *stats.RNG) (Executor, error) {
+		src, err := fabric.NewSampleSource(w.Cfg.SamplingRate, fabricRNG)
+		if err != nil {
+			return nil, err
+		}
+		exs := make([]Executor, fed.N)
+		for i := 0; i < fed.N; i++ {
+			i := i
+			rs, err := NewRouteServer(w)
+			if err != nil {
+				return nil, err
+			}
+			if sinks[i].Control != nil {
+				rs.SetCollector(sinks[i].Control)
+			}
+			fb, err := fabric.NewWithSource(rs, src, func(rec *ipfix.FlowRecord) error {
+				res.FlowRecords[i]++
+				return sinks[i].Flow(rec)
+			})
+			if err != nil {
+				return nil, err
+			}
+			fb.ClockOffset = fed.ClockOffsets[i]
+			if sinks[i].Metrics != nil {
+				rs.RegisterMetrics(sinks[i].Metrics)
+				fb.RegisterMetrics(sinks[i].Metrics)
+			}
+			rss[i] = rs
+			fbs[i] = fb
+			exs[i] = directExecutor{rs: rs, fb: fb}
+		}
+		return &federatedExecutor{fed: fed, exs: exs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < fed.N; i++ {
+		res.FabricStats[i] = fbs[i].Stats()
+		res.ControlMsgs[i] = rss[i].MessagesProcessed()
+	}
+	res.Announcements = st.Announcements
+	res.Withdrawals = st.Withdrawals
+	return res, nil
+}

@@ -402,6 +402,13 @@ func appendBaselineBatches(dst []fabric.Batch, w *World, d int, dayStart time.Ti
 		if len(raw) == 0 {
 			continue
 		}
+		// All of a host's traffic — inbound, outbound, scans — anchors to
+		// the member announcing the host's prefix: in a federated run the
+		// host is observable exactly where its member connects.
+		owner := w.VictimASes[h.VictimAS].Peer
+		for i := range raw {
+			raw[i].Owner = owner
+		}
 		tr := transitions[hi]
 		for _, b := range raw {
 			dst = splitBatch(dst, b, tr)
@@ -474,6 +481,7 @@ func appendAttackBatches(dst []fabric.Batch, w *World, attacks []*Event, dayStar
 			// attack itself.
 			bilateralLive := e.Bilateral && !t.Before(e.Start())
 			for i := range slotBuf {
+				slotBuf[i].Owner = victimAS
 				if bilateralLive && slotBuf[i].IngressAS == bilateralAS {
 					slotBuf[i].BilateralDropFraction = 1
 				}
@@ -555,10 +563,12 @@ func appendInternalBatches(dst []fabric.Batch, w *World, dayStart time.Time, r *
 		pkts = floor
 	}
 	for i := 0; i < 2; i++ {
+		m := w.Members[r.Intn(len(w.Members))].ASN
 		dst = append(dst, fabric.Batch{
 			Time: dayStart.Add(time.Duration(i) * 12 * time.Hour), Duration: 12 * time.Hour,
-			IngressAS: w.Members[r.Intn(len(w.Members))].ASN,
+			IngressAS: m,
 			EgressAS:  0,
+			Owner:     m,
 			SrcIP:     w.RSIP, DstIP: w.RSIP + 1,
 			SrcPort: 179, DstPort: netgen.EphemeralPort(r),
 			Proto: netgen.ProtoTCP, PacketSize: 100,

@@ -1,0 +1,44 @@
+package textreport
+
+import (
+	"fmt"
+	"io"
+
+	rtbh "repro"
+)
+
+// RenderFederation prints a federated analysis: one summary line per
+// exchange, the cross-exchange leakage join (what one IXP blackholed
+// while another kept delivering), and then the full global report —
+// which for a complete federation is identical to the single-IXP
+// report over the union of the archives.
+func RenderFederation(w io.Writer, fr *rtbh.FederatedReport) {
+	fmt.Fprintf(w, "== FEDERATION: %d exchanges ==\n", len(fr.PerIXP))
+	for _, v := range fr.PerIXP {
+		r := v.Report
+		fmt.Fprintf(w, "ixp%d: %d events, %d flow records, %d attributed, clock offset %v\n",
+			v.IXP, len(r.Events), r.TotalRecords, r.AttributedRecords, v.ClockOffset)
+	}
+	if c := fr.Cross; c != nil {
+		fmt.Fprintf(w, "cross: %d events with during-event traffic, %d leaked (dropped at the signaling exchange, delivered at another)\n",
+			len(c.Events), c.LeakedEvents)
+		fmt.Fprintf(w, "cross: %d pkts dropped where signaled, %d delivered foreign — foreign share %.4f\n",
+			c.DroppedPkts, c.ForeignPkts, c.ForeignShare)
+		for _, e := range c.Events {
+			if e.ForeignDelivered == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "cross: event %d %s via AS%d foreign-delivered share %.4f across", e.EventID, e.Prefix, e.Peer, e.ForeignDelivered)
+			for _, t := range e.IXPs {
+				mark := ""
+				if t.LocalRTBH {
+					mark = "*"
+				}
+				fmt.Fprintf(w, " ixp%d%s(drop %d, fwd %d)", t.IXP, mark, t.DroppedPkts, t.ForwardedPkts)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+	RenderAll(w, fr.Global)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis/events"
 	"repro/internal/analysis/pipeline"
 	"repro/internal/bgp"
+	"repro/internal/federation"
 	"repro/internal/ipfix"
 	"repro/internal/obs"
 )
@@ -287,4 +288,38 @@ func (a *OnlineAnalyzer) Snapshot(opts Options) (*Report, error) {
 // Snapshot at a moment when nothing more will arrive.
 func (a *OnlineAnalyzer) Final(opts Options) (*Report, error) {
 	return a.Snapshot(opts)
+}
+
+// FederationState reduces everything observed so far to a federation
+// snapshot: the analyzer's time-sorted control stream plus the
+// finalized, marshaled pipeline state over a consistent prefix of the
+// flow stream. Like Snapshot it never disturbs the analyzer's own
+// state — the clone absorbs the unsealed tail and is finalized, so the
+// shipped state is interchangeable with a batch pass over the same
+// records (see internal/federation).
+func (a *OnlineAnalyzer) FederationState(ixp int, seq uint64, clockOffset time.Duration) (*federation.Snapshot, error) {
+	if a.initErr != nil {
+		return nil, a.initErr
+	}
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	a.advanceLocked()
+
+	_, pend, _ := a.ingestView()
+	clone := a.ops.Clone()
+	for i := a.head; i < len(pend); i++ {
+		clone.Observe(&pend[i])
+	}
+	clone.Finalize()
+	state, err := clone.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return &federation.Snapshot{
+		IXP:         ixp,
+		Seq:         seq,
+		ClockOffset: clockOffset,
+		Updates:     append([]analysis.ControlUpdate(nil), a.sortedUpdates...),
+		State:       state,
+	}, nil
 }
