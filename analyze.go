@@ -47,6 +47,8 @@ type (
 	TimeAlignResult = timealign.Result
 	// LengthStat is one Fig 5 row.
 	LengthStat = dropstats.LengthStat
+	// EventDropStat is one event's efficacy tally (serving layer).
+	EventDropStat = dropstats.EventStat
 	// SourceBehaviour is one Fig 7 row.
 	SourceBehaviour = dropstats.SourceBehaviour
 	// SourceClasses is the Fig 7 summary.
@@ -157,6 +159,11 @@ type Report struct {
 	// Fig6: per-event drop-rate CDFs for /24 and /32.
 	Fig6Slash24 *ECDF
 	Fig6Slash32 *ECDF
+	// EventDrops are the per-event efficacy tallies behind Fig 6, sorted
+	// by event ID (events without attributed traffic have no row). The
+	// looking-glass serving layer (internal/serve) joins them against
+	// Events and Verdicts for its per-event view.
+	EventDrops []EventDropStat
 	// Fig7: top source behaviour and its classification.
 	Fig7        []SourceBehaviour
 	Fig7Classes SourceClasses

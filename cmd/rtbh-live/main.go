@@ -12,6 +12,17 @@
 //	          [-snapshot-every 30s] [-report=false] [-metrics PATH]
 //	          [-pprof ADDR] [-chaos-profile NAME] [-chaos-seed N]
 //	          [-ixps N] [-snapshot-chaos-profile NAME]
+//	          [-serve ADDR] [-serve-max-age 5s] [-serve-history 5m]
+//	          [-serve-history-depth 288]
+//
+// With -serve, a looking-glass HTTP server (internal/serve) exposes the
+// online analyzer's state as JSON while the run streams: /api/health,
+// /api/summary, /api/events, /api/active, /api/collateral,
+// /api/usecases, /api/victims, /api/history. Requests are served from a
+// TTL snapshot cache (-serve-max-age, per-request ?maxAge= override)
+// and a rolling history ring (-serve-history cadence, -serve-history-depth
+// entries) so queries never block ingest. Serving is single-exchange
+// only: -serve with -ixps > 1 is rejected.
 //
 // With -ixps N (N > 1) the run federates across N exchanges: each has
 // its own route server, fabric, BGP sessions and IPFIX export, writes a
@@ -48,6 +59,7 @@ import (
 	rtbh "repro"
 	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/textreport"
 )
 
@@ -67,6 +79,13 @@ func main() {
 	ixps := flag.Int("ixps", 1, "federate the live run across this many exchanges (datasets land in OUT/ixp0..ixpN-1)")
 	snapChaos := flag.String("snapshot-chaos-profile", "",
 		"with -ixps > 1, impair the snapshot transport with this fault profile (empty disables)")
+	serveAddr := flag.String("serve", "", "serve the looking-glass JSON API on this address while the run streams (e.g. :8080)")
+	serveMaxAge := flag.Duration("serve-max-age", serve.DefaultMaxAge,
+		"default snapshot TTL for looking-glass queries (per-request ?maxAge= overrides; 0 snapshots on every request)")
+	serveHistory := flag.Duration("serve-history", serve.DefaultHistoryInterval,
+		"looking-glass history capture cadence")
+	serveHistoryDepth := flag.Int("serve-history-depth", serve.DefaultHistoryDepth,
+		"how many periodic snapshots the looking-glass history ring retains")
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -104,6 +123,24 @@ func main() {
 			os.Exit(2)
 		}
 	})
+	if *serveAddr != "" {
+		if err := cliutil.CheckServeAddr(*serveAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+		if err := cliutil.CheckServeMaxAge(*serveMaxAge); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+		if err := cliutil.CheckServeHistory(*serveHistory, *serveHistoryDepth); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+		if *ixps > 1 {
+			fmt.Fprintf(os.Stderr, "rtbh-live: -serve supports a single exchange; drop -ixps or the -serve flag\n")
+			os.Exit(2)
+		}
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -139,6 +176,38 @@ func main() {
 
 	opts := rtbh.DefaultOptions()
 	opts.Workers = *workers
+
+	if *serveAddr != "" {
+		maxAge := *serveMaxAge
+		if maxAge == 0 {
+			maxAge = -1 // explicit 0 disables default caching; serve treats 0 as "use default"
+		}
+		srv, err := serve.New(serve.Config{
+			Source:          lr.Analyzer(),
+			Options:         opts,
+			MaxAge:          maxAge,
+			HistoryInterval: *serveHistory,
+			HistoryDepth:    *serveHistoryDepth,
+			Info: map[string]string{
+				"scale":         *scale,
+				"seed":          fmt.Sprintf("%d", cfg.Seed),
+				"days":          fmt.Sprintf("%d", cfg.Days),
+				"chaos_profile": *chaosProfile,
+				"out":           *out,
+			},
+			Metrics: reg,
+		})
+		if err != nil {
+			fail(err)
+		}
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		go srv.RunHistory(ctx.Done())
+		fmt.Fprintf(os.Stderr, "looking glass: http://%s/api/health\n", bound)
+	}
 
 	if *snapEvery > 0 {
 		go snapshotLoop(ctx, lr.Analyzer(), opts, *snapEvery)

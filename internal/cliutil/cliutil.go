@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,6 +46,41 @@ func CheckIXPs(n int) error {
 func CheckSnapshotEvery(d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("-snapshot-every must be a positive duration (omit the flag to disable snapshots), got %v", d)
+	}
+	return nil
+}
+
+// CheckServeAddr validates a -serve listen address: it must be a
+// host:port pair net.Listen would accept (an empty host binds every
+// interface; the port may be 0 for an ephemeral one).
+func CheckServeAddr(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("-serve requires a listen address (e.g. :8080 or localhost:8080)")
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("-serve address %q is not host:port: %v", addr, err)
+	}
+	return nil
+}
+
+// CheckServeMaxAge validates a -serve-max-age flag: the default snapshot
+// TTL must not be negative (0 disables caching — every request takes a
+// fresh snapshot).
+func CheckServeMaxAge(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("-serve-max-age must be >= 0 (0 snapshots on every request), got %v", d)
+	}
+	return nil
+}
+
+// CheckServeHistory validates the rolling-history flags: the capture
+// cadence must be positive and the ring must hold at least one entry.
+func CheckServeHistory(every time.Duration, depth int) error {
+	if every <= 0 {
+		return fmt.Errorf("-serve-history must be a positive duration, got %v", every)
+	}
+	if depth < 1 {
+		return fmt.Errorf("-serve-history-depth must be >= 1, got %d", depth)
 	}
 	return nil
 }

@@ -54,6 +54,44 @@ func TestCheckSnapshotEvery(t *testing.T) {
 	}
 }
 
+func TestCheckServeAddr(t *testing.T) {
+	for _, addr := range []string{":8080", "localhost:8080", "127.0.0.1:0", "[::1]:9000"} {
+		if err := CheckServeAddr(addr); err != nil {
+			t.Errorf("CheckServeAddr(%q) = %v, want nil", addr, err)
+		}
+	}
+	for _, addr := range []string{"", "8080", "localhost", "host:port:extra"} {
+		if err := CheckServeAddr(addr); err == nil {
+			t.Errorf("CheckServeAddr(%q) accepted", addr)
+		}
+	}
+}
+
+func TestCheckServeMaxAge(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Second, 5 * time.Second} {
+		if err := CheckServeMaxAge(d); err != nil {
+			t.Errorf("CheckServeMaxAge(%v) = %v, want nil", d, err)
+		}
+	}
+	if err := CheckServeMaxAge(-time.Second); err == nil {
+		t.Error("CheckServeMaxAge(-1s) accepted")
+	}
+}
+
+func TestCheckServeHistory(t *testing.T) {
+	if err := CheckServeHistory(5*time.Minute, 288); err != nil {
+		t.Errorf("CheckServeHistory(5m, 288) = %v, want nil", err)
+	}
+	for _, c := range []struct {
+		every time.Duration
+		depth int
+	}{{0, 1}, {-time.Minute, 1}, {time.Minute, 0}, {time.Minute, -2}} {
+		if err := CheckServeHistory(c.every, c.depth); err == nil {
+			t.Errorf("CheckServeHistory(%v, %d) accepted", c.every, c.depth)
+		}
+	}
+}
+
 func TestCheckDatasetDir(t *testing.T) {
 	dir := t.TempDir()
 

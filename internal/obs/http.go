@@ -8,17 +8,13 @@ import (
 	"time"
 )
 
-// StartDebugServer serves the registry and the Go runtime profiles on
-// addr in a background goroutine: GET /metrics renders the current
-// snapshot as stable JSON (or as a text table with ?format=text), and the
-// standard net/http/pprof endpoints live under /debug/pprof/. It returns
-// once the listener is bound, so a caller failing to bind learns about it
-// immediately rather than via a lost goroutine error.
-func StartDebugServer(addr string, reg *Registry) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("obs: binding debug server: %w", err)
-	}
+// DebugHandler returns the HTTP handler behind StartDebugServer: GET
+// /metrics renders the registry's current snapshot as stable JSON (or as
+// a text table with ?format=text), and the standard net/http/pprof
+// endpoints live under /debug/pprof/. Exposed separately so callers can
+// mount the routes on their own server (and tests can exercise them with
+// httptest).
+func DebugHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -32,7 +28,19 @@ func StartDebugServer(addr string, reg *Registry) error {
 	})
 	// net/http/pprof registers on http.DefaultServeMux.
 	mux.Handle("/debug/pprof/", http.DefaultServeMux)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// StartDebugServer serves DebugHandler(reg) — /metrics and /debug/pprof/
+// — on addr in a background goroutine. It returns once the listener is
+// bound, so a caller failing to bind learns about it immediately rather
+// than via a lost goroutine error.
+func StartDebugServer(addr string, reg *Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: binding debug server: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler(reg), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return nil
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugHandlerRoutes pins the debug server's mount paths: the
+// metrics snapshot lives at /metrics (JSON by default, text table with
+// ?format=text) and the runtime profiles under /debug/pprof/ — both
+// must answer 200. CHANGES.md and the -pprof flag docs reference these
+// exact paths.
+func TestDebugHandlerRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.requests").Add(3)
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	cases := []struct {
+		path        string
+		contentType string
+	}{
+		{"/metrics", "application/json"},
+		{"/metrics?format=text", "text/plain; charset=utf-8"},
+		{"/debug/pprof/", "text/html; charset=utf-8"},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", c.path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != c.contentType {
+			t.Errorf("GET %s: Content-Type %q, want %q", c.path, got, c.contentType)
+		}
+		resp.Body.Close()
+	}
+
+	// The JSON body must be a decodable snapshot carrying the counter.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	if got := snap.Counter("test.requests"); got != 3 {
+		t.Errorf("test.requests = %d via /metrics, want 3", got)
+	}
+}
+
+// TestStartDebugServer covers the listener path: a bad address fails
+// immediately, a good one serves the same routes.
+func TestStartDebugServer(t *testing.T) {
+	if err := StartDebugServer("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Fatal("StartDebugServer accepted an unbindable address")
+	} else if !strings.Contains(err.Error(), "binding debug server") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

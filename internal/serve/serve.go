@@ -1,0 +1,862 @@
+// Package serve is the looking-glass layer over a live analysis: an
+// HTTP+JSON API that lets many concurrent clients query the state of an
+// rtbh.OnlineAnalyzer — per-event efficacy, collateral damage, active
+// blackhole counts, victim and use-case breakdowns, federation leakage
+// — while the measurement streams are still being ingested.
+//
+// Requests never touch the ingest path. Every data endpoint is a view
+// of one immutable report produced by the analyzer's copy-on-snapshot
+// Snapshot; a TTL cache (per-query ?maxAge=, default Config.MaxAge)
+// bounds how often a snapshot is actually taken, and a rolling ring of
+// periodic snapshots serves history and delta queries (?at=, ?since=)
+// without re-analyzing anything. See DESIGN.md, "Serving layer".
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/obs"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxAge          = 5 * time.Second
+	DefaultHistoryInterval = 5 * time.Minute
+	DefaultHistoryDepth    = 288 // a day at the 5-minute cadence
+)
+
+// Source is the slice of rtbh.OnlineAnalyzer the server reads. Snapshot
+// must be safe to call concurrently with ingest and must return a report
+// the caller may retain and share (the analyzer's copy-on-snapshot
+// contract guarantees both).
+type Source interface {
+	Snapshot(opts rtbh.Options) (*rtbh.Report, error)
+	Counts() (updates int, flows int64)
+	Watermark() time.Time
+	Period() (start, end time.Time)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Source is the live analyzer to serve. Required.
+	Source Source
+	// Options are the analysis options every snapshot is composed with
+	// (Options.Delta must match the analyzer's construction-time delta).
+	Options rtbh.Options
+	// MaxAge is the default snapshot TTL when a request does not carry
+	// ?maxAge=. Zero selects DefaultMaxAge; a negative value disables
+	// default caching (every request without ?maxAge= snapshots fresh).
+	// Requests opt out of caching per query with ?maxAge=0.
+	MaxAge time.Duration
+	// HistoryInterval is the ring-store capture cadence (RunHistory);
+	// zero selects DefaultHistoryInterval.
+	HistoryInterval time.Duration
+	// HistoryDepth is how many periodic snapshots the ring retains; zero
+	// selects DefaultHistoryDepth.
+	HistoryDepth int
+	// Clock overrides time.Now, for tests that need deterministic
+	// taken-at stamps and TTL expiry.
+	Clock func() time.Time
+	// Info is static run metadata echoed by /api/health (scale, seed,
+	// chaos profile, ...).
+	Info map[string]string
+	// Federation, when non-nil, backs /api/federation: it returns the
+	// merged cross-exchange report. When nil the endpoint answers 404.
+	Federation func() (*rtbh.FederatedReport, error)
+	// Metrics, when non-nil, receives the serving-layer metrics
+	// ("serve.*": per-endpoint request counters, a latency histogram,
+	// cache hit/miss counters, a history-size gauge).
+	Metrics *obs.Registry
+}
+
+// serveMetrics is the optional obs instrumentation.
+type serveMetrics struct {
+	requests map[string]*obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// Server is the looking-glass HTTP server. Construct with New, mount
+// Handler on any mux or call Start to listen.
+type Server struct {
+	cfg     Config
+	clock   func() time.Time
+	cache   *snapshotCache
+	ring    *historyRing
+	mux     *http.ServeMux
+	started time.Time
+	m       *serveMetrics
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// endpointNames lists the API surface, in the order health reports it.
+var endpointNames = []string{
+	"health", "summary", "events", "active", "collateral",
+	"usecases", "victims", "federation", "history",
+}
+
+// New builds a server over cfg.Source. It registers metrics when
+// cfg.Metrics is set and returns an error on a missing source.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: Config.Source is required")
+	}
+	if cfg.MaxAge == 0 {
+		cfg.MaxAge = DefaultMaxAge
+	}
+	if cfg.HistoryInterval <= 0 {
+		cfg.HistoryInterval = DefaultHistoryInterval
+	}
+	if cfg.HistoryDepth <= 0 {
+		cfg.HistoryDepth = DefaultHistoryDepth
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	s := &Server{
+		cfg:     cfg,
+		clock:   clock,
+		ring:    newHistoryRing(cfg.HistoryDepth),
+		started: clock(),
+	}
+	s.cache = newSnapshotCache(clock, func() (*rtbh.Report, error) {
+		return cfg.Source.Snapshot(cfg.Options)
+	})
+	if reg := cfg.Metrics; reg != nil {
+		s.m = &serveMetrics{
+			requests: make(map[string]*obs.Counter, len(endpointNames)),
+			errors:   reg.Counter("serve.errors"),
+			latency: reg.Histogram("serve.latency_ms",
+				1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000),
+		}
+		for _, name := range endpointNames {
+			s.m.requests[name] = reg.Counter("serve.requests." + name)
+		}
+		reg.RegisterCounter("serve.cache_hits", s.cache.hits)
+		reg.RegisterCounter("serve.cache_misses", s.cache.misses)
+		reg.GaugeFunc("serve.history_entries", func() int64 { return int64(s.ring.len()) })
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/api/health", s.handle("health", s.handleHealth))
+	s.mux.Handle("/api/summary", s.handle("summary", s.handleSummary))
+	s.mux.Handle("/api/events", s.handle("events", s.handleEvents))
+	s.mux.Handle("/api/active", s.handle("active", s.handleActive))
+	s.mux.Handle("/api/collateral", s.handle("collateral", s.handleCollateral))
+	s.mux.Handle("/api/usecases", s.handle("usecases", s.handleUseCases))
+	s.mux.Handle("/api/victims", s.handle("victims", s.handleVictims))
+	s.mux.Handle("/api/federation", s.handle("federation", s.handleFederation))
+	s.mux.Handle("/api/history", s.handle("history", s.handleHistory))
+	s.mux.Handle("/", s.handle("health", func(r *http.Request) (any, *httpError) {
+		return nil, notFound("unknown path %q (endpoints: /api/{%s})",
+			r.URL.Path, joinNames(endpointNames))
+	}))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting on an
+// existing mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in a background goroutine, returning the
+// bound address (useful with port 0). Close stops the listener.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: binding %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Close stops a Start-ed listener. Safe to call when never started.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// CaptureHistory takes a fresh snapshot now and appends it to the ring
+// store. RunHistory calls it on a ticker; tests call it directly.
+func (s *Server) CaptureHistory() error {
+	rep, taken, err := s.cache.get(0)
+	if err != nil {
+		return err
+	}
+	s.ring.add(taken, rep)
+	return nil
+}
+
+// RunHistory captures a ring snapshot every Config.HistoryInterval until
+// done is closed (or the context-shaped channel is cancelled). Run it in
+// its own goroutine; capture errors are skipped — the next tick retries.
+func (s *Server) RunHistory(done <-chan struct{}) {
+	tick := time.NewTicker(s.cfg.HistoryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			_ = s.CaptureHistory()
+		}
+	}
+}
+
+// --- request plumbing ---
+
+// httpError is a handler failure with a status code; the wrapper renders
+// it as {"error": ...} JSON.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *httpError {
+	return &httpError{http.StatusNotFound, fmt.Sprintf(format, args...)}
+}
+
+func internalErr(err error) *httpError {
+	return &httpError{http.StatusInternalServerError, err.Error()}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+// handle wraps an endpoint: method check, metrics, JSON rendering.
+func (s *Server) handle(name string, fn func(r *http.Request) (any, *httpError)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.m != nil {
+			if c := s.m.requests[name]; c != nil {
+				c.Add(1)
+			}
+		}
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			s.writeError(w, &httpError{http.StatusMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed (GET only)", r.Method)})
+			return
+		}
+		v, herr := fn(r)
+		if herr != nil {
+			s.writeError(w, herr)
+		} else {
+			s.writeJSON(w, http.StatusOK, v)
+		}
+		if s.m != nil {
+			s.m.latency.Observe(time.Since(start).Milliseconds())
+		}
+	})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, herr *httpError) {
+	if s.m != nil {
+		s.m.errors.Add(1)
+	}
+	s.writeJSON(w, herr.status, map[string]string{"error": herr.msg})
+}
+
+// writeJSON renders v as indented JSON with a trailing newline. The
+// encoding is stable (encoding/json sorts map keys), so golden fixtures
+// byte-compare.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
+}
+
+// snapshotFor resolves which report a data endpoint serves: ?at= reads
+// the ring store ("state as of at"), otherwise the TTL cache with the
+// request's ?maxAge= (default Config.MaxAge).
+func (s *Server) snapshotFor(r *http.Request) (*rtbh.Report, time.Time, *httpError) {
+	q := r.URL.Query()
+	if atStr := q.Get("at"); atStr != "" {
+		t, err := time.Parse(time.RFC3339Nano, atStr)
+		if err != nil {
+			return nil, time.Time{}, badRequest("invalid at=%q: %v (want RFC 3339)", atStr, err)
+		}
+		e, ok := s.ring.at(t)
+		if !ok {
+			oldest, newest := s.ring.bounds()
+			if oldest.IsZero() {
+				return nil, time.Time{}, notFound("no history retained yet")
+			}
+			return nil, time.Time{}, notFound("no snapshot at or before %s (history covers %s..%s)",
+				t.UTC().Format(time.RFC3339Nano), oldest.UTC().Format(time.RFC3339Nano),
+				newest.UTC().Format(time.RFC3339Nano))
+		}
+		return e.rep, e.at, nil
+	}
+	maxAge := s.cfg.MaxAge
+	if v := q.Get("maxAge"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, time.Time{}, badRequest("invalid maxAge=%q: %v (want a Go duration, e.g. 5s)", v, err)
+		}
+		if d < 0 {
+			return nil, time.Time{}, badRequest("maxAge must be >= 0, got %v", d)
+		}
+		maxAge = d
+	}
+	rep, taken, err := s.cache.get(maxAge)
+	if err != nil {
+		return nil, time.Time{}, internalErr(err)
+	}
+	return rep, taken, nil
+}
+
+// --- endpoint views ---
+
+// HealthView is /api/health: liveness plus enough run context to tell
+// which world and stream position the server is looking at. It never
+// takes a snapshot, so it answers even while a first snapshot is slow.
+type HealthView struct {
+	Status      string            `json:"status"`
+	Now         time.Time         `json:"now"`
+	UptimeMS    int64             `json:"uptime_ms"`
+	PeriodStart time.Time         `json:"period_start"`
+	PeriodEnd   time.Time         `json:"period_end"`
+	Watermark   time.Time         `json:"watermark"`
+	Updates     int               `json:"updates"`
+	Flows       int64             `json:"flows"`
+	Federated   bool              `json:"federated"`
+	History     HistoryStatusView `json:"history"`
+	Info        map[string]string `json:"info,omitempty"`
+	Endpoints   []string          `json:"endpoints"`
+}
+
+// HistoryStatusView summarizes the ring store.
+type HistoryStatusView struct {
+	Entries    int       `json:"entries"`
+	Depth      int       `json:"depth"`
+	IntervalMS int64     `json:"interval_ms"`
+	Oldest     time.Time `json:"oldest,omitempty"`
+	Newest     time.Time `json:"newest,omitempty"`
+}
+
+func (s *Server) handleHealth(*http.Request) (any, *httpError) {
+	now := s.clock()
+	updates, flows := s.cfg.Source.Counts()
+	start, end := s.cfg.Source.Period()
+	oldest, newest := s.ring.bounds()
+	return &HealthView{
+		Status:      "ok",
+		Now:         now.UTC(),
+		UptimeMS:    now.Sub(s.started).Milliseconds(),
+		PeriodStart: start.UTC(),
+		PeriodEnd:   end.UTC(),
+		Watermark:   s.cfg.Source.Watermark().UTC(),
+		Updates:     updates,
+		Flows:       flows,
+		Federated:   s.cfg.Federation != nil,
+		History: HistoryStatusView{
+			Entries:    s.ring.len(),
+			Depth:      s.cfg.HistoryDepth,
+			IntervalMS: s.cfg.HistoryInterval.Milliseconds(),
+			Oldest:     oldest.UTC(),
+			Newest:     newest.UTC(),
+		},
+		Info:      s.cfg.Info,
+		Endpoints: endpointNames,
+	}, nil
+}
+
+// SummaryView is /api/summary: the report's cleaning/attribution
+// counters and headline drop rates.
+type SummaryView struct {
+	TakenAt           time.Time `json:"taken_at"`
+	TotalRecords      int64     `json:"total_records"`
+	InternalRecords   int64     `json:"internal_records"`
+	AttributedRecords int64     `json:"attributed_records"`
+	DroppedRecords    int64     `json:"dropped_records"`
+	Events            int       `json:"events"`
+	EventsWithData    int       `json:"events_with_data"`
+	AvgDropRatePkts   float64   `json:"avg_drop_rate_pkts"`
+	AvgDropRateBytes  float64   `json:"avg_drop_rate_bytes"`
+}
+
+func (s *Server) handleSummary(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	return &SummaryView{
+		TakenAt:           taken.UTC(),
+		TotalRecords:      rep.TotalRecords,
+		InternalRecords:   rep.InternalRecords,
+		AttributedRecords: rep.AttributedRecords,
+		DroppedRecords:    rep.DroppedRecords,
+		Events:            len(rep.Events),
+		EventsWithData:    rep.EventsWithData,
+		AvgDropRatePkts:   rep.Fig5AvgPkts,
+		AvgDropRateBytes:  rep.Fig5AvgBytes,
+	}, nil
+}
+
+// EfficacyView is one event's drop tally while its blackhole was active.
+type EfficacyView struct {
+	DroppedPkts    int64   `json:"dropped_pkts"`
+	ForwardedPkts  int64   `json:"forwarded_pkts"`
+	DroppedBytes   int64   `json:"dropped_bytes"`
+	ForwardedBytes int64   `json:"forwarded_bytes"`
+	DropRatePkts   float64 `json:"drop_rate_pkts"`
+	DropRateBytes  float64 `json:"drop_rate_bytes"`
+}
+
+// EventView is one merged RTBH event joined with its efficacy tally,
+// anomaly verdict and use-case class.
+type EventView struct {
+	ID                 int           `json:"id"`
+	Prefix             string        `json:"prefix"`
+	PeerAS             uint32        `json:"peer_as"`
+	OriginAS           uint32        `json:"origin_as"`
+	Start              time.Time     `json:"start"`
+	End                time.Time     `json:"end"`
+	Open               bool          `json:"open"`
+	Episodes           int           `json:"episodes"`
+	Announcements      int           `json:"announcements"`
+	Class              string        `json:"class"`
+	AnomalyWithin10Min bool          `json:"anomaly_within_10min"`
+	Efficacy           *EfficacyView `json:"efficacy,omitempty"`
+}
+
+// EventsView is /api/events.
+type EventsView struct {
+	TakenAt time.Time   `json:"taken_at"`
+	Count   int         `json:"count"`
+	Events  []EventView `json:"events"`
+}
+
+func (s *Server) handleEvents(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	_, end := s.cfg.Source.Period()
+
+	drops := make(map[int]*rtbh.EventDropStat, len(rep.EventDrops))
+	for i := range rep.EventDrops {
+		drops[rep.EventDrops[i].ID] = &rep.EventDrops[i]
+	}
+	classes := make(map[int]string)
+	if rep.Fig19 != nil {
+		for _, ec := range rep.Fig19.PerEvent {
+			classes[ec.EventID] = ec.Class.String()
+		}
+	}
+	anomalies := make(map[int]bool, len(rep.Verdicts))
+	for i := range rep.Verdicts {
+		anomalies[rep.Verdicts[i].EventID] = rep.Verdicts[i].Within10Min
+	}
+
+	out := &EventsView{TakenAt: taken.UTC(), Count: len(rep.Events)}
+	out.Events = make([]EventView, 0, len(rep.Events))
+	for _, e := range rep.Events {
+		v := EventView{
+			ID:                 e.ID,
+			Prefix:             e.Prefix.String(),
+			PeerAS:             e.Peer,
+			OriginAS:           e.OriginAS,
+			Start:              e.Start().UTC(),
+			End:                e.End(end).UTC(),
+			Open:               e.OpenEnded(),
+			Episodes:           len(e.Episodes),
+			Announcements:      e.Announcements,
+			Class:              classes[e.ID],
+			AnomalyWithin10Min: anomalies[e.ID],
+		}
+		if d := drops[e.ID]; d != nil {
+			v.Efficacy = &EfficacyView{
+				DroppedPkts:    d.DroppedPkts,
+				ForwardedPkts:  d.ForwardedPkts,
+				DroppedBytes:   d.DroppedBytes,
+				ForwardedBytes: d.ForwardedBytes,
+				DropRatePkts:   d.DropRatePkts(),
+				DropRateBytes:  d.DropRateBytes(),
+			}
+		}
+		out.Events = append(out.Events, v)
+	}
+	return out, nil
+}
+
+// ActiveView is /api/active: how many blackholes were active at the
+// evaluation instant (?t=, default the control-plane watermark), plus
+// the Fig 3 load summary over the whole snapshot.
+type ActiveView struct {
+	TakenAt     time.Time   `json:"taken_at"`
+	At          time.Time   `json:"at"`
+	Active      int         `json:"active"`
+	ByPrefixLen map[int]int `json:"by_prefix_len"`
+	EventIDs    []int       `json:"event_ids"`
+	AvgActive   float64     `json:"avg_active"`
+	MaxActive   int         `json:"max_active"`
+	PeakMsgsMin int         `json:"peak_messages_per_minute"`
+}
+
+func (s *Server) handleActive(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	start, end := s.cfg.Source.Period()
+
+	at := s.cfg.Source.Watermark()
+	if tStr := r.URL.Query().Get("t"); tStr != "" {
+		t, err := time.Parse(time.RFC3339Nano, tStr)
+		if err != nil {
+			return nil, badRequest("invalid t=%q: %v (want RFC 3339)", tStr, err)
+		}
+		at = t
+	}
+	if at.IsZero() {
+		at = start
+	}
+
+	out := &ActiveView{
+		TakenAt:     taken.UTC(),
+		At:          at.UTC(),
+		ByPrefixLen: make(map[int]int),
+	}
+	for _, e := range rep.Events {
+		if !e.ActiveAt(at, end) {
+			continue
+		}
+		out.Active++
+		out.ByPrefixLen[int(e.Prefix.Len)]++
+		out.EventIDs = append(out.EventIDs, e.ID)
+	}
+	sort.Ints(out.EventIDs)
+	if rep.Fig3 != nil {
+		out.AvgActive = rep.Fig3.AvgActive
+		out.MaxActive = rep.Fig3.MaxActive
+		out.PeakMsgsMin = rep.Fig3.MaxMessagesPerMinute
+	}
+	return out, nil
+}
+
+// CollateralView is /api/collateral: the Fig 18 damage distribution.
+type CollateralView struct {
+	TakenAt     time.Time `json:"taken_at"`
+	Events      int       `json:"events"`
+	MaxAllPkts  int64     `json:"max_all_pkts"`
+	AllPkts     []int64   `json:"all_pkts"`
+	DroppedPkts []int64   `json:"dropped_pkts"`
+}
+
+func (s *Server) handleCollateral(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	out := &CollateralView{TakenAt: taken.UTC()}
+	if rep.Fig18 != nil {
+		out.Events = rep.Fig18.Events
+		out.MaxAllPkts = rep.Fig18.MaxAll
+		out.AllPkts = rep.Fig18.AllPkts
+		out.DroppedPkts = rep.Fig18.DroppedPkts
+	}
+	return out, nil
+}
+
+// UseCasesView is /api/usecases: the Fig 19 classification.
+type UseCasesView struct {
+	TakenAt             time.Time          `json:"taken_at"`
+	Counts              map[string]int     `json:"counts"`
+	Shares              map[string]float64 `json:"shares"`
+	SquatPrefixes       int                `json:"squat_prefixes"`
+	SquatASes           int                `json:"squat_ases"`
+	LowTrafficHostShare float64            `json:"low_traffic_host_share"`
+}
+
+func (s *Server) handleUseCases(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	out := &UseCasesView{
+		TakenAt: taken.UTC(),
+		Counts:  make(map[string]int),
+		Shares:  make(map[string]float64),
+	}
+	if rep.Fig19 != nil {
+		for class, n := range rep.Fig19.Counts {
+			out.Counts[class.String()] = n
+		}
+		for class, share := range rep.Fig19.Shares {
+			out.Shares[class.String()] = share
+		}
+		out.SquatPrefixes = rep.Fig19.SquatPrefixes
+		out.SquatASes = rep.Fig19.SquatASes
+		out.LowTrafficHostShare = rep.Fig19.LowTrafficHostShare
+	}
+	return out, nil
+}
+
+// VictimView aggregates one blackholed prefix across its events.
+type VictimView struct {
+	Prefix        string         `json:"prefix"`
+	OriginAS      uint32         `json:"origin_as"`
+	Events        int            `json:"events"`
+	FirstStart    time.Time      `json:"first_start"`
+	LastEnd       time.Time      `json:"last_end"`
+	DroppedPkts   int64          `json:"dropped_pkts"`
+	ForwardedPkts int64          `json:"forwarded_pkts"`
+	DropRatePkts  float64        `json:"drop_rate_pkts"`
+	Classes       map[string]int `json:"classes"`
+}
+
+// VictimsView is /api/victims: the per-victim breakdown plus the Table 4
+// host-population types.
+type VictimsView struct {
+	TakenAt      time.Time          `json:"taken_at"`
+	Count        int                `json:"count"`
+	Victims      []VictimView       `json:"victims"`
+	HostProfiles int                `json:"host_profiles"`
+	Clients      int                `json:"clients"`
+	Servers      int                `json:"servers"`
+	ClientTypes  map[string]float64 `json:"client_types"`
+	ServerTypes  map[string]float64 `json:"server_types"`
+}
+
+func (s *Server) handleVictims(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	_, end := s.cfg.Source.Period()
+
+	drops := make(map[int]*rtbh.EventDropStat, len(rep.EventDrops))
+	for i := range rep.EventDrops {
+		drops[rep.EventDrops[i].ID] = &rep.EventDrops[i]
+	}
+	classes := make(map[int]string)
+	if rep.Fig19 != nil {
+		for _, ec := range rep.Fig19.PerEvent {
+			classes[ec.EventID] = ec.Class.String()
+		}
+	}
+
+	byPrefix := make(map[string]*VictimView)
+	for _, e := range rep.Events {
+		key := e.Prefix.String()
+		v := byPrefix[key]
+		if v == nil {
+			v = &VictimView{
+				Prefix:     key,
+				OriginAS:   e.OriginAS,
+				FirstStart: e.Start().UTC(),
+				LastEnd:    e.End(end).UTC(),
+				Classes:    make(map[string]int),
+			}
+			byPrefix[key] = v
+		}
+		v.Events++
+		if st := e.Start().UTC(); st.Before(v.FirstStart) {
+			v.FirstStart = st
+		}
+		if en := e.End(end).UTC(); en.After(v.LastEnd) {
+			v.LastEnd = en
+		}
+		v.Classes[classes[e.ID]]++
+		if d := drops[e.ID]; d != nil {
+			v.DroppedPkts += d.DroppedPkts
+			v.ForwardedPkts += d.ForwardedPkts
+		}
+	}
+	out := &VictimsView{
+		TakenAt:     taken.UTC(),
+		Count:       len(byPrefix),
+		ClientTypes: make(map[string]float64),
+		ServerTypes: make(map[string]float64),
+	}
+	for _, v := range byPrefix {
+		if t := v.DroppedPkts + v.ForwardedPkts; t > 0 {
+			v.DropRatePkts = float64(v.DroppedPkts) / float64(t)
+		}
+		out.Victims = append(out.Victims, *v)
+	}
+	sort.Slice(out.Victims, func(i, j int) bool {
+		vi, vj := &out.Victims[i], &out.Victims[j]
+		if vi.DroppedPkts != vj.DroppedPkts {
+			return vi.DroppedPkts > vj.DroppedPkts
+		}
+		return vi.Prefix < vj.Prefix
+	})
+	out.HostProfiles = len(rep.Fig17)
+	out.Clients = rep.Table4.Clients
+	out.Servers = rep.Table4.Servers
+	for typ, share := range rep.Table4.ClientTypes {
+		out.ClientTypes[string(typ)] = share
+	}
+	for typ, share := range rep.Table4.ServerTypes {
+		out.ServerTypes[string(typ)] = share
+	}
+	return out, nil
+}
+
+// FederationIXPView is one exchange's column in a cross-event join.
+type FederationIXPView struct {
+	IXP           int   `json:"ixp"`
+	DroppedPkts   int64 `json:"dropped_pkts"`
+	ForwardedPkts int64 `json:"forwarded_pkts"`
+	LocalRTBH     bool  `json:"local_rtbh"`
+}
+
+// FederationEventView is one leaked event.
+type FederationEventView struct {
+	EventID          int                 `json:"event_id"`
+	Prefix           string              `json:"prefix"`
+	PeerAS           uint32              `json:"peer_as"`
+	ForeignDelivered float64             `json:"foreign_delivered"`
+	IXPs             []FederationIXPView `json:"ixps"`
+}
+
+// FederationPerIXPView summarizes one exchange's standalone report.
+type FederationPerIXPView struct {
+	IXP               int   `json:"ixp"`
+	ClockOffsetMS     int64 `json:"clock_offset_ms"`
+	Events            int   `json:"events"`
+	TotalRecords      int64 `json:"total_records"`
+	AttributedRecords int64 `json:"attributed_records"`
+}
+
+// FederationView is /api/federation: the cross-exchange leakage join.
+type FederationView struct {
+	IXPs         int                    `json:"ixps"`
+	LeakedEvents int                    `json:"leaked_events"`
+	DroppedPkts  int64                  `json:"dropped_pkts"`
+	ForeignPkts  int64                  `json:"foreign_pkts"`
+	ForeignShare float64                `json:"foreign_share"`
+	Events       []FederationEventView  `json:"events"`
+	PerIXP       []FederationPerIXPView `json:"per_ixp"`
+}
+
+func (s *Server) handleFederation(*http.Request) (any, *httpError) {
+	if s.cfg.Federation == nil {
+		return nil, notFound("not federated: this server fronts a single exchange")
+	}
+	fr, err := s.cfg.Federation()
+	if err != nil {
+		return nil, internalErr(err)
+	}
+	out := &FederationView{IXPs: len(fr.PerIXP)}
+	if fr.Cross != nil {
+		out.LeakedEvents = fr.Cross.LeakedEvents
+		out.DroppedPkts = fr.Cross.DroppedPkts
+		out.ForeignPkts = fr.Cross.ForeignPkts
+		out.ForeignShare = fr.Cross.ForeignShare
+		for _, ec := range fr.Cross.Events {
+			ev := FederationEventView{
+				EventID:          ec.EventID,
+				Prefix:           ec.Prefix.String(),
+				PeerAS:           ec.Peer,
+				ForeignDelivered: ec.ForeignDelivered,
+			}
+			for _, tr := range ec.IXPs {
+				ev.IXPs = append(ev.IXPs, FederationIXPView{
+					IXP:           tr.IXP,
+					DroppedPkts:   tr.DroppedPkts,
+					ForwardedPkts: tr.ForwardedPkts,
+					LocalRTBH:     tr.LocalRTBH,
+				})
+			}
+			out.Events = append(out.Events, ev)
+		}
+	}
+	for _, v := range fr.PerIXP {
+		out.PerIXP = append(out.PerIXP, FederationPerIXPView{
+			IXP:               v.IXP,
+			ClockOffsetMS:     v.ClockOffset.Milliseconds(),
+			Events:            len(v.Report.Events),
+			TotalRecords:      v.Report.TotalRecords,
+			AttributedRecords: v.Report.AttributedRecords,
+		})
+	}
+	return out, nil
+}
+
+// HistoryEntryView is one retained snapshot's summary, with the record
+// delta against the previous retained entry.
+type HistoryEntryView struct {
+	At                time.Time `json:"at"`
+	TotalRecords      int64     `json:"total_records"`
+	AttributedRecords int64     `json:"attributed_records"`
+	DroppedRecords    int64     `json:"dropped_records"`
+	Events            int       `json:"events"`
+	DeltaRecords      int64     `json:"delta_records"`
+	DeltaEvents       int       `json:"delta_events"`
+}
+
+// HistoryView is /api/history: the rolling time series (?since= trims
+// the left edge).
+type HistoryView struct {
+	IntervalMS int64              `json:"interval_ms"`
+	Depth      int                `json:"depth"`
+	Entries    []HistoryEntryView `json:"entries"`
+}
+
+func (s *Server) handleHistory(r *http.Request) (any, *httpError) {
+	entries := s.ring.all()
+	out := &HistoryView{
+		IntervalMS: s.cfg.HistoryInterval.Milliseconds(),
+		Depth:      s.cfg.HistoryDepth,
+	}
+	var since time.Time
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339Nano, v)
+		if err != nil {
+			return nil, badRequest("invalid since=%q: %v (want RFC 3339)", v, err)
+		}
+		since = t
+	}
+	var prev *rtbh.Report
+	for _, e := range entries {
+		if !e.at.Before(since) {
+			ev := HistoryEntryView{
+				At:                e.at.UTC(),
+				TotalRecords:      e.rep.TotalRecords,
+				AttributedRecords: e.rep.AttributedRecords,
+				DroppedRecords:    e.rep.DroppedRecords,
+				Events:            len(e.rep.Events),
+			}
+			if prev != nil {
+				ev.DeltaRecords = e.rep.TotalRecords - prev.TotalRecords
+				ev.DeltaEvents = len(e.rep.Events) - len(prev.Events)
+			}
+			out.Entries = append(out.Entries, ev)
+		}
+		prev = e.rep
+	}
+	return out, nil
+}

@@ -77,8 +77,15 @@ func NewLiveRun(cfg Config, dir string, reg *MetricsRegistry) (*LiveRun, error) 
 }
 
 // Analyzer returns the run's online analyzer. Snapshot it at any time —
-// before, during or after Run.
+// before, during or after Run. The looking-glass serving layer
+// (internal/serve, rtbh-live -serve) mounts its HTTP API over exactly
+// this analyzer: every endpoint is a cached view of its Snapshot.
 func (lr *LiveRun) Analyzer() *OnlineAnalyzer { return lr.analyzer }
+
+// Config returns the configuration the run was planned with; the
+// serving layer's health endpoint reports it so clients can tell which
+// world they are looking at.
+func (lr *LiveRun) Config() Config { return lr.cfg }
 
 // EnableChaos arms a seeded fault-injection plan for the run: the given
 // profile's impairments are applied to the BGP/TCP sessions and the

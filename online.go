@@ -177,6 +177,21 @@ func (a *OnlineAnalyzer) Counts() (updates int, flows int64) {
 	return len(a.updates), a.flowCount
 }
 
+// Watermark returns the newest control-update timestamp observed so far
+// (the zero time before the first update). The serving layer uses it as
+// the default "now" for active-blackhole queries.
+func (a *OnlineAnalyzer) Watermark() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.watermark
+}
+
+// Period returns the measurement period the analyzer accumulates
+// against (the dataset metadata's start and end).
+func (a *OnlineAnalyzer) Period() (start, end time.Time) {
+	return a.meta.Start, a.meta.End
+}
+
 // ingestView returns a consistent view of the ingest state: the slices
 // are stable prefixes (elements are never mutated and appends either
 // write past the view or relocate the backing array).

@@ -1,0 +1,8 @@
+//go:build race
+
+package rtbh_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Latency assertions calibrate against it: the detector slows a
+// full-world snapshot compose by roughly an order of magnitude.
+const raceDetectorEnabled = true

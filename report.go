@@ -53,6 +53,7 @@ func composeReport(meta *analysis.Metadata, updates []analysis.ControlUpdate, p 
 	r.Fig5AvgPkts, r.Fig5AvgBytes = p.Drop.AverageDropRate()
 	r.Fig6Slash24 = p.Drop.DropRateCDF(24, opts.MinEventPkts)
 	r.Fig6Slash32 = p.Drop.DropRateCDF(32, opts.MinEventPkts)
+	r.EventDrops = p.Drop.EventStats()
 	r.Fig7 = p.Drop.TopSources(opts.TopSources)
 	r.Fig7Classes = p.Drop.ClassifyTopSources(opts.TopSources)
 	r.Fig8 = p.Drop.TypesOfTopSources(opts.TopSources, meta.PDB)

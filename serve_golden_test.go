@@ -1,0 +1,157 @@
+package rtbh_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/federation"
+	"repro/internal/serve"
+)
+
+// serveGoldenDir holds one JSON fixture per looking-glass endpoint,
+// maintained with the shared -update flag (see golden_test.go).
+const serveGoldenDir = "testdata/golden/serve"
+
+// serveClock is a manually stepped clock shared with the server under
+// test, so cache taken-at stamps and history capture times are fixture
+// constants rather than wall-clock noise.
+type serveClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *serveClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *serveClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestServeGoldenEndpoints drives the golden scenario to completion
+// through the online analyzer, serves it through the looking-glass
+// layer, and byte-compares every endpoint's JSON body against its
+// checked-in fixture. The server runs on an injected clock and fixed
+// Info, so the bodies are fully deterministic; any intended change to
+// the wire format is a deliberate -update.
+func TestServeGoldenEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	dir := t.TempDir()
+	cfg := goldenConfig()
+	if _, err := rtbh.Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rtbh.NewOnlineAnalyzer(ds.Meta)
+	for i := range ds.Updates {
+		a.ObserveControl(ds.Updates[i])
+	}
+	if err := ds.EachFlow(func(rec *rtbh.FlowRecord) error {
+		a.ObserveFlow(rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := onlineTestOpts()
+	clock := &serveClock{t: time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)}
+	srv, err := serve.New(serve.Config{
+		Source:  a,
+		Options: opts,
+		MaxAge:  time.Hour,
+		Clock:   clock.now,
+		Info:    map[string]string{"scale": "test", "fixture": "golden"},
+		Federation: func() (*rtbh.FederatedReport, error) {
+			// A deterministic single-exchange federation view: the
+			// endpoint's join logic over a report this same world produced.
+			rep, err := a.Snapshot(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &rtbh.FederatedReport{
+				PerIXP: []*rtbh.IXPReport{{IXP: 0, Report: rep}},
+				Cross:  &federation.CrossView{},
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two history captures five minutes apart, then advance to the
+	// serving instant.
+	if err := srv.CaptureHistory(); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(5 * time.Minute)
+	if err := srv.CaptureHistory(); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(5 * time.Minute)
+
+	endpoints := []struct {
+		name string
+		path string
+	}{
+		{"summary", "/api/summary"},
+		{"events", "/api/events"},
+		{"active", "/api/active"},
+		{"collateral", "/api/collateral"},
+		{"usecases", "/api/usecases"},
+		{"victims", "/api/victims"},
+		{"federation", "/api/federation"},
+		{"history", "/api/history"},
+		{"history_at", "/api/summary?at=2026-01-02T03:04:00Z"}, // floors to the 03:00 capture
+		{"health", "/api/health"},                              // last: history + uptime are settled
+	}
+	for _, ep := range endpoints {
+		t.Run(ep.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, ep.path, nil)
+			rr := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				t.Fatalf("GET %s: status %d\n%s", ep.path, rr.Code, rr.Body.Bytes())
+			}
+			got, err := io.ReadAll(rr.Result().Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fixture := filepath.Join(serveGoldenDir, ep.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(serveGoldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(fixture, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", fixture, len(got))
+			}
+			want, err := os.ReadFile(fixture)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the fixture)", err)
+			}
+			if !bytes.Equal(got, want) {
+				diffLines(t, want, got)
+				t.Fatalf("GET %s does not match %s (run with -update after intended changes)", ep.path, fixture)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package rtbh_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	rtbh "repro"
+	"repro/internal/serve"
+
+	"net/http/httptest"
+)
+
+// TestServeChaosSoak runs the full live stack — BGP over TCP, IPFIX
+// over UDP impaired by the lossy-udp fault profile — with the
+// looking-glass server mounted on the run's analyzer, and polls the API
+// continuously while the run streams. Every polled response must be a
+// valid 200, and once the run drains, the uncached served summary must
+// equal the batch analysis of the dataset the run wrote: the serving
+// layer adds no divergence on top of the chaos-reconciliation contract.
+func TestServeChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a live test-scale world under transport faults")
+	}
+	cfg := rtbh.TestConfig()
+	cfg.Seed = 0x5E47E
+
+	dir := t.TempDir()
+	reg := rtbh.NewMetricsRegistry()
+	lr, err := rtbh.NewLiveRun(cfg, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.EnableChaos(7, "lossy-udp"); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := onlineTestOpts()
+	srv, err := serve.New(serve.Config{
+		Source:  lr.Analyzer(),
+		Options: opts,
+		MaxAge:  50 * time.Millisecond,
+		Metrics: reg,
+		Info:    map[string]string{"chaos_profile": "lossy-udp"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := lr.Run(context.Background())
+		runErr <- err
+	}()
+
+	// Poll a rotating endpoint while the run streams.
+	paths := []string{"/api/health", "/api/summary", "/api/active", "/api/events", "/api/history"}
+	polls := 0
+	running := true
+	for running {
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("live run under lossy-udp: %v", err)
+			}
+			running = false
+		default:
+			serveGet(t, ts.URL, paths[polls%len(paths)], nil)
+			if err := srv.CaptureHistory(); err != nil {
+				t.Fatalf("capture during run: %v", err)
+			}
+			polls++
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if polls == 0 {
+		t.Fatal("run finished before a single poll landed")
+	}
+	t.Logf("served %d polls during the live run", polls)
+
+	// The drained, uncached view must equal the batch analysis of the
+	// dataset the run wrote.
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ds.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final serve.SummaryView
+	serveGet(t, ts.URL, "/api/summary?maxAge=0", &final)
+	if final.TotalRecords != batch.TotalRecords || final.InternalRecords != batch.InternalRecords ||
+		final.AttributedRecords != batch.AttributedRecords || final.DroppedRecords != batch.DroppedRecords ||
+		final.Events != len(batch.Events) || final.EventsWithData != batch.EventsWithData {
+		t.Fatalf("served final summary %+v diverges from batch (records %d/%d/%d/%d events %d/%d)",
+			final, batch.TotalRecords, batch.InternalRecords, batch.AttributedRecords,
+			batch.DroppedRecords, len(batch.Events), batch.EventsWithData)
+	}
+
+	var events serve.EventsView
+	serveGet(t, ts.URL, "/api/events?maxAge=0", &events)
+	if events.Count != len(batch.Events) {
+		t.Fatalf("served %d events, batch found %d", events.Count, len(batch.Events))
+	}
+	for i, ev := range events.Events {
+		if ev.Prefix != batch.Events[i].Prefix.String() || ev.ID != batch.Events[i].ID {
+			t.Fatalf("served event %d = %s (id %d), batch has %s (id %d)",
+				i, ev.Prefix, ev.ID, batch.Events[i].Prefix.String(), batch.Events[i].ID)
+		}
+	}
+}
