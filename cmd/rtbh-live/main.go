@@ -14,6 +14,18 @@
 //	          [-ixps N] [-snapshot-chaos-profile NAME]
 //	          [-serve ADDR] [-serve-max-age 5s] [-serve-history 5m]
 //	          [-serve-history-depth 288]
+//	          [-detect] [-detect-threshold PPS] [-detect-window D]
+//	          [-detect-cooldown D]
+//
+// With -detect, a streaming DRDoS detector rides the collected flow
+// stream: when a victim's estimated packet rate crosses
+// -detect-threshold over a -detect-window, the detector originates an
+// RTBH /32 for the victim through the route server as its own
+// mitigation peer, and withdraws it after -detect-cooldown of quiet.
+// The closed-loop detections (with per-attack announce and first-drop
+// stamps) are scored against the scenario's ground truth after the run
+// and exposed at /api/detections while it streams. Detection is
+// single-exchange only: -detect with -ixps > 1 is rejected.
 //
 // With -serve, a looking-glass HTTP server (internal/serve) exposes the
 // online analyzer's state as JSON while the run streams: /api/health,
@@ -58,6 +70,7 @@ import (
 
 	rtbh "repro"
 	"repro/internal/cliutil"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/textreport"
@@ -86,6 +99,13 @@ func main() {
 		"looking-glass history capture cadence")
 	serveHistoryDepth := flag.Int("serve-history-depth", serve.DefaultHistoryDepth,
 		"how many periodic snapshots the looking-glass history ring retains")
+	detectOn := flag.Bool("detect", false, "run the closed-loop DRDoS detector: originate RTBH for detected victims through the route server")
+	detectThreshold := flag.Float64("detect-threshold", detect.DefaultThreshold,
+		"estimated packet rate (pps) over the detection window that fires a detection")
+	detectWindow := flag.Duration("detect-window", detect.DefaultWindow,
+		"sliding window the detector rates victims over")
+	detectCooldown := flag.Duration("detect-cooldown", detect.DefaultCooldown,
+		"quiet time after the last hot window before the blackhole is withdrawn")
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -113,16 +133,32 @@ func main() {
 		os.Exit(2)
 	}
 	// The default 0 disables periodic snapshots; only an explicitly set
-	// cadence must be a positive duration.
+	// cadence must be a positive duration. Tuning flags for a disabled
+	// detector are a mistake worth stopping on too.
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name != "snapshot-every" {
-			return
+		switch f.Name {
+		case "snapshot-every":
+			if err := cliutil.CheckSnapshotEvery(*snapEvery); err != nil {
+				fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+				os.Exit(2)
+			}
+		case "detect-threshold", "detect-window", "detect-cooldown":
+			if !*detectOn {
+				fmt.Fprintf(os.Stderr, "rtbh-live: -%s is set but the detector is off; add -detect\n", f.Name)
+				os.Exit(2)
+			}
 		}
-		if err := cliutil.CheckSnapshotEvery(*snapEvery); err != nil {
+	})
+	if *detectOn {
+		if err := cliutil.CheckDetect(*detectThreshold, *detectWindow, *detectCooldown); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
 			os.Exit(2)
 		}
-	})
+		if *ixps > 1 {
+			fmt.Fprintf(os.Stderr, "rtbh-live: -detect supports a single exchange; drop -ixps or the -detect flag\n")
+			os.Exit(2)
+		}
+	}
 	if *serveAddr != "" {
 		if err := cliutil.CheckServeAddr(*serveAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
@@ -170,6 +206,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *detectOn {
+		err := lr.EnableDetector(detect.Config{
+			Threshold: *detectThreshold,
+			Window:    *detectWindow,
+			Cooldown:  *detectCooldown,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -182,7 +229,7 @@ func main() {
 		if maxAge == 0 {
 			maxAge = -1 // explicit 0 disables default caching; serve treats 0 as "use default"
 		}
-		srv, err := serve.New(serve.Config{
+		scfg := serve.Config{
 			Source:          lr.Analyzer(),
 			Options:         opts,
 			MaxAge:          maxAge,
@@ -196,7 +243,11 @@ func main() {
 				"out":           *out,
 			},
 			Metrics: reg,
-		})
+		}
+		if det := lr.Detector(); det != nil {
+			scfg.Detections = det.Status
+		}
+		srv, err := serve.New(scfg)
 		if err != nil {
 			fail(err)
 		}
@@ -234,6 +285,12 @@ func main() {
 	if *chaosProfile != "" {
 		fmt.Printf("chaos: profile %s, seed %d — injected faults reconciled (faultnet.* in the metrics snapshot)\n",
 			*chaosProfile, *chaosSeed)
+	}
+	if *detectOn {
+		st := lr.Detector().Status()
+		fmt.Printf("detector: %d detections, %d still blackholed, %d flow records scored\n",
+			len(st.Detections), st.Active, st.Records)
+		fmt.Print(lr.EvaluateDetections(*detectWindow).Render())
 	}
 
 	if *report {

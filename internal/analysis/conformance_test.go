@@ -15,6 +15,7 @@ import (
 	"repro/internal/analysis/protomix"
 	"repro/internal/analysis/timealign"
 	"repro/internal/bgp"
+	"repro/internal/detect"
 )
 
 // The operator-contract conformance suite. Every registered operator
@@ -268,6 +269,65 @@ func pendingCase() operatorCase {
 	return operatorCase{name: "collateral-pending", stream: 64, fresh: func() *handle { return wrap(collateral.NewPending()) }}
 }
 
+func detectRateCase() operatorCase {
+	base := conformanceBase()
+	// Geometry matching the detector defaults at a smaller horizon; the
+	// stream spans more than the horizon so eviction is part of the
+	// conformance surface.
+	const slot, retention = time.Minute, 40 * time.Minute
+	var wrap func(a *detect.Rate) *handle
+	wrap = func(a *detect.Rate) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			t := base.Add(time.Duration(i%60)*time.Minute + time.Duration(i%5)*11*time.Second)
+			a.Observe(0x0a000001+uint32(i%4), t, int64(1+i%4), int64(64+100*(i%6)))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*detect.Rate)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := detect.NewRate(slot, retention)
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "detect-rate", stream: 64, fresh: func() *handle {
+		return wrap(detect.NewRate(slot, retention))
+	}}
+}
+
+func detectVectorsCase() operatorCase {
+	base := conformanceBase()
+	const slot, retention = time.Minute, 40 * time.Minute
+	var wrap func(a *detect.Vectors) *handle
+	wrap = func(a *detect.Vectors) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			t := base.Add(time.Duration(i%60) * time.Minute)
+			proto := []uint8{17, 17, 6, 17}[i%4]
+			port := uint16([]int{123, 11211, 80, 53}[i%4])
+			a.Observe(0x0a000001+uint32(i%4), t, proto, port, int64(1+i%3))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*detect.Vectors)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := detect.NewVectors(slot, retention)
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "detect-vectors", stream: 56, fresh: func() *handle {
+		return wrap(detect.NewVectors(slot, retention))
+	}}
+}
+
 func operatorCases() []operatorCase {
 	return []operatorCase{
 		dropstatsCase(),
@@ -277,6 +337,8 @@ func operatorCases() []operatorCase {
 		timealignCase(),
 		collateralCase(),
 		pendingCase(),
+		detectRateCase(),
+		detectVectorsCase(),
 	}
 }
 

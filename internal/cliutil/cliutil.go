@@ -6,6 +6,7 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"path/filepath"
@@ -81,6 +82,23 @@ func CheckServeHistory(every time.Duration, depth int) error {
 	}
 	if depth < 1 {
 		return fmt.Errorf("-serve-history-depth must be >= 1, got %d", depth)
+	}
+	return nil
+}
+
+// CheckDetect validates the -detect-* flags: the attack threshold must
+// be a positive, finite packet rate, the detection window a positive
+// duration, and the withdraw cooldown non-negative (0 withdraws on the
+// first quiet tick).
+func CheckDetect(threshold float64, window, cooldown time.Duration) error {
+	if threshold <= 0 || math.IsInf(threshold, 0) || math.IsNaN(threshold) {
+		return fmt.Errorf("-detect-threshold must be a positive packet rate (pps), got %v", threshold)
+	}
+	if window <= 0 {
+		return fmt.Errorf("-detect-window must be a positive duration, got %v", window)
+	}
+	if cooldown < 0 {
+		return fmt.Errorf("-detect-cooldown must be >= 0 (0 withdraws on the first quiet tick), got %v", cooldown)
 	}
 	return nil
 }

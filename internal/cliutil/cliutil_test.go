@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,6 +89,40 @@ func TestCheckServeHistory(t *testing.T) {
 	}{{0, 1}, {-time.Minute, 1}, {time.Minute, 0}, {time.Minute, -2}} {
 		if err := CheckServeHistory(c.every, c.depth); err == nil {
 			t.Errorf("CheckServeHistory(%v, %d) accepted", c.every, c.depth)
+		}
+	}
+}
+
+func TestCheckDetect(t *testing.T) {
+	if err := CheckDetect(125, 5*time.Minute, 10*time.Minute); err != nil {
+		t.Errorf("CheckDetect(defaults) = %v, want nil", err)
+	}
+	if err := CheckDetect(0.5, time.Second, 0); err != nil {
+		t.Errorf("CheckDetect(0.5, 1s, 0) = %v, want nil", err)
+	}
+	inf := math.Inf(1)
+	for _, c := range []struct {
+		threshold float64
+		window    time.Duration
+		cooldown  time.Duration
+		wantFlag  string
+	}{
+		{0, time.Minute, time.Minute, "-detect-threshold"},
+		{-10, time.Minute, time.Minute, "-detect-threshold"},
+		{inf, time.Minute, time.Minute, "-detect-threshold"},
+		{math.NaN(), time.Minute, time.Minute, "-detect-threshold"},
+		{125, 0, time.Minute, "-detect-window"},
+		{125, -time.Minute, time.Minute, "-detect-window"},
+		{125, time.Minute, -time.Second, "-detect-cooldown"},
+	} {
+		err := CheckDetect(c.threshold, c.window, c.cooldown)
+		if err == nil {
+			t.Errorf("CheckDetect(%v, %v, %v) accepted", c.threshold, c.window, c.cooldown)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantFlag) {
+			t.Errorf("CheckDetect(%v, %v, %v) error %q does not name %s",
+				c.threshold, c.window, c.cooldown, err, c.wantFlag)
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ipfix"
+)
+
+const testBlackholeMAC ipfix.MAC = 0x06_00_00_00_06_66
+
+func testConfig() Config {
+	return Config{
+		Threshold:    125,
+		Window:       5 * time.Minute,
+		Cooldown:     10 * time.Minute,
+		SamplingRate: 10000,
+		BlackholeMAC: testBlackholeMAC,
+	}
+}
+
+func flowRec(victim uint32, t time.Time, proto uint8, srcPort uint16) *ipfix.FlowRecord {
+	return &ipfix.FlowRecord{
+		Start: t, SrcIP: 0x0a000001, DstIP: victim,
+		SrcPort: srcPort, DstPort: 1234, Proto: proto,
+		Packets: 1, Bytes: 1000,
+	}
+}
+
+// TestDetectorLifecycle drives one synthetic attack through the whole
+// loop: quiet baseline (no detection), a burst over the threshold
+// (detection + announce action), a blackholed record (first-drop
+// stamp), cooldown expiry (withdraw action).
+func TestDetectorLifecycle(t *testing.T) {
+	d, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+
+	// Baseline: one sampled packet per half hour (≈5 pps estimated at
+	// 1:10000) is far under every bar.
+	for i := 0; i < 10; i++ {
+		d.ObserveFlow(flowRec(0xC0A80001, base.Add(time.Duration(i)*30*time.Minute), 6, 443))
+	}
+	if acts := d.Tick(base.Add(10 * time.Minute)); len(acts) != 0 {
+		t.Fatalf("baseline produced actions: %+v", acts)
+	}
+
+	// Burst: 8 sampled packets inside one window is ~267 pps estimated
+	// at 1:10000, over the 125 pps threshold.
+	victim := uint32(0xC0A80002)
+	for i := 0; i < 8; i++ {
+		d.ObserveFlow(flowRec(victim, base.Add(10*time.Minute+time.Duration(i)*30*time.Second), 17, 123))
+	}
+	acts := d.Tick(base.Add(15 * time.Minute))
+	if len(acts) != 1 || !acts[0].Announce || acts[0].Victim != victim {
+		t.Fatalf("want one announce for %x, got %+v", victim, acts)
+	}
+	st := d.Status()
+	if len(st.Detections) != 1 || st.Active != 1 {
+		t.Fatalf("status after detection: %+v", st)
+	}
+	det := st.Detections[0]
+	if det.RatePPS < 125 {
+		t.Fatalf("detection rate %v under threshold", det.RatePPS)
+	}
+	if len(det.Vectors) == 0 || det.Vectors[0].SrcPort != 123 || det.Vectors[0].Proto != 17 {
+		t.Fatalf("detection vectors %+v do not name udp/123", det.Vectors)
+	}
+	if !det.AnnouncedAt.Equal(base.Add(15 * time.Minute)) {
+		t.Fatalf("announced at %v, want the Tick instant", det.AnnouncedAt)
+	}
+
+	// A blackholed record before the announcement must not stamp the
+	// drop; one after it must.
+	early := flowRec(victim, det.AnnouncedAt.Add(-time.Minute), 17, 123)
+	early.DstMAC = testBlackholeMAC
+	d.ObserveFlow(early)
+	if got := d.Status().Detections[0]; !got.FirstDropAt.IsZero() {
+		t.Fatalf("pre-announcement drop stamped FirstDropAt=%v", got.FirstDropAt)
+	}
+	dropT := det.AnnouncedAt.Add(30 * time.Second)
+	drop := flowRec(victim, dropT, 17, 123)
+	drop.DstMAC = testBlackholeMAC
+	d.ObserveFlow(drop)
+	if got := d.Status().Detections[0]; !got.FirstDropAt.Equal(dropT) {
+		t.Fatalf("FirstDropAt=%v, want %v", got.FirstDropAt, dropT)
+	}
+
+	// No withdraw while the cooldown has not expired relative to the
+	// hottest window.
+	if acts := d.Tick(base.Add(20 * time.Minute)); len(acts) != 0 {
+		t.Fatalf("premature actions: %+v", acts)
+	}
+	// Far past the cooldown the blackhole comes down.
+	acts = d.Tick(base.Add(40 * time.Minute))
+	if len(acts) != 1 || acts[0].Announce || acts[0].Victim != victim {
+		t.Fatalf("want one withdraw for %x, got %+v", victim, acts)
+	}
+	st = d.Status()
+	if st.Active != 0 || st.Detections[0].Active() {
+		t.Fatalf("status after withdraw: %+v", st)
+	}
+
+	// The same retained samples must not re-trigger...
+	d.ObserveFlow(flowRec(victim, base.Add(14*time.Minute), 17, 123))
+	if acts := d.Tick(base.Add(41 * time.Minute)); len(acts) != 0 {
+		t.Fatalf("stale window re-triggered: %+v", acts)
+	}
+	// ...but a genuinely new burst must.
+	for i := 0; i < 8; i++ {
+		d.ObserveFlow(flowRec(victim, base.Add(60*time.Minute+time.Duration(i)*30*time.Second), 17, 123))
+	}
+	acts = d.Tick(base.Add(65 * time.Minute))
+	if len(acts) != 1 || !acts[0].Announce || acts[0].DetectionID != 1 {
+		t.Fatalf("want a second announce, got %+v", acts)
+	}
+}
+
+// TestDetectorEvaluate scores a synthetic detection log against ground
+// truth.
+func TestDetectorEvaluate(t *testing.T) {
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	truth := []TruthAttack{
+		{EventID: 1, Victim: 10, Start: base, End: base.Add(30 * time.Minute), PPS: 1000},
+		{EventID: 2, Victim: 20, Start: base.Add(time.Hour), End: base.Add(90 * time.Minute), PPS: 500},
+	}
+	dets := []Detection{
+		{ID: 0, Victim: 10, DetectedAt: base.Add(4 * time.Minute),
+			AnnouncedAt: base.Add(5 * time.Minute), FirstDropAt: base.Add(6 * time.Minute)},
+		{ID: 1, Victim: 99, DetectedAt: base.Add(10 * time.Minute)}, // false positive
+	}
+	ev := Evaluate(dets, truth, 5*time.Minute)
+	if ev.TruePositives != 1 || ev.FalsePositives != 1 || ev.DetectedAtk != 1 {
+		t.Fatalf("eval %+v", ev)
+	}
+	if ev.Precision != 0.5 || ev.Recall != 0.5 {
+		t.Fatalf("precision %v recall %v", ev.Precision, ev.Recall)
+	}
+	a := ev.PerAttack[0]
+	if !a.Detected || a.DetectLatency != 4*time.Minute || a.AnnounceLatency != 5*time.Minute ||
+		!a.HasDrop || a.DropLatency != 6*time.Minute {
+		t.Fatalf("attack outcome %+v", a)
+	}
+	if ev.PerAttack[1].Detected {
+		t.Fatalf("attack 2 wrongly detected: %+v", ev.PerAttack[1])
+	}
+	out := ev.Render()
+	if !strings.Contains(out, "precision 0.500") || !strings.Contains(out, "MISSED") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestConfigValidation rejects nonsense configurations.
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Threshold: -1, SamplingRate: 1},
+		{Window: -time.Minute, SamplingRate: 1},
+		{Cooldown: -time.Second, SamplingRate: 1},
+		{SamplingRate: 0},
+		{SamplingRate: 1, Slot: time.Hour, Window: time.Minute},
+		{SamplingRate: 1, Retention: time.Minute, Window: time.Hour},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, c)
+		}
+	}
+	if _, err := New(Config{SamplingRate: 10000}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}

@@ -1,0 +1,412 @@
+// Package detect closes the measurement loop: a streaming DRDoS
+// detector over the live flow path that originates RTBH announcements
+// through the route server when a victim's inbound rate crosses an
+// attack threshold, and withdraws them when the attack subsides
+// (IXmon-style, Subramani et al. — see DESIGN.md, "Closed-loop
+// detection").
+//
+// The state the detector accumulates is held in two incremental
+// operators that satisfy the same Merge/Snapshot/wire-codec contract as
+// every analysis stage (internal/analysis, conformance suite): Rate, a
+// per-victim slot-bucketed packet counter, and Vectors, the same
+// slotting keyed by (proto, source port) so a detection can name the
+// amplification vectors behind it.
+package detect
+
+import (
+	"math"
+	"time"
+)
+
+// minSlot is the "no slots observed yet" sentinel for maxSlot.
+const minSlot = math.MinInt64
+
+// maxRetainSlots bounds the retention horizon in slots. The sketch
+// stores each victim as a dense ring over the horizon, so the ratio of
+// retention to slot width is a direct per-victim memory commitment; a
+// pathological configuration (millisecond slots over a day) is rejected
+// instead of silently demanding gigabytes.
+const maxRetainSlots = 1 << 20
+
+// rateCell is one (victim, slot) tally.
+type rateCell struct {
+	pkts  int64
+	bytes int64
+}
+
+// denseSlots is the sparse→dense upgrade threshold: a victim holding
+// more than this many distinct slots graduates from a small map to a
+// ring over the whole horizon.
+const denseSlots = 32
+
+// victimRate is one victim's retained slots, in one of two
+// representations. Scan and one-off traffic produces thousands of
+// destinations that only ever see a handful of packets; those stay in a
+// small sparse map. A victim with real traffic volume upgrades to a
+// dense ring over the retention horizon: slot s lives in cell
+// s mod retain, with ids recording which slot occupies each cell
+// (minSlot when empty). Two live slots can never collide in the ring —
+// they would be a full horizon apart — so a mismatched occupant is
+// always dead and is simply discarded on overwrite. The flat
+// pointer-free arrays make the per-record hot path two array indexings
+// and cost the garbage collector nothing to scan.
+//
+// pkts is the sum of the resident cells' packet counts; it may
+// over-count dead cells that have not been evicted or overwritten yet,
+// which is safe for its only use as an upper bound.
+type victimRate struct {
+	slots   map[int64]rateCell // sparse representation; nil once dense
+	ids     []int64            // dense ring; nil while sparse
+	cells   []rateCell
+	pkts    int64
+	maxSlot int64 // newest slot ever observed for this victim
+}
+
+func newVictimRate() *victimRate {
+	return &victimRate{slots: make(map[int64]rateCell, 4), maxSlot: minSlot}
+}
+
+// add folds one cell into slot s. n is the ring size (the sketch's
+// retain) and h the current horizon, consulted when the victim crosses
+// the dense threshold.
+func (v *victimRate) add(s int64, c rateCell, n, h int64) {
+	if s > v.maxSlot {
+		v.maxSlot = s
+	}
+	if v.ids == nil {
+		old := v.slots[s]
+		old.pkts += c.pkts
+		old.bytes += c.bytes
+		v.slots[s] = old
+		v.pkts += c.pkts
+		if len(v.slots) > denseSlots {
+			v.toDense(n, h)
+		}
+		return
+	}
+	i := ringIdx(s, n)
+	if v.ids[i] != s {
+		// The occupant (if any) is necessarily dead; discard it.
+		v.pkts -= v.cells[i].pkts
+		v.ids[i] = s
+		v.cells[i] = rateCell{}
+	}
+	v.cells[i].pkts += c.pkts
+	v.cells[i].bytes += c.bytes
+	v.pkts += c.pkts
+}
+
+// toDense rebuilds the victim as a ring, dropping dead slots.
+func (v *victimRate) toDense(n, h int64) {
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = minSlot
+	}
+	cells := make([]rateCell, n)
+	var pkts int64
+	for s, c := range v.slots {
+		if s < h {
+			continue
+		}
+		i := ringIdx(s, n)
+		ids[i] = s // live slots cannot collide
+		cells[i] = c
+		pkts += c.pkts
+	}
+	v.slots, v.ids, v.cells, v.pkts = nil, ids, cells, pkts
+}
+
+// cellPkts returns slot s's packets (zero when absent or, in dense
+// form, when its ring cell holds another slot).
+func (v *victimRate) cellPkts(s, n int64) int64 {
+	if v.ids == nil {
+		return v.slots[s].pkts
+	}
+	i := ringIdx(s, n)
+	if v.ids[i] != s {
+		return 0
+	}
+	return v.cells[i].pkts
+}
+
+// cell returns slot s's full tally, the zero cell when absent.
+func (v *victimRate) cell(s, n int64) rateCell {
+	if v.ids == nil {
+		return v.slots[s]
+	}
+	i := ringIdx(s, n)
+	if v.ids[i] != s {
+		return rateCell{}
+	}
+	return v.cells[i]
+}
+
+// eachLive visits every resident cell with slot >= h, in arbitrary
+// order.
+func (v *victimRate) eachLive(h int64, f func(s int64, c rateCell)) {
+	if v.ids == nil {
+		for s, c := range v.slots {
+			if s >= h {
+				f(s, c)
+			}
+		}
+		return
+	}
+	for i, id := range v.ids {
+		if id != minSlot && id >= h {
+			f(id, v.cells[i])
+		}
+	}
+}
+
+// Rate is the per-victim sliding rate sketch. Flow timestamps are
+// bucketed into fixed slots; only the most recent `retain` slots
+// relative to the highest slot ever observed are live. Because both
+// eviction and every query are pure functions of (slot width, horizon,
+// observation multiset), observation order and merge topology never
+// change the sketch's canonical state — which is what the operator
+// conformance suite demands.
+//
+// The flow timeline at an IXP is far from monotone: day-long baseline
+// batches put records up to ~24h ahead of the injection clock, so a
+// window anchored at the newest timestamp would race past mid-day
+// attacks. The horizon therefore retains comfortably more than a day
+// (DefaultRetention) and detection queries consider every retained
+// window, not just the newest one.
+type Rate struct {
+	slot    time.Duration
+	retain  int64 // live horizon, in slots
+	maxSlot int64 // highest slot observed; minSlot when empty
+	swept   int64 // maxSlot value at the last eviction sweep
+	victims map[uint32]*victimRate
+}
+
+// NewRate returns an empty sketch with the given slot width and
+// retention horizon. Both must be positive; retention is rounded up to
+// whole slots.
+func NewRate(slot, retention time.Duration) *Rate {
+	if slot <= 0 || retention < slot {
+		panic("detect: rate sketch needs 0 < slot <= retention")
+	}
+	retain := int64((retention + slot - 1) / slot)
+	if retain > maxRetainSlots {
+		panic("detect: retention/slot ratio exceeds maxRetainSlots")
+	}
+	return &Rate{
+		slot:    slot,
+		retain:  retain,
+		maxSlot: minSlot,
+		swept:   minSlot,
+		victims: make(map[uint32]*victimRate),
+	}
+}
+
+// Slot returns the sketch's slot width.
+func (a *Rate) Slot() time.Duration { return a.slot }
+
+// slotOf buckets a timestamp.
+func (a *Rate) slotOf(t time.Time) int64 { return t.UnixNano() / int64(a.slot) }
+
+// SlotEnd returns the end instant of slot s (exclusive upper bound of
+// the bucket), the timestamp a detection at that slot carries.
+func (a *Rate) SlotEnd(s int64) time.Time {
+	return time.Unix(0, (s+1)*int64(a.slot))
+}
+
+// horizon returns the oldest live slot; slots strictly below it are
+// dead. With nothing observed every slot is live.
+func (a *Rate) horizon() int64 {
+	if a.maxSlot == minSlot {
+		return minSlot
+	}
+	return a.maxSlot - a.retain + 1
+}
+
+// Observe folds one sampled flow observation into the sketch.
+func (a *Rate) Observe(victim uint32, t time.Time, pkts, bytes int64) {
+	s := a.slotOf(t)
+	if s > a.maxSlot {
+		a.maxSlot = s
+		// Amortized eviction: a full sweep only when the horizon has
+		// moved a quarter of its span since the last one. Queries and
+		// Marshal filter dead slots themselves, so the sweep is purely
+		// a memory bound.
+		if a.swept == minSlot || a.maxSlot-a.swept >= a.retain/4+1 {
+			a.sweep()
+		}
+	}
+	if s < a.horizon() {
+		return // dead on arrival: outside the retention horizon
+	}
+	v := a.victims[victim]
+	if v == nil {
+		v = newVictimRate()
+		a.victims[victim] = v
+	}
+	v.add(s, rateCell{pkts: pkts, bytes: bytes}, a.retain, a.horizon())
+}
+
+// sweep drops victims whose newest slot has been dead for a whole extra
+// horizon, bounding the victim map. The grace period matters: the flow
+// timeline interleaves day-long batches, so a victim routinely looks
+// dead for most of a day before its next batch lands — evicting eagerly
+// would rebuild its ring (a fresh zeroed allocation) every day. Dead
+// cells inside a surviving victim's ring need no eviction at all:
+// queries ignore them and new slots overwrite them in place.
+func (a *Rate) sweep() {
+	a.swept = a.maxSlot
+	if a.maxSlot == minSlot {
+		return
+	}
+	cut := a.horizon() - a.retain
+	for victim, v := range a.victims {
+		if v.maxSlot < cut {
+			delete(a.victims, victim)
+		}
+	}
+}
+
+// RetainedPkts returns an upper bound on the victim's packets within
+// the live horizon (dead cells count until overwritten).
+func (a *Rate) RetainedPkts(victim uint32) int64 {
+	v := a.victims[victim]
+	if v == nil {
+		return 0
+	}
+	return v.pkts
+}
+
+// Victims returns how many victims currently hold retained state. The
+// count may include victims whose every slot is dead: a victim's ring is
+// kept through a grace period of one extra horizon so the interleaved
+// day-batch timeline does not thrash ring allocations.
+func (a *Rate) Victims() int { return len(a.victims) }
+
+// MaxSlot returns the highest slot observed and whether anything has
+// been observed at all.
+func (a *Rate) MaxSlot() (int64, bool) { return a.maxSlot, a.maxSlot != minSlot }
+
+// ScanWindows visits every candidate sliding window of width `wslots`
+// for the victim, in increasing end-slot order. A candidate end is any
+// slot within [s, s+wslots) of a live slot s — every window whose sum
+// can be locally maximal ends at one of these. visit receives the
+// window's end slot and its packet sum over (end-wslots, end].
+func (a *Rate) ScanWindows(victim uint32, wslots int64, visit func(endSlot, pkts int64)) {
+	v := a.victims[victim]
+	if v == nil || wslots <= 0 {
+		return
+	}
+	h := a.horizon()
+	var live []int64
+	v.eachLive(h, func(s int64, _ rateCell) { live = append(live, s) })
+	if len(live) == 0 {
+		return
+	}
+	sortInt64s(live)
+
+	// Two pointers over the sorted live slots: lo..hi-1 are the slots
+	// inside the current window (end-wslots, end].
+	lo, hi := 0, 0
+	var sum int64
+	prevEnd := int64(math.MinInt64)
+	for i, s := range live {
+		for end := s; end < s+wslots; end++ {
+			if end <= prevEnd {
+				continue
+			}
+			// A later live slot may generate the same candidate ends;
+			// stop at the next live slot so each end is visited once.
+			if i+1 < len(live) && end >= live[i+1] {
+				break
+			}
+			for hi < len(live) && live[hi] <= end {
+				sum += v.cellPkts(live[hi], a.retain)
+				hi++
+			}
+			for lo < hi && live[lo] <= end-wslots {
+				sum -= v.cellPkts(live[lo], a.retain)
+				lo++
+			}
+			visit(end, sum)
+			prevEnd = end
+		}
+	}
+}
+
+// WindowsAt visits exactly the window sums an observation in slot s can
+// have changed: ends in [s, s+wslots), each summing live slots in
+// (end-wslots, end]. It is the detector's per-record hot path — O(wslots)
+// map lookups with no allocation, against ScanWindows' walk over every
+// retained slot. A dead s (already behind the horizon) visits nothing.
+func (a *Rate) WindowsAt(victim uint32, s, wslots int64, visit func(endSlot, pkts int64)) {
+	if wslots <= 0 {
+		return
+	}
+	v := a.victims[victim]
+	if v == nil {
+		return
+	}
+	h := a.horizon()
+	if s < h {
+		return
+	}
+	count := func(slot int64) int64 {
+		if slot < h {
+			return 0
+		}
+		return v.cellPkts(slot, a.retain)
+	}
+	var sum int64
+	for x := s - wslots + 1; x <= s; x++ {
+		sum += count(x)
+	}
+	visit(s, sum)
+	for end := s + 1; end < s+wslots; end++ {
+		sum += count(end) - count(end-wslots)
+		visit(end, sum)
+	}
+}
+
+// Merge folds o's state into a. Both sketches must share slot width and
+// horizon (they are construction parameters of one detector); o must
+// not be used afterwards.
+func (a *Rate) Merge(o *Rate) {
+	if o.slot != a.slot || o.retain != a.retain {
+		panic("detect: merging rate sketches with different geometry")
+	}
+	if o.maxSlot > a.maxSlot {
+		a.maxSlot = o.maxSlot
+	}
+	h := a.horizon()
+	for victim, ov := range o.victims {
+		v := a.victims[victim]
+		ov.eachLive(h, func(s int64, c rateCell) {
+			if v == nil {
+				v = newVictimRate()
+				a.victims[victim] = v
+			}
+			v.add(s, c, a.retain, h)
+		})
+	}
+	a.sweep()
+}
+
+// Snapshot returns an independent deep copy holding exactly the live
+// slots.
+func (a *Rate) Snapshot() *Rate {
+	out := NewRate(a.slot, time.Duration(a.retain)*a.slot)
+	out.maxSlot = a.maxSlot
+	out.swept = a.maxSlot
+	h := a.horizon()
+	for victim, v := range a.victims {
+		var nv *victimRate
+		v.eachLive(h, func(s int64, c rateCell) {
+			if nv == nil {
+				nv = newVictimRate()
+				out.victims[victim] = nv
+			}
+			nv.add(s, c, a.retain, h)
+		})
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// Wire codec versions for the two detector operator snapshots.
+const (
+	rateWireVersion    = 1
+	vectorsWireVersion = 1
+)
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortVectors(s []Vector) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Pkts != s[j].Pkts {
+			return s[i].Pkts > s[j].Pkts
+		}
+		return makeVectorKey(s[i].Proto, s[i].SrcPort) < makeVectorKey(s[j].Proto, s[j].SrcPort)
+	})
+}
+
+func sortedVictims[T any](m map[uint32]T) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MarshalBinary encodes the sketch canonically: geometry, the max slot,
+// then victims sorted by address, each with its live slots sorted.
+// Dead slots never reach the wire, so two semantically equal sketches
+// marshal identically regardless of sweep timing.
+func (a *Rate) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(rateWireVersion)
+	w.Varint(int64(a.slot))
+	w.Varint(a.retain)
+	w.Bool(a.maxSlot != minSlot)
+	if a.maxSlot != minSlot {
+		w.Varint(a.maxSlot)
+	}
+	h := a.horizon()
+	type encVictim struct {
+		victim uint32
+		slots  []int64
+	}
+	enc := make([]encVictim, 0, len(a.victims))
+	for _, victim := range sortedVictims(a.victims) {
+		v := a.victims[victim]
+		var slots []int64
+		v.eachLive(h, func(s int64, _ rateCell) { slots = append(slots, s) })
+		if len(slots) == 0 {
+			continue
+		}
+		sortInt64s(slots)
+		enc = append(enc, encVictim{victim, slots})
+	}
+	w.Uvarint(uint64(len(enc)))
+	for _, ev := range enc {
+		w.Uvarint(uint64(ev.victim))
+		w.Uvarint(uint64(len(ev.slots)))
+		v := a.victims[ev.victim]
+		for _, s := range ev.slots {
+			c := v.cell(s, a.retain)
+			w.Varint(s)
+			w.Varint(c.pkts)
+			w.Varint(c.bytes)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the sketch's state with the decoded
+// snapshot. On error the sketch is left unchanged.
+func (a *Rate) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(rateWireVersion)
+	slot := r.Varint()
+	retain := r.Varint()
+	maxSlot := int64(minSlot)
+	if r.Bool() {
+		maxSlot = r.Varint()
+	}
+	// Geometry must be validated before victim rings are sized off it.
+	if slot <= 0 || retain <= 0 || retain > maxRetainSlots {
+		if err := r.Done(); err != nil {
+			return fmt.Errorf("detect: rate sketch: %w", err)
+		}
+		return fmt.Errorf("detect: rate sketch: invalid geometry slot=%d retain=%d", slot, retain)
+	}
+	h := int64(minSlot)
+	if maxSlot != minSlot {
+		h = maxSlot - retain + 1
+	}
+	nVictims := r.Count(3) // victim + slot count + at least one slot triple
+	victims := make(map[uint32]*victimRate, nVictims)
+	for i := 0; i < nVictims; i++ {
+		victim := r.U32()
+		nSlots := r.Count(3)
+		v := newVictimRate()
+		for j := 0; j < nSlots; j++ {
+			s := r.Varint()
+			c := rateCell{pkts: r.Varint(), bytes: r.Varint()}
+			if s < h {
+				continue // dead slots never reach a canonical wire; drop them
+			}
+			if s > maxSlot {
+				return fmt.Errorf("detect: rate sketch: slot %d beyond declared max %d", s, maxSlot)
+			}
+			v.add(s, c, retain, h)
+		}
+		victims[victim] = v
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("detect: rate sketch: %w", err)
+	}
+	a.slot = time.Duration(slot)
+	a.retain = retain
+	a.maxSlot = maxSlot
+	a.swept = maxSlot
+	a.victims = victims
+	return nil
+}
+
+// MarshalBinary encodes the vector sketch canonically: geometry, the
+// max slot, then victims sorted by address, live slots sorted, vector
+// keys sorted.
+func (a *Vectors) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(vectorsWireVersion)
+	w.Varint(int64(a.slot))
+	w.Varint(a.retain)
+	w.Bool(a.maxSlot != minSlot)
+	if a.maxSlot != minSlot {
+		w.Varint(a.maxSlot)
+	}
+	h := a.horizon()
+	type encVictim struct {
+		victim uint32
+		slots  []int64
+	}
+	enc := make([]encVictim, 0, len(a.victims))
+	for _, victim := range sortedVictims(a.victims) {
+		v := a.victims[victim]
+		slots := make([]int64, 0, len(v.slots))
+		for s := range v.slots {
+			if s >= h {
+				slots = append(slots, s)
+			}
+		}
+		if len(slots) == 0 {
+			continue
+		}
+		sortInt64s(slots)
+		enc = append(enc, encVictim{victim, slots})
+	}
+	w.Uvarint(uint64(len(enc)))
+	for _, ev := range enc {
+		w.Uvarint(uint64(ev.victim))
+		w.Uvarint(uint64(len(ev.slots)))
+		v := a.victims[ev.victim]
+		for _, s := range ev.slots {
+			cells := append([]vcell(nil), v.slots[s]...)
+			sort.Slice(cells, func(i, j int) bool { return cells[i].key < cells[j].key })
+			w.Varint(s)
+			w.Uvarint(uint64(len(cells)))
+			for _, c := range cells {
+				w.Uvarint(uint64(c.key))
+				w.Varint(c.pkts)
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the vector sketch's state with the decoded
+// snapshot. On error the sketch is left unchanged.
+func (a *Vectors) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(vectorsWireVersion)
+	slot := r.Varint()
+	retain := r.Varint()
+	maxSlot := int64(minSlot)
+	if r.Bool() {
+		maxSlot = r.Varint()
+	}
+	nVictims := r.Count(4) // victim + slot count + slot + key count
+	victims := make(map[uint32]*victimVectors, nVictims)
+	for i := 0; i < nVictims; i++ {
+		victim := r.U32()
+		nSlots := r.Count(2)
+		v := &victimVectors{slots: make(map[int64][]vcell, nSlots)}
+		for j := 0; j < nSlots; j++ {
+			s := r.Varint()
+			nKeys := r.Count(2)
+			var cells []vcell
+			for k := 0; k < nKeys; k++ {
+				key := vectorKey(r.U32())
+				cells = addVec(cells, key, r.Varint())
+			}
+			v.slots[s] = cells
+		}
+		victims[victim] = v
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("detect: vector sketch: %w", err)
+	}
+	if slot <= 0 || retain <= 0 {
+		return fmt.Errorf("detect: vector sketch: invalid geometry slot=%d retain=%d", slot, retain)
+	}
+	a.slot = time.Duration(slot)
+	a.retain = retain
+	a.maxSlot = maxSlot
+	a.swept = maxSlot
+	a.victims = victims
+	return nil
+}

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/bgp"
+	"repro/internal/detect"
 	"repro/internal/obs"
 )
 
@@ -69,6 +71,10 @@ type Config struct {
 	// Federation, when non-nil, backs /api/federation: it returns the
 	// merged cross-exchange report. When nil the endpoint answers 404.
 	Federation func() (*rtbh.FederatedReport, error)
+	// Detections, when non-nil, backs /api/detections: it returns the
+	// closed-loop detector's current status (rtbh.LiveRun.Detector's
+	// Status). When nil the endpoint answers 404.
+	Detections func() *detect.Status
 	// Metrics, when non-nil, receives the serving-layer metrics
 	// ("serve.*": per-endpoint request counters, a latency histogram,
 	// cache hit/miss counters, a history-size gauge).
@@ -100,7 +106,7 @@ type Server struct {
 // endpointNames lists the API surface, in the order health reports it.
 var endpointNames = []string{
 	"health", "summary", "events", "active", "collateral",
-	"usecases", "victims", "federation", "history",
+	"usecases", "victims", "federation", "detections", "history",
 }
 
 // New builds a server over cfg.Source. It registers metrics when
@@ -155,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/api/usecases", s.handle("usecases", s.handleUseCases))
 	s.mux.Handle("/api/victims", s.handle("victims", s.handleVictims))
 	s.mux.Handle("/api/federation", s.handle("federation", s.handleFederation))
+	s.mux.Handle("/api/detections", s.handle("detections", s.handleDetections))
 	s.mux.Handle("/api/history", s.handle("history", s.handleHistory))
 	s.mux.Handle("/", s.handle("health", func(r *http.Request) (any, *httpError) {
 		return nil, notFound("unknown path %q (endpoints: /api/{%s})",
@@ -801,6 +808,73 @@ func (s *Server) handleFederation(*http.Request) (any, *httpError) {
 			Events:            len(v.Report.Events),
 			TotalRecords:      v.Report.TotalRecords,
 			AttributedRecords: v.Report.AttributedRecords,
+		})
+	}
+	return out, nil
+}
+
+// DetectionView is one closed-loop detection in /api/detections: the
+// victim, the triggering window's estimated rate and attack vectors,
+// and the mitigation lifecycle stamps (zero-valued stamps are omitted —
+// a missing withdrawn_at means the blackhole is still up).
+type DetectionView struct {
+	ID         int             `json:"id"`
+	Prefix     string          `json:"prefix"`
+	DetectedAt time.Time       `json:"detected_at"`
+	RatePPS    float64         `json:"rate_pps"`
+	Vectors    []detect.Vector `json:"vectors,omitempty"`
+	// AnnouncedAt is when the RTBH announcement entered the route server.
+	AnnouncedAt *time.Time `json:"announced_at,omitempty"`
+	// FirstDropAt is the first fabric drop at or after the announcement.
+	FirstDropAt *time.Time `json:"first_drop_at,omitempty"`
+	WithdrawnAt *time.Time `json:"withdrawn_at,omitempty"`
+	Active      bool       `json:"active"`
+}
+
+// DetectionsView is /api/detections: the closed-loop detector's
+// configuration, ingest counters and detection log.
+type DetectionsView struct {
+	ThresholdPPS float64         `json:"threshold_pps"`
+	WindowS      float64         `json:"window_s"`
+	CooldownS    float64         `json:"cooldown_s"`
+	Records      int64           `json:"records"`
+	Tracked      int             `json:"tracked_victims"`
+	Active       int             `json:"active"`
+	Detections   []DetectionView `json:"detections"`
+}
+
+func (s *Server) handleDetections(*http.Request) (any, *httpError) {
+	if s.cfg.Detections == nil {
+		return nil, notFound("no detector: this run does not mitigate")
+	}
+	st := s.cfg.Detections()
+	out := &DetectionsView{
+		ThresholdPPS: st.ThresholdPPS,
+		WindowS:      st.Window.Seconds(),
+		CooldownS:    st.Cooldown.Seconds(),
+		Records:      st.Records,
+		Tracked:      st.Tracked,
+		Active:       st.Active,
+		Detections:   make([]DetectionView, 0, len(st.Detections)),
+	}
+	opt := func(t time.Time) *time.Time {
+		if t.IsZero() {
+			return nil
+		}
+		return &t
+	}
+	for i := range st.Detections {
+		d := &st.Detections[i]
+		out.Detections = append(out.Detections, DetectionView{
+			ID:          d.ID,
+			Prefix:      bgp.HostPrefix(d.Victim).String(),
+			DetectedAt:  d.DetectedAt,
+			RatePPS:     d.RatePPS,
+			Vectors:     d.Vectors,
+			AnnouncedAt: opt(d.AnnouncedAt),
+			FirstDropAt: opt(d.FirstDropAt),
+			WithdrawnAt: opt(d.WithdrawnAt),
+			Active:      d.Active(),
 		})
 	}
 	return out, nil

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/bgp"
+	"repro/internal/detect"
 	"repro/internal/fabric"
 	"repro/internal/faultnet"
 	"repro/internal/ipfix"
@@ -41,6 +42,7 @@ type LiveRun struct {
 	analyzer *OnlineAnalyzer
 	lm       *live.Metrics
 	plan     *faultnet.Plan
+	det      *detect.Detector
 
 	ran         bool
 	interrupted bool
@@ -106,6 +108,78 @@ func (lr *LiveRun) EnableChaos(seed uint64, profile string) error {
 		lr.plan.M.Register(lr.reg)
 	}
 	return nil
+}
+
+// EnableDetector arms the closed-loop DRDoS detector for the run: every
+// collected flow record also feeds a streaming rate/vector sketch, and
+// when a victim's estimated packet rate crosses cfg.Threshold the
+// detector originates an RTBH announcement for the victim /32 through
+// the route server as its own mitigation peer (AS detect.PeerASN),
+// withdrawing it once the attack has been quiet for cfg.Cooldown. Call
+// before Run. The run's sampling rate and blackhole MAC are filled in
+// from the planned world; cfg.SamplingRate and cfg.BlackholeMAC are
+// ignored. Detector metrics ("detect.*") register on the run's registry.
+//
+// The detector is strictly opt-in: without it the archived dataset is
+// byte-identical to Simulate's, with it the archive additionally holds
+// the mitigation peer's announcements.
+func (lr *LiveRun) EnableDetector(cfg detect.Config) error {
+	if lr.ran {
+		return fmt.Errorf("rtbh: live run already executed")
+	}
+	cfg.SamplingRate = lr.w.Cfg.SamplingRate
+	cfg.BlackholeMAC = fabric.BlackholeMAC
+	d, err := detect.New(cfg)
+	if err != nil {
+		return err
+	}
+	lr.det = d
+	if lr.reg != nil {
+		d.RegisterMetrics(lr.reg)
+	}
+	return nil
+}
+
+// Detector returns the run's detector, nil unless EnableDetector was
+// called. Its Status is safe to read at any time; the serving layer's
+// /api/detections endpoint is a view of it.
+func (lr *LiveRun) Detector() *detect.Detector { return lr.det }
+
+// AttackTruth extracts the ground-truth DDoS attacks from the planned
+// world in the detector evaluation's shape: victim address, real span
+// and intensity per attack event.
+func (lr *LiveRun) AttackTruth() []detect.TruthAttack {
+	var out []detect.TruthAttack
+	for _, e := range lr.w.Events {
+		if e.Attack == nil {
+			continue
+		}
+		// Victim address, mirroring the scenario driver's choice: the
+		// event host's address, or the first host address inside a
+		// squatting prefix.
+		victim := e.Prefix.Addr + 1
+		if e.Host >= 0 {
+			victim = lr.w.Hosts[e.Host].IP
+		}
+		out = append(out, detect.TruthAttack{
+			EventID: e.ID,
+			Victim:  victim,
+			Start:   e.Attack.Start,
+			End:     e.Attack.End(),
+			PPS:     e.Attack.PPS,
+		})
+	}
+	return out
+}
+
+// EvaluateDetections scores the detector's log against the planned
+// ground truth (see detect.Evaluate). It returns nil when the detector
+// was never enabled.
+func (lr *LiveRun) EvaluateDetections(slack time.Duration) *detect.Eval {
+	if lr.det == nil {
+		return nil
+	}
+	return detect.Evaluate(lr.det.Status().Detections, lr.AttackTruth(), slack)
 }
 
 // ChaosJournal renders every fault the plan injected, grouped by stream:
@@ -196,6 +270,9 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 			return err
 		}
 		lr.analyzer.ObserveFlow(rec)
+		if lr.det != nil {
+			lr.det.ObserveFlow(rec)
+		}
 		return nil
 	}
 
@@ -221,6 +298,18 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 		if rs, err = scenario.NewRouteServer(w); err != nil {
 			return nil, err
 		}
+		if lr.det != nil {
+			// The detector peers with the route server like any member:
+			// its announcements cross a real BGP session and are archived
+			// by the collector hook exactly like operator-originated RTBH.
+			if err := rs.AddPeer(routeserver.Peer{
+				ASN:    detect.PeerASN,
+				IP:     w.RSIP + 0xFFFD,
+				Policy: routeserver.DefaultPolicy(),
+			}); err != nil {
+				return nil, err
+			}
+		}
 		rs.SetCollector(func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
 			rec := mrt.Record{
 				Timestamp: ts, PeerAS: peerAS, LocalAS: uint32(w.RSASN),
@@ -242,7 +331,7 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 			fb.RegisterMetrics(lr.reg)
 		}
 		runner.SetRouteServerASN(uint32(w.RSASN))
-		return liveExecutor{r: runner, fb: fb}, nil
+		return liveExecutor{r: runner, fb: fb, det: lr.det}, nil
 	})
 	if driveErr != nil {
 		if !errors.Is(driveErr, context.Canceled) && !errors.Is(driveErr, context.DeadlineExceeded) {
@@ -252,6 +341,21 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 	}
 	if st == nil { // Drive returns no stats when build itself failed
 		st = &scenario.DriveStats{}
+	}
+
+	// Close the mitigation loop: a final detector tick at the end of the
+	// scenario clock dispatches any pending announcements and withdraws
+	// blackholes whose cooldown has expired, so the archive records the
+	// full announce/withdraw lifecycle. Skipped on interruption — the
+	// runner refuses new updates once its context is cancelled.
+	if lr.det != nil && !lr.interrupted {
+		ex := liveExecutor{r: runner, fb: fb, det: lr.det}
+		if err := ex.dispatchDetections(w.Cfg.End()); err != nil {
+			return nil, err
+		}
+		if err := runner.Barrier(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Drain what is in flight even on an interrupted run, so the archive
@@ -305,19 +409,58 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 // path's "control completes before the next batch" invariant, so the
 // fabric always sees the forwarding state the driver intended.
 type liveExecutor struct {
-	r  *live.Runner
-	fb *fabric.Fabric
+	r   *live.Runner
+	fb  *fabric.Fabric
+	det *detect.Detector
 }
 
 func (e liveExecutor) Control(ts time.Time, peerAS uint32, upd *bgp.Update) error {
+	if err := e.dispatchDetections(ts); err != nil {
+		return err
+	}
 	return e.r.SendUpdate(ts, peerAS, upd)
 }
 
 func (e liveExecutor) Inject(b *fabric.Batch) error {
+	if err := e.dispatchDetections(b.Time); err != nil {
+		return err
+	}
 	if err := e.r.Barrier(); err != nil {
 		return err
 	}
 	return e.fb.Inject(b)
+}
+
+// dispatchDetections advances the detector's mitigation clock to now and
+// sends every action it queued as a BGP UPDATE from the mitigation
+// peer. Announcements carry the blackhole community and next hop, so
+// the route server accepts and archives them exactly like
+// operator-originated RTBH; the fabric then drops the victim's traffic
+// from the next injected batch on (the barrier in Inject orders the
+// announcement ahead of the traffic it protects against).
+func (e liveExecutor) dispatchDetections(now time.Time) error {
+	if e.det == nil {
+		return nil
+	}
+	for _, a := range e.det.Tick(now) {
+		upd := &bgp.Update{}
+		p := bgp.HostPrefix(a.Victim)
+		if a.Announce {
+			upd.Attrs = bgp.PathAttrs{
+				Origin:      bgp.OriginIGP,
+				ASPath:      []uint32{detect.PeerASN},
+				NextHop:     routeserver.BlackholeNextHop,
+				Communities: bgp.Communities{bgp.Blackhole},
+			}
+			upd.NLRI = []bgp.Prefix{p}
+		} else {
+			upd.Withdrawn = []bgp.Prefix{p}
+		}
+		if err := e.r.SendUpdate(a.Time, detect.PeerASN, upd); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // analysisMeta builds the analyzer-side metadata directly from the

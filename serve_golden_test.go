@@ -12,6 +12,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/detect"
 	"repro/internal/federation"
 	"repro/internal/serve"
 )
@@ -60,15 +61,27 @@ func TestServeGoldenEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := rtbh.NewOnlineAnalyzer(ds.Meta)
+	// A detector replayed over the same flow stream backs the
+	// /api/detections fixture; the final Tick at the period end settles
+	// the announce/withdraw lifecycle deterministically.
+	det, err := detect.New(detect.Config{
+		SamplingRate: ds.Meta.SamplingRate,
+		BlackholeMAC: ds.Meta.BlackholeMAC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range ds.Updates {
 		a.ObserveControl(ds.Updates[i])
 	}
 	if err := ds.EachFlow(func(rec *rtbh.FlowRecord) error {
 		a.ObserveFlow(rec)
+		det.ObserveFlow(rec)
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
+	det.Tick(ds.Meta.End)
 
 	opts := onlineTestOpts()
 	clock := &serveClock{t: time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)}
@@ -90,6 +103,7 @@ func TestServeGoldenEndpoints(t *testing.T) {
 				Cross:  &federation.CrossView{},
 			}, nil
 		},
+		Detections: det.Status,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +131,7 @@ func TestServeGoldenEndpoints(t *testing.T) {
 		{"usecases", "/api/usecases"},
 		{"victims", "/api/victims"},
 		{"federation", "/api/federation"},
+		{"detections", "/api/detections"},
 		{"history", "/api/history"},
 		{"history_at", "/api/summary?at=2026-01-02T03:04:00Z"}, // floors to the 03:00 capture
 		{"health", "/api/health"},                              // last: history + uptime are settled
