@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis/events"
 	"repro/internal/analysis/hosts"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/analysis/pipeline"
 	"repro/internal/analysis/protomix"
 	"repro/internal/analysis/timealign"
@@ -73,6 +74,14 @@ type (
 	TypeTable = hosts.TypeTable
 	// CollateralResult is the Fig 18 outcome.
 	CollateralResult = collateral.Result
+	// MitigationResult is the Table 5 outcome (RTBH vs FlowSpec).
+	MitigationResult = mitigation.Result
+	// MitigationPhaseStat is one Table 5 row.
+	MitigationPhaseStat = mitigation.PhaseStat
+	// MitigationPrefixStat is the per-victim-prefix Table 5 detail.
+	MitigationPrefixStat = mitigation.PrefixStat
+	// MitigationCounter is a dropped/forwarded traffic tally.
+	MitigationCounter = mitigation.Counter
 	// UseCaseResult is the Fig 19 outcome.
 	UseCaseResult = usecase.Result
 	// UseCaseClass is a Fig 19 classification label.
@@ -197,6 +206,10 @@ type Report struct {
 	Fig18 *CollateralResult
 	// Fig19: use-case classification.
 	Fig19 *UseCaseResult
+	// Table5: RTBH-vs-FlowSpec mitigation comparison, measured from the
+	// data plane against the FlowSpec signaling stream. Always non-nil;
+	// Measured() is false on datasets without fine-grained mitigation.
+	Table5 *MitigationResult
 	// Table2: pre-RTBH event classes.
 	Table2 ClassCounts
 	// Table3: distribution of distinct amplification protocols per
@@ -264,6 +277,7 @@ func (d *Dataset) Analyze(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	pp.BindFlow(mitigation.NewIndex(d.FlowUpdates, d.Meta.End))
 	if opts.Metrics != nil {
 		pp.Instrument(opts.Metrics)
 	}
@@ -282,6 +296,7 @@ func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.BindFlow(mitigation.NewIndex(d.FlowUpdates, d.Meta.End))
 	if opts.Metrics != nil {
 		p.RegisterMetrics(opts.Metrics)
 	}

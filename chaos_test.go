@@ -28,6 +28,9 @@ func chaosConfig() rtbh.Config {
 	cfg.EventsTotal = 250
 	cfg.UniqueVictims = 120
 	cfg.MeanAmplifiersPerAttack = 40
+	// FlowSpec signaling rides the same impaired sessions: the chaos
+	// matrix must also preserve the fine-grained mitigation measurement.
+	cfg.MitigationPolicy = "escalate"
 	return cfg
 }
 

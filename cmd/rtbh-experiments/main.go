@@ -36,10 +36,11 @@ import (
 )
 
 func main() {
-	runIDs := flag.String("run", "all", "comma-separated experiment ids (fig2..fig19, table1..table4) or 'all'")
+	runIDs := flag.String("run", "all", "comma-separated experiment ids (fig2..fig19, table1..table5) or 'all'")
 	data := flag.String("data", "", "dataset directory; empty means -simulate")
 	simulate := flag.String("simulate", "test", "simulate a fresh world at this scale (test, bench, full) when -data is empty")
 	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
+	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy for -simulate: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH; see table5)`)
 	list := flag.Bool("list", false, "list available experiments and exit")
 	workers := flag.Int("workers", 0, "parallel pipeline shards (0 = GOMAXPROCS, 1 = sequential)")
 	ixps := flag.Int("ixps", 1, "federate the world across this many exchanges (with -data, the directory holds ixp0..ixpN-1 datasets)")
@@ -105,6 +106,10 @@ func main() {
 		}
 		if *seed != 0 {
 			cfg.Seed = *seed
+		}
+		cfg.MitigationPolicy = *mitigation
+		if err := cfg.Validate(); err != nil {
+			usageFail(err)
 		}
 		tmp, err := os.MkdirTemp("", "rtbh-exp-*")
 		if err != nil {

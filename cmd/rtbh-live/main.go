@@ -106,6 +106,7 @@ func main() {
 		"sliding window the detector rates victims over")
 	detectCooldown := flag.Duration("detect-cooldown", detect.DefaultCooldown,
 		"quiet time after the last hot window before the blackhole is withdrawn")
+	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH; see the table5 report section)`)
 	flag.Parse()
 
 	var cfg rtbh.Config
@@ -182,6 +183,11 @@ func main() {
 	}
 	if *days != 0 {
 		cfg.Days = *days
+	}
+	cfg.MitigationPolicy = *mitigation
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+		os.Exit(2)
 	}
 
 	reg := rtbh.NewMetricsRegistry()

@@ -31,6 +31,7 @@ func main() {
 	scale := flag.String("scale", "test", "world scale: test, bench, or full (the paper's 104 days)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (0 keeps the scale default)")
 	days := flag.Int("days", 0, "override the measurement-period length in days (0 keeps the scale default)")
+	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH)`)
 	metricsOut := flag.String("metrics", "", `write a JSON metrics snapshot to this path after the run ("-" for stderr)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -56,6 +57,11 @@ func main() {
 	}
 	if *days != 0 {
 		cfg.Days = *days
+	}
+	cfg.MitigationPolicy = *mitigation
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
+		os.Exit(2)
 	}
 
 	var reg *rtbh.MetricsRegistry

@@ -22,6 +22,10 @@ import (
 type Dataset struct {
 	Meta    *analysis.Metadata
 	Updates []analysis.ControlUpdate
+	// FlowUpdates is the FlowSpec signaling stream extracted from the
+	// same control-plane archive (empty for datasets without fine-grained
+	// mitigation).
+	FlowUpdates []analysis.FlowUpdate
 	// Truth is the simulator's ground truth if present (nil otherwise);
 	// analysis never consumes it, the experiment harness does.
 	Truth *scenario.GroundTruth
@@ -74,15 +78,16 @@ func OpenDataset(dir string) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rtbh: %w", err)
 	}
-	updates, err := analysis.ParseMRT(mrtFile)
+	updates, flowUpdates, err := analysis.ParseMRTAll(mrtFile)
 	mrtFile.Close()
 	if err != nil {
 		return nil, err
 	}
 
 	ds := &Dataset{
-		Meta:    meta,
-		Updates: updates,
+		Meta:        meta,
+		Updates:     updates,
+		FlowUpdates: flowUpdates,
 		eachFlow: func(fn func(*ipfix.FlowRecord) error) error {
 			f, err := os.Open(filepath.Join(dir, FileFlows))
 			if err != nil {
@@ -118,7 +123,8 @@ func OpenDataset(dir string) (*Dataset, error) {
 }
 
 // NewDataset builds an in-memory dataset (tests, examples) from parsed
-// parts. flows must remain unmodified for the dataset's lifetime.
+// parts. flows must remain unmodified for the dataset's lifetime. Set
+// Dataset.FlowUpdates afterwards to attach a FlowSpec signaling stream.
 func NewDataset(meta *analysis.Metadata, updates []analysis.ControlUpdate, flows []ipfix.FlowRecord) *Dataset {
 	return &Dataset{
 		Meta:    meta,

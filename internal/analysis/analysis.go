@@ -89,31 +89,84 @@ func SortUpdates(us []ControlUpdate) {
 	sort.SliceStable(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
 }
 
+// FlowUpdate is one FlowSpec signaling action extracted from the
+// control-plane archive: a member announcing or withdrawing a
+// fine-grained discard rule through the route server (the paper's §5.5
+// mitigation alternative to RTBH).
+type FlowUpdate struct {
+	Time     time.Time
+	Peer     uint32 // announcing route-server client
+	Rule     *bgp.FlowRule
+	Announce bool
+}
+
+// ExpandFlowSpec appends the FlowSpec actions carried by one BGP UPDATE
+// to dst: nothing unless the update carries FlowSpec NLRI (RTBH updates
+// pass through untouched), withdrawals first. Announcements qualify only
+// with the traffic-rate-0 (discard) action — mirroring what the route
+// server installs. Malformed FlowSpec attributes are skipped rather than
+// fatal: the archive may interleave foreign multiprotocol updates the
+// analysis does not model, exactly like ParseMRT skips non-RTBH routes.
+func ExpandFlowSpec(dst []FlowUpdate, ts time.Time, peer uint32, upd *bgp.Update) []FlowUpdate {
+	fsu, isFS, err := bgp.FlowSpecFromUpdate(upd)
+	if err != nil || !isFS {
+		return dst
+	}
+	for _, r := range fsu.Withdrawn {
+		dst = append(dst, FlowUpdate{Time: ts, Peer: peer, Rule: r, Announce: false})
+	}
+	if fsu.Discards() {
+		for _, r := range fsu.Announced {
+			dst = append(dst, FlowUpdate{Time: ts, Peer: peer, Rule: r, Announce: true})
+		}
+	}
+	return dst
+}
+
+// SortFlowUpdates sorts FlowSpec updates by time, keeping the relative
+// order of equal timestamps.
+func SortFlowUpdates(us []FlowUpdate) {
+	sort.SliceStable(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
+}
+
 // ParseMRT extracts RTBH control updates from an MRT stream written by
 // the collector. Non-UPDATE records are skipped; see ExpandUpdate for
 // what qualifies. The result is sorted by time.
 func ParseMRT(r io.Reader) ([]ControlUpdate, error) {
+	out, _, err := ParseMRTAll(r)
+	return out, err
+}
+
+// ParseMRTAll extracts both signaling streams from an MRT archive: the
+// RTBH control updates and the FlowSpec rule actions, each sorted by
+// time. The same UPDATE never contributes to both — FlowSpec updates
+// carry no IPv4 NLRI and no BLACKHOLE community, so ExpandUpdate yields
+// nothing for them, and vice versa.
+func ParseMRTAll(r io.Reader) ([]ControlUpdate, []FlowUpdate, error) {
 	rd := mrt.NewReader(r)
 	var out []ControlUpdate
+	var flows []FlowUpdate
 	for {
 		rec, err := rd.Next()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		upd, isUpdate, err := rec.DecodeUpdate()
 		if err != nil {
-			return nil, fmt.Errorf("analysis: record at %v: %w", rec.Timestamp, err)
+			return nil, nil, fmt.Errorf("analysis: record at %v: %w", rec.Timestamp, err)
 		}
 		if !isUpdate {
 			continue
 		}
 		out = ExpandUpdate(out, rec.Timestamp, rec.PeerAS, upd)
+		flows = ExpandFlowSpec(flows, rec.Timestamp, rec.PeerAS, upd)
 	}
 	SortUpdates(out)
-	return out, nil
+	SortFlowUpdates(flows)
+	return out, flows, nil
 }
 
 // Metadata carries the side tables the analysis joins against, mirroring

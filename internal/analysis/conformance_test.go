@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/dropstats"
 	"repro/internal/analysis/events"
 	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/analysis/protomix"
 	"repro/internal/analysis/timealign"
 	"repro/internal/bgp"
@@ -269,6 +270,34 @@ func pendingCase() operatorCase {
 	return operatorCase{name: "collateral-pending", stream: 64, fresh: func() *handle { return wrap(collateral.NewPending()) }}
 }
 
+func mitigationCase() operatorCase {
+	var wrap func(a *mitigation.Aggregator) *handle
+	wrap = func(a *mitigation.Aggregator) *handle {
+		h := &handle{self: a}
+		h.feed = func(i int) {
+			prefix := bgp.MakePrefix(0x0a000000+uint32(i%3)<<8, []uint8{24, 32, 25}[i%3])
+			phase := mitigation.Phase(i % 2)
+			// Alternate amplification source ports (NTP, DNS) with plain
+			// ports so both the attack and legitimate cells fill.
+			proto := []uint8{17, 17, 6, 17}[i%4]
+			srcPort := uint16([]int{123, 53, 443, 40000}[i%4])
+			a.Add(prefix, phase, proto, srcPort, i%3 != 0, int64(1+i%4), int64(80+120*(i%5)))
+		}
+		h.merge = func(o *handle) { a.Merge(o.self.(*mitigation.Aggregator)) }
+		h.marshal = a.MarshalBinary
+		h.snapshot = func() *handle { return wrap(a.Snapshot()) }
+		h.unmarshal = func(data []byte) (*handle, error) {
+			d := mitigation.New()
+			if err := d.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			return wrap(d), nil
+		}
+		return h
+	}
+	return operatorCase{name: "mitigation", stream: 60, fresh: func() *handle { return wrap(mitigation.New()) }}
+}
+
 func detectRateCase() operatorCase {
 	base := conformanceBase()
 	// Geometry matching the detector defaults at a smaller horizon; the
@@ -337,6 +366,7 @@ func operatorCases() []operatorCase {
 		timealignCase(),
 		collateralCase(),
 		pendingCase(),
+		mitigationCase(),
 		detectRateCase(),
 		detectVectorsCase(),
 	}

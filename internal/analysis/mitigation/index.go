@@ -1,0 +1,129 @@
+package mitigation
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+// Window is one FlowSpec mitigation interval: a discard rule installed
+// at Start and withdrawn at End (zero End = still installed at the end
+// of the measurement period).
+type Window struct {
+	Prefix     bgp.Prefix
+	Rule       *bgp.FlowRule
+	Start, End time.Time
+	Peer       uint32 // announcing member
+}
+
+// Index answers "was a FlowSpec mitigation active for this destination
+// at this time" queries, the FlowSpec counterpart of events.Index. Build
+// once from the (time-sorted) FlowSpec update stream; the online
+// analyzer rebuilds it as the stream grows, which is safe for the same
+// reason rebuilding the event index is: a record is only sealed once no
+// in-flight update can still cover it.
+type Index struct {
+	periodEnd time.Time
+	byPrefix  map[bgp.Prefix][]Window // sorted by Start
+	lengths   []uint8                 // distinct prefix lengths, descending
+	windows   int
+}
+
+// NewIndex pairs announcements with withdrawals into windows and builds
+// the lookup structure. flows must be time-sorted (ParseMRTAll and the
+// online analyzer's sort both guarantee this). A withdrawal closes the
+// open window of the identical rule (canonical wire encoding) from the
+// same peer; re-announcing an open rule and withdrawing an uninstalled
+// one are no-ops, mirroring the route server.
+func NewIndex(flows []analysis.FlowUpdate, periodEnd time.Time) *Index {
+	ix := &Index{
+		periodEnd: periodEnd,
+		byPrefix:  make(map[bgp.Prefix][]Window),
+	}
+	type key struct {
+		peer uint32
+		wire string
+	}
+	open := make(map[key]int) // -> index into opened
+	var opened []Window       // all windows in announce order
+	for _, fu := range flows {
+		if fu.Rule == nil || !fu.Rule.HasDst {
+			continue
+		}
+		wire, err := bgp.EncodeFlowRule(fu.Rule)
+		if err != nil {
+			continue
+		}
+		k := key{peer: fu.Peer, wire: string(wire)}
+		if fu.Announce {
+			if _, isOpen := open[k]; isOpen {
+				continue
+			}
+			open[k] = len(opened)
+			opened = append(opened, Window{
+				Prefix: fu.Rule.Dst, Rule: fu.Rule, Start: fu.Time, Peer: fu.Peer,
+			})
+		} else if i, isOpen := open[k]; isOpen {
+			opened[i].End = fu.Time
+			delete(open, k)
+		}
+	}
+
+	seen := make(map[uint8]bool)
+	for _, w := range opened {
+		ix.byPrefix[w.Prefix] = append(ix.byPrefix[w.Prefix], w)
+		seen[w.Prefix.Len] = true
+		ix.windows++
+	}
+	for l := 32; l >= 0; l-- {
+		if seen[uint8(l)] {
+			ix.lengths = append(ix.lengths, uint8(l))
+		}
+	}
+	for p := range ix.byPrefix {
+		lst := ix.byPrefix[p]
+		sort.Slice(lst, func(i, j int) bool { return lst[i].Start.Before(lst[j].Start) })
+	}
+	return ix
+}
+
+// Lookup returns the longest prefix with a FlowSpec window covering
+// (ip, t). Windows are half-open [Start, End); an open-ended window
+// covers through the period end.
+func (ix *Index) Lookup(ip uint32, t time.Time) (bgp.Prefix, bool) {
+	if ix == nil || len(ix.byPrefix) == 0 {
+		return bgp.Prefix{}, false
+	}
+	for _, l := range ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		lst, ok := ix.byPrefix[p]
+		if !ok {
+			continue
+		}
+		for _, w := range lst {
+			if t.Before(w.Start) {
+				break // sorted by start
+			}
+			if w.End.IsZero() {
+				if !t.After(ix.periodEnd) {
+					return p, true
+				}
+				continue
+			}
+			if t.Before(w.End) {
+				return p, true
+			}
+		}
+	}
+	return bgp.Prefix{}, false
+}
+
+// Windows returns the number of mitigation windows indexed.
+func (ix *Index) Windows() int {
+	if ix == nil {
+		return 0
+	}
+	return ix.windows
+}

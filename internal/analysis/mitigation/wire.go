@@ -1,0 +1,72 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/bgp"
+)
+
+// wireVersion is the mitigation snapshot codec version.
+const wireVersion = 1
+
+func encodeCounter(w *analysis.WireWriter, c *Counter) {
+	w.Varint(c.DroppedPkts)
+	w.Varint(c.ForwardedPkts)
+	w.Varint(c.DroppedBytes)
+	w.Varint(c.ForwardedBytes)
+}
+
+func decodeCounter(r *analysis.WireReader, c *Counter) {
+	c.DroppedPkts = r.Varint()
+	c.ForwardedPkts = r.Varint()
+	c.DroppedBytes = r.Varint()
+	c.ForwardedBytes = r.Varint()
+}
+
+// MarshalBinary encodes the aggregator canonically: per-prefix cells
+// sorted by (addr, len), each holding the per-phase attack and
+// legitimate counters.
+func (a *Aggregator) MarshalBinary() ([]byte, error) {
+	w := analysis.NewWireWriter()
+	w.Byte(wireVersion)
+	prefixes := sortedPrefixes(a.byPrefix)
+	w.Uvarint(uint64(len(prefixes)))
+	for _, p := range prefixes {
+		cs := a.byPrefix[p]
+		w.Uvarint(uint64(p.Addr))
+		w.Byte(p.Len)
+		for ph := 0; ph < int(numPhases); ph++ {
+			encodeCounter(w, &cs.attack[ph])
+			encodeCounter(w, &cs.legit[ph])
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary replaces the aggregator's state with the decoded
+// snapshot. On error the aggregator is left unchanged.
+func (a *Aggregator) UnmarshalBinary(data []byte) error {
+	r := analysis.NewWireReader(data)
+	r.Version(wireVersion)
+	n := r.Count(2 + 8*int(numPhases)) // addr + len + 2x4 varints per phase
+	byPrefix := make(map[bgp.Prefix]*cells, n)
+	for i := 0; i < n; i++ {
+		addr := r.U32()
+		length := r.Byte()
+		if length > 32 {
+			return fmt.Errorf("mitigation: prefix length %d", length)
+		}
+		cs := &cells{}
+		for ph := 0; ph < int(numPhases); ph++ {
+			decodeCounter(r, &cs.attack[ph])
+			decodeCounter(r, &cs.legit[ph])
+		}
+		byPrefix[bgp.MakePrefix(addr, length)] = cs
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("mitigation: %w", err)
+	}
+	a.byPrefix = byPrefix
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/analysis/events"
+	"repro/internal/analysis/mitigation"
 )
 
 // seedStates builds a spread of valid MarshalState encodings to seed
@@ -40,6 +41,10 @@ func seedStates(f *testing.F) [][]byte {
 		0x50000002, victim.Addr, 389, 44445, 17))
 	populated.Observe(rec(t0.Add(12*time.Minute), memberMAC100, memberMAC200,
 		victim.Addr, 0x50000001, 44444, 389, 17))
+	// Populate the mitigation blob too, so the seventh snapshot section
+	// starts from a non-empty encoding as well.
+	populated.Mit.Add(victim, mitigation.PhaseRTBH, 17, 389, true, 3, 1500)
+	populated.Mit.Add(victim, mitigation.PhaseFlowSpec, 6, 443, false, 2, 900)
 	add(populated)
 
 	populated.Finalize()

@@ -16,7 +16,10 @@
 // keys, and Merge is a disjoint map union plus commutative counter sums.
 // Records touching destination-keyed and source-keyed state are
 // dispatched to both owning shards with a role mask, counted once by the
-// destination role.
+// destination role. The mitigation tallies are pure commutative sums
+// keyed by the mitigated prefix, so they are exact under any partition —
+// including FlowSpec-only prefixes absent from the blackhole index that
+// decides the partition.
 package pipeline
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/ipfix"
 	"repro/internal/obs"
 )
@@ -95,6 +99,7 @@ func (pp *Parallel) Instrument(reg *obs.Registry) {
 	reg.RegisterTimer("pipeline.merge.hosts", &po.mergeTimers.Hosts)
 	reg.RegisterTimer("pipeline.merge.align", &po.mergeTimers.Align)
 	reg.RegisterTimer("pipeline.merge.collateral", &po.mergeTimers.Collateral)
+	reg.RegisterTimer("pipeline.merge.mitigation", &po.mergeTimers.Mitigation)
 	reg.RegisterCounter("pipeline.merges", &po.merges)
 	reg.GaugeFunc("pipeline.workers", func() int64 { return int64(pp.workers) })
 	pp.obs = po
@@ -127,6 +132,15 @@ func NewParallel(meta *analysis.Metadata, updates []analysis.ControlUpdate, delt
 
 // Workers returns the number of worker shards.
 func (pp *Parallel) Workers() int { return pp.workers }
+
+// BindFlow points the merged pipeline and every shard at the FlowSpec
+// mitigation view. Call before Run.
+func (pp *Parallel) BindFlow(ix *mitigation.Index) {
+	pp.merged.BindFlow(ix)
+	for _, sh := range pp.shards {
+		sh.BindFlow(ix)
+	}
+}
 
 // Pipeline returns the merged pipeline. Its operators are complete once
 // Run returned.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis/dropstats"
 	"repro/internal/analysis/events"
 	"repro/internal/analysis/hosts"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/analysis/protomix"
 	"repro/internal/analysis/timealign"
 	"repro/internal/ipfix"
@@ -45,6 +46,7 @@ var (
 	_ analysis.Operator[*timealign.Aggregator]  = (*timealign.Aggregator)(nil)
 	_ analysis.Operator[*collateral.Aggregator] = (*collateral.Aggregator)(nil)
 	_ analysis.Operator[*collateral.Pending]    = (*collateral.Pending)(nil)
+	_ analysis.Operator[*mitigation.Aggregator] = (*mitigation.Aggregator)(nil)
 )
 
 // ReactionBuffer is prepended to each event when selecting legitimate
@@ -63,6 +65,12 @@ type Pipeline struct {
 	Proto   *protomix.Aggregator
 	Hosts   *hosts.Aggregator
 	Align   *timealign.Aggregator
+	// Mit compares FlowSpec against RTBH on the mitigated traffic (the
+	// Table 5 experiment); FlowIx is the FlowSpec-window view it
+	// attributes against, bound via BindFlow (nil-safe: with no windows
+	// the operator stays empty).
+	Mit    *mitigation.Aggregator
+	FlowIx *mitigation.Index
 
 	// Pending holds the compact during-event tallies that become the
 	// collateral-damage result once ComposeCollateral filters them
@@ -131,6 +139,7 @@ func newEmpty(meta *analysis.Metadata) *Pipeline {
 		Anomaly: anomaly.New(),
 		Proto:   protomix.New(),
 		Hosts:   hosts.New(),
+		Mit:     mitigation.New(),
 		Pending: collateral.NewPending(),
 	}
 }
@@ -144,6 +153,13 @@ func (p *Pipeline) Rebind(evs []*events.Event, ix *events.Index) {
 	p.Index = ix
 	p.Align.Rebind(ix)
 }
+
+// BindFlow points the pipeline at the FlowSpec mitigation view. Batch
+// drivers bind once before the pass; the online analyzer re-binds as
+// FlowSpec updates arrive, which keeps sealed observations valid for the
+// same reason Rebind does — a record seals only once no in-flight
+// FlowSpec update can still cover its timestamp.
+func (p *Pipeline) BindFlow(ix *mitigation.Index) { p.FlowIx = ix }
 
 // Clone returns an independent deep copy of the pipeline's operator state
 // (shared immutable control-plane view). The original may continue
@@ -159,6 +175,8 @@ func (p *Pipeline) Clone() *Pipeline {
 		Proto:             p.Proto.Snapshot(),
 		Hosts:             p.Hosts.Snapshot(),
 		Align:             p.Align.Snapshot(),
+		Mit:               p.Mit.Snapshot(),
+		FlowIx:            p.FlowIx,
 		Pending:           p.Pending.Snapshot(),
 		TotalRecords:      p.TotalRecords,
 		InternalRecords:   p.InternalRecords,
@@ -182,6 +200,7 @@ func (p *Pipeline) newShard() *Pipeline {
 	s := newEmpty(p.Meta)
 	s.Events = p.Events
 	s.Index = p.Index
+	s.FlowIx = p.FlowIx
 	s.Align = timealign.New(p.Index)
 	s.speculative = p.speculative
 	if p.speculative {
@@ -194,7 +213,7 @@ func (p *Pipeline) newShard() *Pipeline {
 // the parallel runner. Each shard merge contributes one span per
 // operator.
 type MergeTimers struct {
-	Drop, Anomaly, Proto, Hosts, Align, Collateral obs.Timer
+	Drop, Anomaly, Proto, Hosts, Align, Collateral, Mitigation obs.Timer
 }
 
 // spanned runs fn under t when timing is enabled (t may be nil).
@@ -215,9 +234,9 @@ func (p *Pipeline) merge(o *Pipeline, tm *MergeTimers) {
 	p.InternalRecords += o.InternalRecords
 	p.AttributedRecords += o.AttributedRecords
 	p.DroppedRecords += o.DroppedRecords
-	var drop, anom, proto, hosts, align, coll *obs.Timer
+	var drop, anom, proto, hosts, align, coll, mit *obs.Timer
 	if tm != nil {
-		drop, anom, proto, hosts, align, coll = &tm.Drop, &tm.Anomaly, &tm.Proto, &tm.Hosts, &tm.Align, &tm.Collateral
+		drop, anom, proto, hosts, align, coll, mit = &tm.Drop, &tm.Anomaly, &tm.Proto, &tm.Hosts, &tm.Align, &tm.Collateral, &tm.Mitigation
 	}
 	spanned(drop, func() { p.Drop.Merge(o.Drop) })
 	spanned(anom, func() { p.Anomaly.Merge(o.Anomaly) })
@@ -225,6 +244,7 @@ func (p *Pipeline) merge(o *Pipeline, tm *MergeTimers) {
 	spanned(hosts, func() { p.Hosts.Merge(o.Hosts) })
 	spanned(align, func() { p.Align.Merge(o.Align) })
 	spanned(coll, func() { p.Pending.Merge(o.Pending) })
+	spanned(mit, func() { p.Mit.Merge(o.Mit) })
 	if p.pairs == nil && len(o.pairs) > 0 {
 		p.pairs = make(map[uint64]int64, len(o.pairs))
 	}
@@ -252,6 +272,8 @@ func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("dropstats.forwarded_pkts", func() int64 { return p.Drop.Totals().ForwardedPkts })
 	reg.GaugeFunc("dropstats.dropped_bytes", func() int64 { return p.Drop.Totals().DroppedBytes })
 	reg.GaugeFunc("dropstats.forwarded_bytes", func() int64 { return p.Drop.Totals().ForwardedBytes })
+	reg.GaugeFunc("mitigation.prefixes", func() int64 { return int64(p.Mit.Prefixes()) })
+	reg.GaugeFunc("mitigation.windows", func() int64 { return int64(p.FlowIx.Windows()) })
 }
 
 // Observe processes one flow record.
@@ -283,6 +305,16 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	pkts := int64(rec.Packets)
 	bytes := int64(rec.Bytes)
 
+	// FlowSpec-phase mitigation tally, evaluated before the RTBH
+	// attribution gates: a FlowSpec-only mitigation covers destinations
+	// that may never enter the ever-blackholed set at all. When both a
+	// FlowSpec window and an RTBH episode cover the record, FlowSpec wins
+	// (the rule is more specific than the covering blackhole).
+	fsPrefix, fsActive := p.FlowIx.Lookup(rec.DstIP, rec.Start)
+	if fsActive {
+		p.Mit.Add(fsPrefix, mitigation.PhaseFlowSpec, rec.Proto, rec.SrcPort, dropped, pkts, bytes)
+	}
+
 	_, dstBH := p.Index.EverBlackholed(rec.DstIP)
 	_, srcBH := p.Index.EverBlackholed(rec.SrcIP)
 	if dstBH || srcBH {
@@ -304,6 +336,9 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	if dstBH {
 		if m.Active {
 			p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
+			if !fsActive {
+				p.Mit.Add(m.Prefix, mitigation.PhaseRTBH, rec.Proto, rec.SrcPort, dropped, pkts, bytes)
+			}
 		}
 		if m.Event != nil {
 			originAS, _ := p.Meta.IP2AS.Lookup(rec.SrcIP)

@@ -7,11 +7,12 @@ import (
 	"repro/internal/analysis/timealign"
 )
 
-// stateWireVersion is the pipeline state codec version.
-const stateWireVersion = 1
+// stateWireVersion is the pipeline state codec version. Version 2 added
+// the mitigation operator as the seventh snapshot section.
+const stateWireVersion = 2
 
 // MarshalState encodes the pipeline's complete flow-derived state: the
-// cleaning counters, the speculative pair tallies, and the six operator
+// cleaning counters, the speculative pair tallies, and the seven operator
 // snapshots, each as a versioned section. The control-plane view
 // (events, index) is deliberately absent — it is cheaply rebuilt from
 // the update stream, which federation snapshots carry alongside this
@@ -35,7 +36,7 @@ func (p *Pipeline) MarshalState() ([]byte, error) {
 		w.Varint(p.pairs[k])
 	}
 	type marshaler interface{ MarshalBinary() ([]byte, error) }
-	for _, op := range []marshaler{p.Drop, p.Anomaly, p.Proto, p.Hosts, p.Align, p.Pending} {
+	for _, op := range []marshaler{p.Drop, p.Anomaly, p.Proto, p.Hosts, p.Align, p.Pending, p.Mit} {
 		blob, err := op.MarshalBinary()
 		if err != nil {
 			return nil, err
@@ -70,7 +71,7 @@ func UnmarshalState(meta *analysis.Metadata, data []byte) (*Pipeline, error) {
 		p.pairs[k] = r.Varint()
 	}
 	type unmarshaler interface{ UnmarshalBinary([]byte) error }
-	for _, op := range []unmarshaler{p.Drop, p.Anomaly, p.Proto, p.Hosts, p.Align, p.Pending} {
+	for _, op := range []unmarshaler{p.Drop, p.Anomaly, p.Proto, p.Hosts, p.Align, p.Pending, p.Mit} {
 		blob := r.Blob()
 		if r.Err() != nil {
 			break

@@ -349,7 +349,64 @@ func DecodeFlowSpecUpdate(msg []byte) (*FlowSpecUpdate, bool, error) {
 	if typ != MsgUpdate {
 		return nil, false, nil
 	}
-	upd := decoded.(*Update)
+	return FlowSpecFromUpdate(decoded.(*Update))
+}
+
+// UpdateFromFlowSpec wraps a FlowSpec update as a plain *Update whose
+// opaque attributes carry the MP_REACH/MP_UNREACH payload. The result
+// travels through every UPDATE path — EncodeUpdate, the live BGP
+// sessions, the MRT archive — and FlowSpecFromUpdate recovers it on the
+// far side, so FlowSpec needs no parallel transport.
+func UpdateFromFlowSpec(u *FlowSpecUpdate) (*Update, error) {
+	out := &Update{}
+	if len(u.Withdrawn) > 0 {
+		var nlri []byte
+		for _, r := range u.Withdrawn {
+			enc, err := EncodeFlowRule(r)
+			if err != nil {
+				return nil, err
+			}
+			nlri = append(nlri, enc...)
+		}
+		val := make([]byte, 0, 3+len(nlri))
+		val = binary.BigEndian.AppendUint16(val, AFIIPv4)
+		val = append(val, SAFIFlowSpec)
+		val = append(val, nlri...)
+		out.Attrs.Unknown = append(out.Attrs.Unknown, RawAttr{Flags: flagOptional, Type: AttrMPUnreach, Value: val})
+	}
+	if len(u.Announced) > 0 {
+		var nlri []byte
+		for _, r := range u.Announced {
+			enc, err := EncodeFlowRule(r)
+			if err != nil {
+				return nil, err
+			}
+			nlri = append(nlri, enc...)
+		}
+		val := make([]byte, 0, 5+len(nlri))
+		val = binary.BigEndian.AppendUint16(val, AFIIPv4)
+		val = append(val, SAFIFlowSpec, 0, 0) // zero-length next hop (RFC 8955 §5)
+		val = append(val, nlri...)
+		out.Attrs.Unknown = append(out.Attrs.Unknown, RawAttr{Flags: flagOptional, Type: AttrMPReach, Value: val})
+	}
+	if len(out.Attrs.Unknown) == 0 {
+		return nil, fmt.Errorf("bgp: flowspec update with no rules")
+	}
+	if len(u.ExtComms) > 0 {
+		var val []byte
+		for _, e := range u.ExtComms {
+			val = append(val, e[:]...)
+		}
+		out.Attrs.Unknown = append(out.Attrs.Unknown, RawAttr{Flags: flagOptional | flagTransitive, Type: AttrExtComms, Value: val})
+	}
+	return out, nil
+}
+
+// FlowSpecFromUpdate extracts the FlowSpec content of a decoded UPDATE:
+// the MP_REACH/MP_UNREACH attributes with AFI 1 / SAFI 133 plus the
+// extended-community actions. ok is false when the update carries no
+// FlowSpec attributes (a regular IPv4-unicast update).
+func FlowSpecFromUpdate(upd *Update) (*FlowSpecUpdate, bool, error) {
 	out := &FlowSpecUpdate{}
 	found := false
 	for _, raw := range upd.Attrs.Unknown {

@@ -147,6 +147,55 @@ func TestFlowSpecUpdateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFlowSpecAsUpdateRoundTrip pins the piggyback path the route-server
+// control plane uses: wrap rules as a plain *Update, push it through the
+// canonical UPDATE codec (the live sessions and the MRT archive), and
+// recover the rules on the far side.
+func TestFlowSpecAsUpdateRoundTrip(t *testing.T) {
+	u := &FlowSpecUpdate{
+		Announced: []*FlowRule{sampleRule()},
+		Withdrawn: []*FlowRule{{Dst: MustParsePrefix("198.51.100.7/32"), HasDst: true}},
+		ExtComms:  []ExtCommunity{TrafficRateDiscard},
+	}
+	wrapped, err := UpdateFromFlowSpec(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrapped.NLRI) != 0 || len(wrapped.Withdrawn) != 0 {
+		t.Fatalf("flowspec update leaked IPv4 NLRI: %+v", wrapped)
+	}
+	enc, err := EncodeUpdate(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, msg, _, err := DecodeMessage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := FlowSpecFromUpdate(msg.(*Update))
+	if err != nil || !ok {
+		t.Fatalf("recover: ok=%v err=%v", ok, err)
+	}
+	if len(got.Announced) != 1 || len(got.Withdrawn) != 1 || !got.Discards() {
+		t.Fatalf("recovered = %+v", got)
+	}
+	if got.Announced[0].Dst != sampleRule().Dst || len(got.Announced[0].SrcPorts) != 3 {
+		t.Fatalf("announced rule = %+v", got.Announced[0])
+	}
+	// Re-encoding the decoded update must be a fixed point: the archive
+	// bytes are identical no matter how many codec hops the update took.
+	enc2, err := EncodeUpdate(msg.(*Update))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatal("re-encode of a flowspec-carrying update is not a fixed point")
+	}
+	if _, err := UpdateFromFlowSpec(&FlowSpecUpdate{ExtComms: []ExtCommunity{TrafficRateDiscard}}); err == nil {
+		t.Fatal("rule-less flowspec update wrapped")
+	}
+}
+
 func TestDecodeFlowSpecUpdateIgnoresPlainUpdates(t *testing.T) {
 	enc, err := EncodeUpdate(&Update{
 		Attrs: PathAttrs{ASPath: []uint32{1}, NextHop: 1, Communities: Communities{Blackhole}},

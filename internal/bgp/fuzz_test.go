@@ -34,6 +34,21 @@ func fuzzSeedUpdates() []*Update {
 			NLRI:  []Prefix{MustParsePrefix("0.0.0.0/0")},
 			Attrs: PathAttrs{ASPath: longPath, NextHop: 2},
 		},
+		// A FlowSpec discard carried as opaque MP attributes in an UPDATE
+		// without IPv4 NLRI (the route-server control-plane shape).
+		func() *Update {
+			u, err := UpdateFromFlowSpec(&FlowSpecUpdate{
+				Announced: []*FlowRule{{
+					Dst: MustParsePrefix("203.0.113.5/32"), HasDst: true,
+					Protos: []uint8{17}, SrcPorts: []uint16{123, 11211},
+				}},
+				ExtComms: []ExtCommunity{TrafficRateDiscard},
+			})
+			if err != nil {
+				panic(err)
+			}
+			return u
+		}(),
 	}
 }
 
@@ -43,8 +58,10 @@ func fuzzSeedUpdates() []*Update {
 // compares only wire-meaningful state.
 func normalizeUpdate(u *Update) Update {
 	out := *u
-	if len(out.NLRI) == 0 {
-		// An UPDATE without announcements carries no path attributes.
+	if len(out.NLRI) == 0 && len(out.Attrs.Unknown) == 0 {
+		// An UPDATE without announcements carries no path attributes —
+		// unless opaque attributes (multiprotocol payloads) are present,
+		// which the encoder preserves even without IPv4 NLRI.
 		out.Attrs = PathAttrs{}
 	}
 	if len(out.Attrs.ASPath) == 0 {

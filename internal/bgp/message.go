@@ -88,10 +88,13 @@ func EncodeUpdate(u *Update) ([]byte, error) {
 	}
 	binary.BigEndian.PutUint16(b[wStart:], uint16(len(b)-wStart-2))
 
-	// Path attributes. An UPDATE that only withdraws must not carry any.
+	// Path attributes. An UPDATE that only withdraws IPv4-unicast routes
+	// must not carry any — unless opaque attributes are present, which is
+	// how multiprotocol payloads (FlowSpec MP_REACH/MP_UNREACH) travel in
+	// an UPDATE without IPv4 NLRI.
 	aStart := len(b)
 	b = append(b, 0, 0) // attribute length placeholder
-	if len(u.NLRI) > 0 {
+	if len(u.NLRI) > 0 || len(u.Attrs.Unknown) > 0 {
 		b = u.Attrs.encode(b)
 	}
 	binary.BigEndian.PutUint16(b[aStart:], uint16(len(b)-aStart-2))

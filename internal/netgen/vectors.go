@@ -90,6 +90,10 @@ func (v *AmplificationVector) Batches(dst []fabric.Batch, start time.Time, dur t
 			VaryPorts: func(r *stats.RNG) (uint16, uint16) {
 				return v.Protocol.Port, EphemeralPort(r)
 			},
+			// Reflected traffic keeps the service source port; only the
+			// destination port varies. Source-port FlowSpec rules can
+			// therefore be evaluated per batch.
+			FixedSrcPort: true,
 			VarySrcIP: func(r *stats.RNG) uint32 {
 				return pool[r.Intn(len(pool))]
 			},

@@ -2,6 +2,7 @@ package routeserver
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bgp"
@@ -13,6 +14,13 @@ import (
 // prefix + protocol/port matches with the traffic-rate-0 action); peers
 // whose policy enables FlowSpec install them and drop only matching
 // packets, leaving the victim's legitimate traffic untouched.
+//
+// Validation follows RFC 8955 §6: a rule's destination must lie within
+// the announcer's address space. The simulator stands in for the IRR/RPKI
+// lookup with Peer.Space, the member's registered originated prefixes; a
+// peer with no registered space is exempt (the route server cannot
+// validate what nobody registered), which also keeps hand-built test
+// servers permissive.
 //
 // Adoption mirrors reality: Policy.FlowSpec defaults to AcceptNone, so a
 // deployment must opt peers in explicitly.
@@ -26,36 +34,61 @@ type fsKey struct {
 
 // fsRoute is an installed FlowSpec discard rule.
 type fsRoute struct {
+	origin   uint32
 	rule     *bgp.FlowRule
+	wire     string
 	accepted map[uint32]bool
+}
+
+// fsEntry is one rule in a peer's installed list, ordered by precedence.
+type fsEntry struct {
+	rule *bgp.FlowRule
+	wire string
 }
 
 // fsState lazily extends the Server with FlowSpec tables.
 type fsState struct {
 	rules map[fsKey]*fsRoute
 	// perPeer holds each member's accepted rules for the fabric's
-	// per-packet matching.
-	perPeer map[uint32][]*bgp.FlowRule
+	// per-packet matching, in precedence order (see fsLess).
+	perPeer map[uint32][]fsEntry
+	// perOrigin holds each member's own announced rules, same order. The
+	// route server never reflects a rule back to its originator, but the
+	// originator's edge routers filter with the rule they authored — the
+	// fabric consults this list for the egress side of a batch.
+	perOrigin map[uint32][]fsEntry
 }
 
 func (s *Server) fs() *fsState {
 	if s.flowspec == nil {
 		s.flowspec = &fsState{
-			rules:   make(map[fsKey]*fsRoute),
-			perPeer: make(map[uint32][]*bgp.FlowRule),
+			rules:     make(map[fsKey]*fsRoute),
+			perPeer:   make(map[uint32][]fsEntry),
+			perOrigin: make(map[uint32][]fsEntry),
 		}
 	}
 	return s.flowspec
 }
 
+// fsLess orders two installed rules by match precedence: the more
+// specific destination wins, ties broken by the canonical wire encoding.
+// This is a deterministic stand-in for the RFC 8955 §5.1 ordering that is
+// independent of announcement order.
+func fsLess(a, b fsEntry) bool {
+	if a.rule.Dst.Len != b.rule.Dst.Len {
+		return a.rule.Dst.Len > b.rule.Dst.Len
+	}
+	return a.wire < b.wire
+}
+
 // ProcessFlowSpec handles a FlowSpec UPDATE from peerAS: withdrawals
 // first, then announcements. Announced discard rules must carry the
-// traffic-rate-0 action and a destination prefix (the route server
-// validates that rules target the announcer's space in a real deployment;
-// the simulator enforces presence only).
+// traffic-rate-0 action, a destination prefix, and — when the peer has
+// registered address space — a destination inside that space.
 func (s *Server) ProcessFlowSpec(ts time.Time, peerAS uint32, upd *bgp.FlowSpecUpdate) error {
 	ps, ok := s.peers[peerAS]
 	if !ok {
+		s.metrics.RejectedUnknownPeer.Inc()
 		return fmt.Errorf("routeserver: flowspec update from unknown peer AS%d", peerAS)
 	}
 	s.msgsProcessed++
@@ -66,7 +99,14 @@ func (s *Server) ProcessFlowSpec(ts time.Time, peerAS uint32, upd *bgp.FlowSpecU
 		}
 		s.collector(ts, peerAS, ps.peer.IP, raw)
 	}
+	return s.processFlowSpec(peerAS, upd)
+}
 
+// processFlowSpec applies a FlowSpec update that has already been
+// archived and attributed to a known peer (both ProcessFlowSpec and the
+// Process piggyback path land here).
+func (s *Server) processFlowSpec(peerAS uint32, upd *bgp.FlowSpecUpdate) error {
+	s.metrics.FlowSpecUpdates.Inc()
 	fs := s.fs()
 	for _, r := range upd.Withdrawn {
 		s.withdrawFlowSpec(peerAS, r)
@@ -75,32 +115,69 @@ func (s *Server) ProcessFlowSpec(ts time.Time, peerAS uint32, upd *bgp.FlowSpecU
 		return nil
 	}
 	if !upd.Discards() {
+		s.metrics.FlowSpecRejectedAction.Inc()
 		return fmt.Errorf("routeserver: AS%d announced flowspec without discard action", peerAS)
 	}
+	space := s.peers[peerAS].peer.Space
 	for _, r := range upd.Announced {
 		if !r.HasDst {
+			s.metrics.FlowSpecRejectedNoDst.Inc()
 			return fmt.Errorf("routeserver: AS%d announced flowspec rule without destination prefix", peerAS)
+		}
+		if !originatorOwns(space, r.Dst) {
+			s.metrics.FlowSpecRejectedOrigin.Inc()
+			return fmt.Errorf("routeserver: AS%d announced flowspec for %v outside its registered space", peerAS, r.Dst)
 		}
 		key, err := flowKey(peerAS, r)
 		if err != nil {
 			return err
 		}
+		s.metrics.FlowSpecAnnounced.Inc()
 		if old, exists := fs.rules[key]; exists {
+			s.metrics.FlowSpecReannouncements.Inc()
 			s.releaseFlowSpec(old)
 		}
-		rt := &fsRoute{rule: r, accepted: make(map[uint32]bool)}
+		rt := &fsRoute{origin: peerAS, rule: r, wire: key.wire, accepted: make(map[uint32]bool)}
 		for _, target := range s.peerOrder {
 			if target == peerAS {
 				continue
 			}
 			if s.peers[target].peer.Policy.FlowSpec == AcceptFull {
+				s.metrics.FlowSpecImportAccepted.Inc()
 				rt.accepted[target] = true
-				fs.perPeer[target] = append(fs.perPeer[target], r)
+				fs.installEntry(fs.perPeer, target, fsEntry{rule: r, wire: key.wire})
+			} else {
+				s.metrics.FlowSpecImportRejected.Inc()
 			}
 		}
+		fs.installEntry(fs.perOrigin, peerAS, fsEntry{rule: r, wire: key.wire})
 		fs.rules[key] = rt
 	}
 	return nil
+}
+
+// originatorOwns reports whether dst lies within the peer's registered
+// space. An empty registry skips validation.
+func originatorOwns(space []bgp.Prefix, dst bgp.Prefix) bool {
+	if len(space) == 0 {
+		return true
+	}
+	for _, p := range space {
+		if p.Len <= dst.Len && p.Contains(dst.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// installEntry inserts e into the peer's list in m keeping precedence order.
+func (fs *fsState) installEntry(m map[uint32][]fsEntry, peer uint32, e fsEntry) {
+	lst := m[peer]
+	i := sort.Search(len(lst), func(i int) bool { return fsLess(e, lst[i]) })
+	lst = append(lst, fsEntry{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = e
+	m[peer] = lst
 }
 
 func flowKey(origin uint32, r *bgp.FlowRule) (fsKey, error) {
@@ -117,37 +194,91 @@ func (s *Server) withdrawFlowSpec(origin uint32, r *bgp.FlowRule) {
 	if err != nil {
 		return
 	}
-	if rt, ok := fs.rules[key]; ok {
-		s.releaseFlowSpec(rt)
-		delete(fs.rules, key)
+	rt, ok := fs.rules[key]
+	if !ok {
+		s.metrics.FlowSpecWithdrawnNoop.Inc()
+		return
 	}
+	s.metrics.FlowSpecWithdrawn.Inc()
+	s.releaseFlowSpec(rt)
+	delete(fs.rules, key)
 }
 
 func (s *Server) releaseFlowSpec(rt *fsRoute) {
 	fs := s.fs()
 	for target := range rt.accepted {
-		lst := fs.perPeer[target]
-		for i, r := range lst {
-			if r == rt.rule {
-				fs.perPeer[target] = append(lst[:i], lst[i+1:]...)
-				break
-			}
+		removeEntry(fs.perPeer, target, rt.rule)
+	}
+	removeEntry(fs.perOrigin, rt.origin, rt.rule)
+}
+
+func removeEntry(m map[uint32][]fsEntry, peer uint32, rule *bgp.FlowRule) {
+	lst := m[peer]
+	for i := range lst {
+		if lst[i].rule == rule {
+			m[peer] = append(lst[:i], lst[i+1:]...)
+			return
 		}
 	}
+}
+
+// flushFlowSpec withdraws every rule originated by peerAS (session
+// teardown), returning how many were flushed.
+func (s *Server) flushFlowSpec(peerAS uint32) int {
+	if s.flowspec == nil {
+		return 0
+	}
+	var keys []fsKey
+	for key := range s.flowspec.rules {
+		if key.origin == peerAS {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].wire < keys[j].wire })
+	for _, key := range keys {
+		s.metrics.FlowSpecWithdrawn.Inc()
+		s.releaseFlowSpec(s.flowspec.rules[key])
+		delete(s.flowspec.rules, key)
+	}
+	return len(keys)
 }
 
 // MatchFlowSpec reports whether one of peerAS's installed discard rules
 // matches the packet.
 func (s *Server) MatchFlowSpec(peerAS uint32, dstIP uint32, proto uint8, srcPort, dstPort uint16) bool {
+	return s.MatchingFlowRule(peerAS, dstIP, proto, srcPort, dstPort) != nil
+}
+
+// MatchingFlowRule returns the highest-precedence installed rule of
+// peerAS matching the packet, or nil. Precedence is the fsLess order:
+// most-specific destination first, canonical wire encoding as the tie
+// breaker.
+func (s *Server) MatchingFlowRule(peerAS uint32, dstIP uint32, proto uint8, srcPort, dstPort uint16) *bgp.FlowRule {
 	if s.flowspec == nil {
-		return false
+		return nil
 	}
-	for _, r := range s.flowspec.perPeer[peerAS] {
-		if r.Matches(dstIP, proto, srcPort, dstPort) {
-			return true
+	for _, e := range s.flowspec.perPeer[peerAS] {
+		if e.rule.Matches(dstIP, proto, srcPort, dstPort) {
+			return e.rule
 		}
 	}
-	return false
+	return nil
+}
+
+// OwnMatchingFlowRule returns the highest-precedence rule ORIGINATED by
+// peerAS that matches the packet, or nil. The route server never sends a
+// rule back to its announcer, but the announcer's own edge filters with
+// it; the fabric uses this for the egress member of a batch.
+func (s *Server) OwnMatchingFlowRule(peerAS uint32, dstIP uint32, proto uint8, srcPort, dstPort uint16) *bgp.FlowRule {
+	if s.flowspec == nil {
+		return nil
+	}
+	for _, e := range s.flowspec.perOrigin[peerAS] {
+		if e.rule.Matches(dstIP, proto, srcPort, dstPort) {
+			return e.rule
+		}
+	}
+	return nil
 }
 
 // NumFlowSpecRules returns the number of installed rules.
@@ -156,4 +287,41 @@ func (s *Server) NumFlowSpecRules() int {
 		return 0
 	}
 	return len(s.flowspec.rules)
+}
+
+// ActiveFlowRules returns the installed rules as (origin, rule) pairs in
+// deterministic order, with the peers that accepted each.
+type FlowAnnouncement struct {
+	Origin   uint32
+	Rule     *bgp.FlowRule
+	Accepted []uint32
+}
+
+// ActiveFlowRules lists the installed FlowSpec rules deterministically.
+func (s *Server) ActiveFlowRules() []FlowAnnouncement {
+	if s.flowspec == nil {
+		return nil
+	}
+	out := make([]FlowAnnouncement, 0, len(s.flowspec.rules))
+	keys := make([]fsKey, 0, len(s.flowspec.rules))
+	for key := range s.flowspec.rules {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].wire < keys[j].wire
+	})
+	for _, key := range keys {
+		rt := s.flowspec.rules[key]
+		ann := FlowAnnouncement{Origin: key.origin, Rule: rt.rule}
+		for _, p := range s.peerOrder {
+			if rt.accepted[p] {
+				ann.Accepted = append(ann.Accepted, p)
+			}
+		}
+		out = append(out, ann)
+	}
+	return out
 }

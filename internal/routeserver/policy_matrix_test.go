@@ -191,6 +191,184 @@ func TestWithdrawBeforeAnnounce(t *testing.T) {
 	}
 }
 
+// TestFlowSpecPolicyMatrix crosses the FlowSpec dimensions the way
+// TestPolicyPropagationMatrix does for RTBH: target import policy
+// (FlowSpec enabled or not) × originator validation (rule destination
+// inside or outside the announcer's registered space) × a withdraw
+// arriving before the announcement. Each cell pins the install outcome
+// AND the flowspec.* counters accounting for it.
+func TestFlowSpecPolicyMatrix(t *testing.T) {
+	fsRule := func(dst string) *bgp.FlowRule {
+		return &bgp.FlowRule{
+			Dst: bgp.MustParsePrefix(dst), HasDst: true,
+			Protos: []uint8{17}, SrcPorts: []uint16{123},
+		}
+	}
+	discard := func(rs ...*bgp.FlowRule) *bgp.FlowSpecUpdate {
+		return &bgp.FlowSpecUpdate{
+			Announced: rs,
+			ExtComms:  []bgp.ExtCommunity{bgp.TrafficRateDiscard},
+		}
+	}
+	newFSServer := func(t *testing.T, targetFS AcceptClass) *Server {
+		t.Helper()
+		s := New(rsASN, mustAddr(t, "10.0.0.1"))
+		peers := []Peer{
+			{ASN: 100, Policy: DefaultPolicy(),
+				Space: []bgp.Prefix{bgp.MustParsePrefix("203.0.113.0/24")}},
+			{ASN: 200, Policy: Policy{Standard: AcceptFull, FlowSpec: targetFS}},
+		}
+		for _, p := range peers {
+			if err := s.AddPeer(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	victim := "203.0.113.5"
+
+	cases := []struct {
+		name          string
+		targetFS      AcceptClass
+		dst           string // announced rule destination
+		withdrawFirst bool
+		wantErr       bool
+		wantInstalled bool // rule matches at peer 200 after the announce
+		want          map[string]int64
+	}{
+		{name: "accept/valid-origin", targetFS: AcceptFull,
+			dst: "203.0.113.5/32", wantInstalled: true,
+			want: map[string]int64{"updates": 1, "announced_rules": 1, "import.accepted": 1}},
+		{name: "reject/valid-origin", targetFS: AcceptNone,
+			dst:  "203.0.113.5/32",
+			want: map[string]int64{"updates": 1, "announced_rules": 1, "import.rejected": 1}},
+		{name: "accept/invalid-origin", targetFS: AcceptFull,
+			dst: "198.51.100.0/24", wantErr: true,
+			want: map[string]int64{"updates": 1, "rejected_origin": 1}},
+		{name: "reject/invalid-origin", targetFS: AcceptNone,
+			dst: "198.51.100.0/24", wantErr: true,
+			want: map[string]int64{"updates": 1, "rejected_origin": 1}},
+		{name: "accept/valid-origin/withdraw-first", targetFS: AcceptFull,
+			dst: "203.0.113.5/32", withdrawFirst: true, wantInstalled: true,
+			want: map[string]int64{"updates": 2, "announced_rules": 1,
+				"import.accepted": 1, "withdrawn_noop": 1}},
+		{name: "reject/valid-origin/withdraw-first", targetFS: AcceptNone,
+			dst: "203.0.113.5/32", withdrawFirst: true,
+			want: map[string]int64{"updates": 2, "announced_rules": 1,
+				"import.rejected": 1, "withdrawn_noop": 1}},
+		{name: "accept/invalid-origin/withdraw-first", targetFS: AcceptFull,
+			dst: "198.51.100.0/24", withdrawFirst: true, wantErr: true,
+			want: map[string]int64{"updates": 2, "rejected_origin": 1, "withdrawn_noop": 1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := newFSServer(t, tc.targetFS)
+			ts := time.Unix(0, 0)
+			rule := fsRule(tc.dst)
+			if tc.withdrawFirst {
+				// Withdrawing a never-announced rule must be a counted no-op
+				// that leaves the later cycle untouched.
+				err := s.ProcessFlowSpec(ts, 100, &bgp.FlowSpecUpdate{
+					Withdrawn: []*bgp.FlowRule{rule},
+				})
+				if err != nil {
+					t.Fatalf("premature withdraw: %v", err)
+				}
+				if s.NumFlowSpecRules() != 0 {
+					t.Fatalf("rules after premature withdraw = %d", s.NumFlowSpecRules())
+				}
+			}
+			err := s.ProcessFlowSpec(ts.Add(time.Minute), 100, discard(rule))
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("announce err = %v, wantErr %v", err, tc.wantErr)
+			}
+			installed := s.MatchFlowSpec(200, mustAddr(t, victim), 17, 123, 40000)
+			if tc.dst == "198.51.100.0/24" {
+				installed = s.MatchFlowSpec(200, mustAddr(t, "198.51.100.9"), 17, 123, 40000)
+			}
+			if installed != tc.wantInstalled {
+				t.Errorf("installed at peer 200 = %v, want %v", installed, tc.wantInstalled)
+			}
+			// The originator's own edge carries exactly the rules that were
+			// accepted into the system, regardless of any target's policy.
+			ownHas := s.OwnMatchingFlowRule(100, mustAddr(t, victim), 17, 123, 40000) != nil
+			if !tc.wantErr != ownHas {
+				t.Errorf("originator edge match = %v, want %v", ownHas, !tc.wantErr)
+			}
+
+			m := s.Metrics()
+			got := map[string]int64{
+				"updates":             m.FlowSpecUpdates.Value(),
+				"announced_rules":     m.FlowSpecAnnounced.Value(),
+				"withdrawn_rules":     m.FlowSpecWithdrawn.Value(),
+				"withdrawn_noop":      m.FlowSpecWithdrawnNoop.Value(),
+				"reannouncements":     m.FlowSpecReannouncements.Value(),
+				"rejected_no_discard": m.FlowSpecRejectedAction.Value(),
+				"rejected_no_dst":     m.FlowSpecRejectedNoDst.Value(),
+				"rejected_origin":     m.FlowSpecRejectedOrigin.Value(),
+				"import.accepted":     m.FlowSpecImportAccepted.Value(),
+				"import.rejected":     m.FlowSpecImportRejected.Value(),
+			}
+			for name, v := range got {
+				if v != tc.want[name] {
+					t.Errorf("flowspec.%s = %d, want %d (counters: %v)", name, v, tc.want[name], got)
+				}
+			}
+
+			// Tear the installed rule down again: the withdraw must land in
+			// withdrawn_rules and clear both the import and the originator
+			// views.
+			if !tc.wantErr {
+				err := s.ProcessFlowSpec(ts.Add(2*time.Minute), 100, &bgp.FlowSpecUpdate{
+					Withdrawn: []*bgp.FlowRule{rule},
+				})
+				if err != nil {
+					t.Fatalf("withdraw: %v", err)
+				}
+				if s.NumFlowSpecRules() != 0 {
+					t.Errorf("rules after withdraw = %d", s.NumFlowSpecRules())
+				}
+				if s.MatchFlowSpec(200, mustAddr(t, victim), 17, 123, 40000) {
+					t.Error("rule still matches at peer 200 after withdraw")
+				}
+				if s.OwnMatchingFlowRule(100, mustAddr(t, victim), 17, 123, 40000) != nil {
+					t.Error("originator edge still matches after withdraw")
+				}
+				if m.FlowSpecWithdrawn.Value() != tc.want["withdrawn_rules"]+1 {
+					t.Errorf("flowspec.withdrawn_rules = %d after teardown", m.FlowSpecWithdrawn.Value())
+				}
+			}
+		})
+	}
+}
+
+// TestFlowSpecNonDiscardRejected pins the action validation: a FlowSpec
+// announcement without the traffic-rate-0 action is refused and counted,
+// installing nothing.
+func TestFlowSpecNonDiscardRejected(t *testing.T) {
+	s := newTestServer(t, map[uint32]Policy{
+		100: DefaultPolicy(),
+		200: {Standard: AcceptFull, FlowSpec: AcceptFull},
+	})
+	upd := &bgp.FlowSpecUpdate{
+		Announced: []*bgp.FlowRule{{
+			Dst: bgp.MustParsePrefix("203.0.113.5/32"), HasDst: true,
+		}},
+	}
+	if err := s.ProcessFlowSpec(time.Unix(0, 0), 100, upd); err == nil {
+		t.Fatal("flowspec announcement without discard action accepted")
+	}
+	m := s.Metrics()
+	if m.FlowSpecRejectedAction.Value() != 1 || m.FlowSpecAnnounced.Value() != 0 {
+		t.Errorf("rejected_no_discard=%d announced=%d, want 1/0",
+			m.FlowSpecRejectedAction.Value(), m.FlowSpecAnnounced.Value())
+	}
+	if s.NumFlowSpecRules() != 0 {
+		t.Errorf("rules = %d", s.NumFlowSpecRules())
+	}
+}
+
 // TestUnknownPeerCounted pins that an update from an unregistered peer is
 // refused before any processing and lands in its own counter, not in
 // routeserver.updates.

@@ -29,6 +29,10 @@ type Peer struct {
 	IP uint32
 	// Policy is the member's import policy for route-server routes.
 	Policy Policy
+	// Space is the member's registered originated address space (the
+	// IRR-style registry the route server validates FlowSpec destinations
+	// against, RFC 8955 §6). Nil or empty skips validation for this peer.
+	Space []bgp.Prefix
 }
 
 // routeKey identifies a route in the server's RIB: the same prefix may be
@@ -103,6 +107,22 @@ type Metrics struct {
 	// PeerDowns counts session teardowns handled by PeerDown; the routes
 	// flushed by teardowns are counted in WithdrawnPrefixes.
 	PeerDowns obs.Counter
+
+	// FlowSpec counters, registered under the "flowspec." prefix.
+	// FlowSpecUpdates counts FlowSpec UPDATEs processed (whether they
+	// arrived via ProcessFlowSpec or piggybacked through Process);
+	// announced/withdrawn/reannouncement counters are per rule, and the
+	// import outcomes are per target peer, mirroring the RTBH matrix.
+	FlowSpecUpdates         obs.Counter
+	FlowSpecAnnounced       obs.Counter
+	FlowSpecWithdrawn       obs.Counter
+	FlowSpecWithdrawnNoop   obs.Counter
+	FlowSpecReannouncements obs.Counter
+	FlowSpecRejectedAction  obs.Counter // announcement without traffic-rate-0
+	FlowSpecRejectedNoDst   obs.Counter // rule without a destination prefix
+	FlowSpecRejectedOrigin  obs.Counter // destination outside registered space
+	FlowSpecImportAccepted  obs.Counter
+	FlowSpecImportRejected  obs.Counter // target policy has FlowSpec disabled
 }
 
 // Server is the route server. It is not safe for concurrent use; the
@@ -159,6 +179,17 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterCounter("routeserver.import.rejected_host", &m.ImportRejectedHost)
 	reg.RegisterCounter("routeserver.import.not_targeted", &m.NotTargeted)
 	reg.RegisterCounter("routeserver.sessions.peer_down", &m.PeerDowns)
+	reg.RegisterCounter("flowspec.updates", &m.FlowSpecUpdates)
+	reg.RegisterCounter("flowspec.announced_rules", &m.FlowSpecAnnounced)
+	reg.RegisterCounter("flowspec.withdrawn_rules", &m.FlowSpecWithdrawn)
+	reg.RegisterCounter("flowspec.withdrawn_noop", &m.FlowSpecWithdrawnNoop)
+	reg.RegisterCounter("flowspec.reannouncements", &m.FlowSpecReannouncements)
+	reg.RegisterCounter("flowspec.rejected_no_discard", &m.FlowSpecRejectedAction)
+	reg.RegisterCounter("flowspec.rejected_no_dst", &m.FlowSpecRejectedNoDst)
+	reg.RegisterCounter("flowspec.rejected_origin", &m.FlowSpecRejectedOrigin)
+	reg.RegisterCounter("flowspec.import.accepted", &m.FlowSpecImportAccepted)
+	reg.RegisterCounter("flowspec.import.rejected", &m.FlowSpecImportRejected)
+	reg.GaugeFunc("flowspec.rules", func() int64 { return int64(s.NumFlowSpecRules()) })
 	reg.GaugeFunc("routeserver.peers", func() int64 { return int64(len(s.peers)) })
 	reg.GaugeFunc("routeserver.rib_routes", func() int64 { return int64(len(s.rib)) })
 	for _, asn := range s.peerOrder {
@@ -214,6 +245,15 @@ func (s *Server) Process(ts time.Time, peerAS uint32, upd *bgp.Update) ([]Announ
 			return nil, fmt.Errorf("routeserver: archiving update from AS%d: %w", peerAS, err)
 		}
 		s.collector(ts, peerAS, ps.peer.IP, raw)
+	}
+
+	// A FlowSpec payload travels as opaque MP attributes in an UPDATE with
+	// no IPv4 NLRI; the same session and archive path carries both route
+	// kinds, so dispatch here (the message was already archived above).
+	if fsu, isFS, err := bgp.FlowSpecFromUpdate(upd); err != nil {
+		return nil, fmt.Errorf("routeserver: malformed flowspec from AS%d: %w", peerAS, err)
+	} else if isFS {
+		return nil, s.processFlowSpec(peerAS, fsu)
 	}
 
 	for _, p := range upd.Withdrawn {
@@ -315,7 +355,9 @@ func (s *Server) PeerDown(peerAS uint32) int {
 	for _, p := range prefixes {
 		s.withdraw(peerAS, p)
 	}
-	return len(prefixes)
+	// The teardown also flushes the peer's FlowSpec rules (counted in
+	// FlowSpecWithdrawn), same as its RTBH routes.
+	return len(prefixes) + s.flushFlowSpec(peerAS)
 }
 
 func (s *Server) withdraw(origin uint32, prefix bgp.Prefix) {

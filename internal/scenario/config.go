@@ -99,6 +99,26 @@ type Config struct {
 	// modeling independently drifting measurement clocks per exchange.
 	// IXP 0 always keeps the base ClockOffset.
 	IXPClockSkewStep time.Duration
+	// MitigationPolicy selects how victims mitigate DDoS attacks:
+	//
+	//   "" or "rtbh"  RTBH only — the paper's observed practice and the
+	//                 bit-exact default world.
+	//   "flowspec"    victims of amplification attacks announce FlowSpec
+	//                 discard rules (dst prefix + UDP + the attack's
+	//                 service source ports) instead of RTBH; attacks
+	//                 FlowSpec cannot express (SYN floods, random-port
+	//                 floods) fall back to RTBH.
+	//   "escalate"    victims start with RTBH and escalate to FlowSpec
+	//                 mid-mitigation, withdrawing the blackhole — every
+	//                 such event exhibits both phases, the shape Table 5's
+	//                 per-event comparison needs.
+	//   "mixed"       per-event choice among the three.
+	//
+	// Any non-default policy enables FlowSpec import on all members and
+	// changes the planned world (new random draws), so it cannot be
+	// compared bit-for-bit against a default run of the same seed.
+	MitigationPolicy string
+
 	// MultiHomedShare is the fraction of RTBH-using members connected at
 	// two exchanges (home and the next one). A multi-homed member's
 	// inbound traffic splits deterministically across both, but its RTBH
@@ -205,7 +225,18 @@ func (c *Config) Validate() error {
 	case c.MultiHomedShare > 0 && c.IXPs < 2:
 		return errf("MultiHomedShare requires IXPs >= 2")
 	}
+	switch c.MitigationPolicy {
+	case "", "rtbh", "flowspec", "escalate", "mixed":
+	default:
+		return errf("MitigationPolicy must be one of rtbh, flowspec, escalate, mixed; got %q", c.MitigationPolicy)
+	}
 	return nil
+}
+
+// MitigationEnabled reports whether the policy plans FlowSpec mitigation
+// (anything beyond the default RTBH-only behaviour).
+func (c *Config) MitigationEnabled() bool {
+	return c.MitigationPolicy != "" && c.MitigationPolicy != "rtbh"
 }
 
 // End returns the end of the measurement period.

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/netgen"
+	"repro/internal/routeserver"
+	"repro/internal/stats"
+)
+
+// planMitigation applies Config.MitigationPolicy to the planned events:
+// amplification-attack victims switch to, or escalate into, FlowSpec
+// discard rules. It runs after overlap resolution, so episode times are
+// final; the default policy leaves the world untouched (no draws).
+func planMitigation(w *World, r *stats.RNG) {
+	if !w.Cfg.MitigationEnabled() {
+		return
+	}
+	// FlowSpec is an opt-in route-server feature; a deployment that plans
+	// fine-grained mitigation has its members import the rules.
+	for i := range w.Members {
+		w.Members[i].Policy.FlowSpec = routeserver.AcceptFull
+	}
+	for _, e := range w.Events {
+		if e.Class != ClassDDoS || e.Attack == nil || len(e.Episodes) == 0 {
+			continue
+		}
+		if len(e.Attack.Protocols) == 0 {
+			// SYN floods and pure random-port floods have no port
+			// signature a FlowSpec rule could discard on; the victim
+			// stays with RTBH.
+			continue
+		}
+		choice := w.Cfg.MitigationPolicy
+		if choice == "mixed" {
+			choice = [...]string{"rtbh", "flowspec", "escalate"}[r.Intn(3)]
+		}
+		switch choice {
+		case "flowspec":
+			// Fine-grained from the first reaction: the window replaces
+			// the RTBH episodes entirely.
+			fs := &FlowSpecWindow{Start: e.Episodes[0].Announce, Rule: flowRuleFor(e)}
+			if end, ok := e.End(); ok {
+				fs.End = end
+			}
+			e.Episodes = nil
+			e.FlowSpec = fs
+		case "escalate":
+			escalateEvent(w, e, r)
+		}
+	}
+}
+
+// escalateEvent truncates the event's RTBH episodes at a drawn handover
+// instant and plans the FlowSpec window from there to the original
+// mitigation end, so the event exhibits both phases back to back.
+func escalateEvent(w *World, e *Event, r *stats.RNG) {
+	start := e.Episodes[0].Announce
+	mitEnd, bounded := e.End()
+	if !bounded {
+		mitEnd = w.Cfg.End()
+	}
+	span := mitEnd.Sub(start)
+	if span < 4*time.Minute {
+		return // nothing worth splitting; stay with RTBH
+	}
+	esc := start.Add(time.Duration((0.3 + 0.4*r.Float64()) * float64(span)))
+
+	var eps []Episode
+	for _, ep := range e.Episodes {
+		if !ep.Announce.Before(esc) {
+			break
+		}
+		if ep.Withdraw.IsZero() || ep.Withdraw.After(esc) {
+			ep.Withdraw = esc
+		}
+		eps = append(eps, ep)
+	}
+	e.Episodes = eps
+	fs := &FlowSpecWindow{Start: esc, Rule: flowRuleFor(e)}
+	if bounded {
+		fs.End = mitEnd
+	}
+	e.FlowSpec = fs
+}
+
+// flowRuleFor builds the victim's discard rule: the event prefix, UDP,
+// and the attack's amplification service ports as source ports (the
+// reflected traffic carries the service port as its source).
+func flowRuleFor(e *Event) *bgp.FlowRule {
+	seen := make(map[uint16]bool, len(e.Attack.Protocols))
+	ports := make([]uint16, 0, len(e.Attack.Protocols))
+	for _, p := range e.Attack.Protocols {
+		if !seen[p.Port] {
+			seen[p.Port] = true
+			ports = append(ports, p.Port)
+		}
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return &bgp.FlowRule{
+		Dst:      e.Prefix,
+		HasDst:   true,
+		Protos:   []uint8{netgen.ProtoUDP},
+		SrcPorts: ports,
+	}
+}

@@ -49,6 +49,7 @@ func Plan(cfg Config) (*World, error) {
 	planRemoteASes(w, rng.Fork(3))
 	planHosts(w, rng.Fork(4))
 	planEvents(w, rng.Fork(5))
+	planMitigation(w, rng.Fork(6))
 	buildRegistries(w)
 	return w, nil
 }

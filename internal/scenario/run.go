@@ -36,6 +36,13 @@ type Result struct {
 	Announcements int // UPDATE messages announcing RTBH prefixes
 	Withdrawals   int // UPDATE messages withdrawing RTBH prefixes
 	FlowRecords   int64
+	// FlowSpecAnnouncements/Withdrawals count FlowSpec control messages
+	// (zero under the default mitigation policy).
+	FlowSpecAnnouncements int
+	FlowSpecWithdrawals   int
+	// Mitigation is the fabric's ground-truth per-event mitigation
+	// ledger, keyed by event ID.
+	Mitigation map[int]fabric.EventMitigation
 }
 
 // attackSlotDuration is the granularity at which attack traffic is
@@ -47,6 +54,7 @@ type controlMsg struct {
 	t        time.Time
 	event    *Event
 	announce bool
+	fs       bool // FlowSpec rule action instead of an RTBH route action
 }
 
 // Executor receives the planned world's totally ordered action stream
@@ -65,14 +73,26 @@ type Executor interface {
 type DriveStats struct {
 	Announcements int // UPDATE messages announcing RTBH prefixes
 	Withdrawals   int // UPDATE messages withdrawing RTBH prefixes
+	// FlowSpec rule announcements and withdrawals, dispatched as plain
+	// UPDATEs carrying multiprotocol attributes through the same
+	// Executor.Control path.
+	FlowSpecAnnouncements int
+	FlowSpecWithdrawals   int
 }
 
 // NewRouteServer constructs the route server of the planned world with
-// every member session registered, exactly as Run does.
+// every member session registered, exactly as Run does. Each member's
+// registered address space is the victim blocks it announces for, which
+// arms the route server's FlowSpec originator validation.
 func NewRouteServer(w *World) (*routeserver.Server, error) {
+	space := make(map[uint32][]bgp.Prefix)
+	for _, v := range w.VictimASes {
+		space[v.Peer] = append(space[v.Peer], v.Block)
+	}
 	rs := routeserver.New(w.RSASN, w.RSIP)
 	for _, m := range w.Members {
-		if err := rs.AddPeer(routeserver.Peer{ASN: m.ASN, IP: m.IP, Policy: m.Policy}); err != nil {
+		p := routeserver.Peer{ASN: m.ASN, IP: m.IP, Policy: m.Policy, Space: space[m.ASN]}
+		if err := rs.AddPeer(p); err != nil {
 			return nil, err
 		}
 	}
@@ -122,7 +142,10 @@ func Run(w *World, sinks Sinks) (*Result, error) {
 	res.ControlMsgs = rs.MessagesProcessed()
 	res.Announcements = st.Announcements
 	res.Withdrawals = st.Withdrawals
+	res.FlowSpecAnnouncements = st.FlowSpecAnnouncements
+	res.FlowSpecWithdrawals = st.FlowSpecWithdrawals
 	res.FlowRecords = flowCount
+	res.Mitigation = fb.Mitigation()
 	return res, nil
 }
 
@@ -182,6 +205,14 @@ func Drive(w *World, build func(fabricRNG *stats.RNG) (Executor, error)) (*Drive
 					controlMsg{t: ep.Withdraw, event: e, announce: false})
 			}
 		}
+		if fs := e.FlowSpec; fs != nil {
+			ctlByDay[dayIndex(fs.Start)] = append(ctlByDay[dayIndex(fs.Start)],
+				controlMsg{t: fs.Start, event: e, announce: true, fs: true})
+			if !fs.End.IsZero() {
+				ctlByDay[dayIndex(fs.End)] = append(ctlByDay[dayIndex(fs.End)],
+					controlMsg{t: fs.End, event: e, announce: false, fs: true})
+			}
+		}
 	}
 
 	addSessionResets(w, ctlByDay, dayIndex, rng.Fork(3))
@@ -202,15 +233,18 @@ func Drive(w *World, build func(fabricRNG *stats.RNG) (Executor, error)) (*Drive
 	// over to bound reflector-pool memory.
 	vectors := make(map[int][]netgen.Vector)
 	attackEnds := make(map[int]time.Time)
-	// Per-host episode transition times for batch splitting.
+	// Per-host episode transition times for batch splitting, and the
+	// attack-event spans the host's inbound traffic is attributed to in
+	// the mitigation ledger.
 	transitions := hostTransitions(w)
+	spans := hostMitigationSpans(w)
 
 	genRNG := rng.Fork(2)
 	var batches []fabric.Batch
 	for d := 0; d < days; d++ {
 		dayStart := w.Cfg.Start.AddDate(0, 0, d)
 		batches = batches[:0]
-		batches = appendBaselineBatches(batches, w, d, dayStart, transitions, genRNG)
+		batches = appendBaselineBatches(batches, w, d, dayStart, transitions, spans, genRNG)
 		batches = appendAttackBatches(batches, w, attacksByDay[d], dayStart, vectors, genRNG)
 		batches = appendInternalBatches(batches, w, dayStart, genRNG)
 
@@ -234,13 +268,21 @@ func Drive(w *World, build func(fabricRNG *stats.RNG) (Executor, error)) (*Drive
 			// Control messages win ties so that a batch starting exactly
 			// at an announcement sees the new state.
 			if ci < len(ctl) && (bi >= len(batches) || !batches[bi].Time.Before(ctl[ci].t)) {
-				upd := buildControlUpdate(ctl[ci], genRNG)
+				upd, err := buildControlUpdate(ctl[ci], genRNG)
+				if err != nil {
+					return st, err
+				}
 				if err := ex.Control(ctl[ci].t, ctl[ci].event.Peer, upd); err != nil {
 					return st, err
 				}
-				if ctl[ci].announce {
+				switch {
+				case ctl[ci].fs && ctl[ci].announce:
+					st.FlowSpecAnnouncements++
+				case ctl[ci].fs:
+					st.FlowSpecWithdrawals++
+				case ctl[ci].announce:
 					st.Announcements++
-				} else {
+				default:
 					st.Withdrawals++
 				}
 				ci++
@@ -257,8 +299,20 @@ func Drive(w *World, build func(fabricRNG *stats.RNG) (Executor, error)) (*Drive
 
 // buildControlUpdate constructs the announce/withdraw UPDATE of one
 // scheduled control message, consuming the shared generator stream.
-func buildControlUpdate(cm controlMsg, r *stats.RNG) *bgp.Update {
+// FlowSpec actions are wrapped as plain UPDATEs (MP attributes, no IPv4
+// NLRI) and draw nothing from the stream.
+func buildControlUpdate(cm controlMsg, r *stats.RNG) (*bgp.Update, error) {
 	e := cm.event
+	if cm.fs {
+		fsu := &bgp.FlowSpecUpdate{}
+		if cm.announce {
+			fsu.Announced = []*bgp.FlowRule{e.FlowSpec.Rule}
+			fsu.ExtComms = []bgp.ExtCommunity{bgp.TrafficRateDiscard}
+		} else {
+			fsu.Withdrawn = []*bgp.FlowRule{e.FlowSpec.Rule}
+		}
+		return bgp.UpdateFromFlowSpec(fsu)
+	}
 	upd := &bgp.Update{}
 	if cm.announce {
 		comms := bgp.Communities{bgp.Blackhole}
@@ -282,7 +336,7 @@ func buildControlUpdate(cm controlMsg, r *stats.RNG) *bgp.Update {
 	} else {
 		upd.Withdrawn = []bgp.Prefix{e.Prefix}
 	}
-	return upd
+	return upd, nil
 }
 
 // hostTransitions collects, per host index, the sorted set of times at
@@ -298,6 +352,12 @@ func hostTransitions(w *World) map[int][]time.Time {
 			out[host] = append(out[host], ep.Announce)
 			if !ep.Withdraw.IsZero() {
 				out[host] = append(out[host], ep.Withdraw)
+			}
+		}
+		if fs := e.FlowSpec; fs != nil {
+			out[host] = append(out[host], fs.Start)
+			if !fs.End.IsZero() {
+				out[host] = append(out[host], fs.End)
 			}
 		}
 	}
@@ -321,6 +381,42 @@ func hostTransitions(w *World) map[int][]time.Time {
 		ts := out[h]
 		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
 		out[h] = ts
+	}
+	return out
+}
+
+// mitSpan is the time range during which a host's inbound traffic is
+// attributed to one attack event in the fabric's mitigation ledger: from
+// the earlier of attack start and first mitigation action to the later
+// of attack end and mitigation end.
+type mitSpan struct {
+	e        *Event
+	from, to time.Time
+}
+
+// hostMitigationSpans indexes the attack events per victim host.
+func hostMitigationSpans(w *World) map[int][]mitSpan {
+	out := make(map[int][]mitSpan)
+	for _, e := range w.Events {
+		if e.Attack == nil || e.Host < 0 {
+			continue
+		}
+		from := e.Attack.Start
+		if s := e.Start(); s.Before(from) {
+			from = s
+		}
+		to := e.Attack.End()
+		if end, ok := e.End(); !ok {
+			to = w.Cfg.End()
+		} else if end.After(to) {
+			to = end
+		}
+		out[e.Host] = append(out[e.Host], mitSpan{e: e, from: from, to: to})
+	}
+	for h := range out {
+		sp := out[h]
+		sort.Slice(sp, func(i, j int) bool { return sp[i].from.Before(sp[j].from) })
+		out[h] = sp
 	}
 	return out
 }
@@ -369,7 +465,7 @@ func splitBatch(dst []fabric.Batch, b fabric.Batch, transitions []time.Time) []f
 // appendBaselineBatches emits the legitimate and scan traffic of all hosts
 // active on day d, split at blackholing transitions.
 func appendBaselineBatches(dst []fabric.Batch, w *World, d int, dayStart time.Time,
-	transitions map[int][]time.Time, r *stats.RNG) []fabric.Batch {
+	transitions map[int][]time.Time, spans map[int][]mitSpan, r *stats.RNG) []fabric.Batch {
 	var raw []fabric.Batch
 	for hi, h := range w.Hosts {
 		if d >= len(h.ActiveDays) {
@@ -410,8 +506,29 @@ func appendBaselineBatches(dst []fabric.Batch, w *World, d int, dayStart time.Ti
 			raw[i].Owner = owner
 		}
 		tr := transitions[hi]
+		sp := spans[hi]
 		for _, b := range raw {
+			n0 := len(dst)
 			dst = splitBatch(dst, b, tr)
+			if len(sp) == 0 {
+				continue
+			}
+			// Attribute inbound segments to the covering attack event as
+			// the victim's legitimate traffic. Segments were split at
+			// every mitigation transition, so the phase at the segment
+			// start holds throughout it.
+			for i := n0; i < len(dst); i++ {
+				if dst[i].DstIP != h.IP {
+					continue
+				}
+				for _, s := range sp {
+					if !dst[i].Time.Before(s.from) && dst[i].Time.Before(s.to) {
+						dst[i].Event = s.e.ID + 1
+						dst[i].Mitigation = s.e.MitigationPhase(dst[i].Time)
+						break
+					}
+				}
+			}
 		}
 	}
 	return dst
@@ -442,6 +559,12 @@ func appendAttackBatches(dst []fabric.Batch, w *World, attacks []*Event, dayStar
 			tr = append(tr, ep.Announce)
 			if !ep.Withdraw.IsZero() {
 				tr = append(tr, ep.Withdraw)
+			}
+		}
+		if fs := e.FlowSpec; fs != nil {
+			tr = append(tr, fs.Start)
+			if !fs.End.IsZero() {
+				tr = append(tr, fs.End)
 			}
 		}
 		sort.Slice(tr, func(i, j int) bool { return tr[i].Before(tr[j]) })
@@ -482,10 +605,18 @@ func appendAttackBatches(dst []fabric.Batch, w *World, attacks []*Event, dayStar
 			bilateralLive := e.Bilateral && !t.Before(e.Start())
 			for i := range slotBuf {
 				slotBuf[i].Owner = victimAS
+				slotBuf[i].Event = e.ID + 1
+				slotBuf[i].Attack = true
 				if bilateralLive && slotBuf[i].IngressAS == bilateralAS {
 					slotBuf[i].BilateralDropFraction = 1
 				}
+				n0 := len(dst)
 				dst = splitBatch(dst, slotBuf[i], tr)
+				// Segments lie between mitigation transitions, so one
+				// phase covers each.
+				for j := n0; j < len(dst); j++ {
+					dst[j].Mitigation = e.MitigationPhase(dst[j].Time)
+				}
 			}
 		}
 	}

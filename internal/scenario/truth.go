@@ -36,6 +36,13 @@ type TruthEvent struct {
 	Filterable bool      `json:"filterable,omitempty"`
 	Targeted   bool      `json:"targeted,omitempty"`
 	Bilateral  bool      `json:"bilateral,omitempty"`
+	// Mitigation describes how the event mitigates: "rtbh", "flowspec"
+	// (fine-grained only), or "escalate" (RTBH handed over to FlowSpec).
+	Mitigation string `json:"mitigation,omitempty"`
+	// FlowSpecStart/End bound the FlowSpec window for flowspec/escalate
+	// events (zero End = active at period end).
+	FlowSpecStart time.Time `json:"flowspec_start,omitempty"`
+	FlowSpecEnd   time.Time `json:"flowspec_end,omitempty"`
 }
 
 // GroundTruth is the machine-readable summary of a planned world used to
@@ -100,6 +107,15 @@ func Truth(w *World) *GroundTruth {
 				te.AmpPorts = append(te.AmpPorts, p.Port)
 			}
 			te.Filterable = len(e.Attack.Protocols) > 0 && !e.Attack.ExtraRandomPort && !e.Attack.SYNFlood
+			te.Mitigation = "rtbh"
+		}
+		if e.FlowSpec != nil {
+			te.Mitigation = "escalate"
+			if len(e.Episodes) == 0 {
+				te.Mitigation = "flowspec"
+			}
+			te.FlowSpecStart = e.FlowSpec.Start
+			te.FlowSpecEnd = e.FlowSpec.End
 		}
 		gt.ClassCounts[te.Class]++
 		gt.Events = append(gt.Events, te)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/bgp"
+	"repro/internal/fabric"
 	"repro/internal/ip2as"
 	"repro/internal/netgen"
 	"repro/internal/peeringdb"
@@ -153,7 +154,19 @@ type Attack struct {
 // End returns when the attack traffic stops.
 func (a *Attack) End() time.Time { return a.Start.Add(a.Duration) }
 
-// Event is one planned RTBH event with ground truth attached.
+// FlowSpecWindow is the fine-grained mitigation phase of an event: the
+// victim's FlowSpec discard rule is announced at Start and withdrawn at
+// End (zero End = active to the end of the period).
+type FlowSpecWindow struct {
+	Start time.Time
+	End   time.Time
+	Rule  *bgp.FlowRule
+}
+
+// Event is one planned mitigation event with ground truth attached.
+// Episodes are the RTBH announce/withdraw cycles; FlowSpec, when
+// non-nil, is the fine-grained phase a non-default MitigationPolicy
+// planned. A FlowSpec-only event has no episodes at all.
 type Event struct {
 	ID       int
 	Class    EventClass
@@ -163,6 +176,7 @@ type Event struct {
 	Host     int    // index into World.Hosts, -1 for squatting prefixes
 	Attack   *Attack
 	Episodes []Episode
+	FlowSpec *FlowSpecWindow
 	// TargetedExclude, when non-empty, lists peers excluded from the
 	// announcement via communities (targeted blackholing).
 	TargetedExclude []uint32
@@ -171,17 +185,53 @@ type Event struct {
 	Bilateral bool
 }
 
-// Start returns the first announcement time.
-func (e *Event) Start() time.Time { return e.Episodes[0].Announce }
-
-// End returns the final withdraw time; ok is false if the route stays
-// active to the end of the measurement period.
-func (e *Event) End() (time.Time, bool) {
-	last := e.Episodes[len(e.Episodes)-1]
-	if last.Withdraw.IsZero() {
-		return time.Time{}, false
+// Start returns the first mitigation action (RTBH announcement, or the
+// FlowSpec rule announcement for FlowSpec-only events).
+func (e *Event) Start() time.Time {
+	if len(e.Episodes) == 0 && e.FlowSpec != nil {
+		return e.FlowSpec.Start
 	}
-	return last.Withdraw, true
+	return e.Episodes[0].Announce
+}
+
+// End returns when the last mitigation state is removed; ok is false if
+// any of it stays active to the end of the measurement period.
+func (e *Event) End() (time.Time, bool) {
+	var end time.Time
+	if len(e.Episodes) > 0 {
+		last := e.Episodes[len(e.Episodes)-1]
+		if last.Withdraw.IsZero() {
+			return time.Time{}, false
+		}
+		end = last.Withdraw
+	}
+	if e.FlowSpec != nil {
+		if e.FlowSpec.End.IsZero() {
+			return time.Time{}, false
+		}
+		if e.FlowSpec.End.After(end) {
+			end = e.FlowSpec.End
+		}
+	}
+	return end, true
+}
+
+// MitigationPhase returns the mitigation state covering instant t. The
+// FlowSpec window wins where it overlaps an RTBH episode (escalation
+// withdraws the blackhole at the handover, so overlap is momentary).
+func (e *Event) MitigationPhase(t time.Time) fabric.Phase {
+	if fs := e.FlowSpec; fs != nil && !t.Before(fs.Start) && (fs.End.IsZero() || t.Before(fs.End)) {
+		return fabric.PhaseFlowSpec
+	}
+	for _, ep := range e.Episodes {
+		if t.Before(ep.Announce) {
+			break // episodes are chronological
+		}
+		if ep.Withdraw.IsZero() || t.Before(ep.Withdraw) {
+			return fabric.PhaseRTBH
+		}
+	}
+	return fabric.PhaseNone
 }
 
 // World is the fully planned simulation input.

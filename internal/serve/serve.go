@@ -21,6 +21,7 @@ import (
 	"time"
 
 	rtbh "repro"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/bgp"
 	"repro/internal/detect"
 	"repro/internal/obs"
@@ -106,7 +107,8 @@ type Server struct {
 // endpointNames lists the API surface, in the order health reports it.
 var endpointNames = []string{
 	"health", "summary", "events", "active", "collateral",
-	"usecases", "victims", "federation", "detections", "history",
+	"usecases", "victims", "mitigation", "federation", "detections",
+	"history",
 }
 
 // New builds a server over cfg.Source. It registers metrics when
@@ -160,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/api/collateral", s.handle("collateral", s.handleCollateral))
 	s.mux.Handle("/api/usecases", s.handle("usecases", s.handleUseCases))
 	s.mux.Handle("/api/victims", s.handle("victims", s.handleVictims))
+	s.mux.Handle("/api/mitigation", s.handle("mitigation", s.handleMitigation))
 	s.mux.Handle("/api/federation", s.handle("federation", s.handleFederation))
 	s.mux.Handle("/api/detections", s.handle("detections", s.handleDetections))
 	s.mux.Handle("/api/history", s.handle("history", s.handleHistory))
@@ -728,6 +731,85 @@ func (s *Server) handleVictims(r *http.Request) (any, *httpError) {
 	}
 	for typ, share := range rep.Table4.ServerTypes {
 		out.ServerTypes[string(typ)] = share
+	}
+	return out, nil
+}
+
+// MitigationCounterView is one dropped/forwarded traffic tally.
+type MitigationCounterView struct {
+	DroppedPkts    int64   `json:"dropped_pkts"`
+	ForwardedPkts  int64   `json:"forwarded_pkts"`
+	DroppedBytes   int64   `json:"dropped_bytes"`
+	ForwardedBytes int64   `json:"forwarded_bytes"`
+	DropRatePkts   float64 `json:"drop_rate_pkts"`
+}
+
+func mitCounterView(c *rtbh.MitigationCounter) MitigationCounterView {
+	return MitigationCounterView{
+		DroppedPkts:    c.DroppedPkts,
+		ForwardedPkts:  c.ForwardedPkts,
+		DroppedBytes:   c.DroppedBytes,
+		ForwardedBytes: c.ForwardedBytes,
+		DropRatePkts:   c.DropRatePkts(),
+	}
+}
+
+// MitigationRowView is one Table 5 row: one mitigation type's aggregate
+// outcome on attack and legitimate traffic.
+type MitigationRowView struct {
+	Type     string                `json:"type"`
+	Prefixes int                   `json:"prefixes"`
+	Attack   MitigationCounterView `json:"attack"`
+	Legit    MitigationCounterView `json:"legit"`
+}
+
+// MitigationPrefixView is one victim prefix's per-type detail.
+type MitigationPrefixView struct {
+	Prefix         string                `json:"prefix"`
+	RTBHAttack     MitigationCounterView `json:"rtbh_attack"`
+	RTBHLegit      MitigationCounterView `json:"rtbh_legit"`
+	FlowSpecAttack MitigationCounterView `json:"flowspec_attack"`
+	FlowSpecLegit  MitigationCounterView `json:"flowspec_legit"`
+}
+
+// MitigationView is /api/mitigation: the reproduced Table 5 — RTBH vs
+// FlowSpec, measured on the mitigated traffic.
+type MitigationView struct {
+	TakenAt  time.Time              `json:"taken_at"`
+	Measured bool                   `json:"measured"`
+	Rows     []MitigationRowView    `json:"rows"`
+	Prefixes []MitigationPrefixView `json:"prefixes"`
+}
+
+func (s *Server) handleMitigation(r *http.Request) (any, *httpError) {
+	rep, taken, herr := s.snapshotFor(r)
+	if herr != nil {
+		return nil, herr
+	}
+	out := &MitigationView{TakenAt: taken.UTC()}
+	t5 := rep.Table5
+	if t5 == nil {
+		return out, nil
+	}
+	out.Measured = t5.Measured()
+	for i := range t5.Rows {
+		row := &t5.Rows[i]
+		out.Rows = append(out.Rows, MitigationRowView{
+			Type:     row.Phase.String(),
+			Prefixes: row.Prefixes,
+			Attack:   mitCounterView(&row.Attack),
+			Legit:    mitCounterView(&row.Legit),
+		})
+	}
+	for i := range t5.ByPrefix {
+		ps := &t5.ByPrefix[i]
+		out.Prefixes = append(out.Prefixes, MitigationPrefixView{
+			Prefix:         ps.Prefix.String(),
+			RTBHAttack:     mitCounterView(&ps.Attack[mitigation.PhaseRTBH]),
+			RTBHLegit:      mitCounterView(&ps.Legit[mitigation.PhaseRTBH]),
+			FlowSpecAttack: mitCounterView(&ps.Attack[mitigation.PhaseFlowSpec]),
+			FlowSpecLegit:  mitCounterView(&ps.Legit[mitigation.PhaseFlowSpec]),
+		})
 	}
 	return out, nil
 }

@@ -506,6 +506,29 @@ func All() []Experiment {
 				}
 			},
 		},
+		{
+			ID:    "table5",
+			Title: "Attack vs legitimate traffic dropped per mitigation type",
+			Paper: "RTBH discards everything toward the victim, legitimate traffic included; fine-grained filtering (BGP FlowSpec) drops the attack while sparing legitimate flows",
+			Render: func(w io.Writer, r *rtbh.Report) {
+				t5 := r.Table5
+				if t5 == nil {
+					fmt.Fprintln(w, "not composed")
+					return
+				}
+				if !t5.Measured() {
+					fmt.Fprintln(w, "no mitigated traffic measured (simulate with -mitigation to enable FlowSpec scenarios)")
+					return
+				}
+				fmt.Fprintln(w, "type prefixes attack_dropped attack_pkts legit_dropped legit_pkts")
+				for i := range t5.Rows {
+					row := &t5.Rows[i]
+					fmt.Fprintf(w, "%s %d %.3f %d %.3f %d\n", row.Phase, row.Prefixes,
+						row.Attack.DropRatePkts(), row.Attack.TotalPkts(),
+						row.Legit.DropRatePkts(), row.Legit.TotalPkts())
+				}
+			},
+		},
 	}
 }
 

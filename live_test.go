@@ -26,6 +26,11 @@ func TestLiveBatchParity(t *testing.T) {
 	}
 	cfg := rtbh.TestConfig()
 	cfg.Seed = 0x11FE
+	// Escalating mitigation puts FlowSpec signaling on the wire too, so
+	// the parity guarantee covers the fine-grained path end to end: the
+	// rules ride the same BGP sessions and the rendered report includes
+	// the measured Table 5.
+	cfg.MitigationPolicy = "escalate"
 
 	batchDir, liveDir := t.TempDir(), t.TempDir()
 	if _, err := rtbh.Simulate(cfg, batchDir); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/events"
+	"repro/internal/analysis/mitigation"
 	"repro/internal/analysis/pipeline"
 	"repro/internal/bgp"
 	"repro/internal/federation"
@@ -74,11 +75,12 @@ type OnlineAnalyzer struct {
 
 	// mu guards the O(1) ingest state: stream appends and counters.
 	// Ingest never blocks on analysis work.
-	mu        sync.Mutex
-	updates   []analysis.ControlUpdate
-	pending   []ipfix.FlowRecord // arrival-order FIFO; [:head] sealed
-	flowCount int64
-	watermark time.Time // newest control-update timestamp
+	mu          sync.Mutex
+	updates     []analysis.ControlUpdate
+	flowUpdates []analysis.FlowUpdate
+	pending     []ipfix.FlowRecord // arrival-order FIFO; [:head] sealed
+	flowCount   int64
+	watermark   time.Time // newest control-update timestamp
 
 	// opMu guards the incremental operator state and the seal machinery.
 	// Lock order: opMu before mu; mu is never held while taking opMu.
@@ -90,9 +92,12 @@ type OnlineAnalyzer struct {
 	head int
 	// sortedUpdates/opUpdates cache the time-sorted control stream and
 	// how many raw updates it covers; events/index rebuild only when the
-	// update stream grew.
+	// update stream grew. sortedFlows/opFlows do the same for the
+	// FlowSpec stream and its mitigation index.
 	sortedUpdates []analysis.ControlUpdate
 	opUpdates     int
+	sortedFlows   []analysis.FlowUpdate
+	opFlows       int
 
 	// initErr records an invalid-metadata failure; Snapshot surfaces it.
 	initErr error
@@ -131,11 +136,12 @@ func (a *OnlineAnalyzer) RegisterMetrics(reg *obs.Registry) {
 }
 
 // ObserveUpdate ingests one BGP UPDATE the route server processed,
-// expanding it into RTBH control updates exactly as the batch MRT parser
-// would.
+// expanding it into RTBH control updates and FlowSpec actions exactly as
+// the batch MRT parser would (the same UPDATE never yields both).
 func (a *OnlineAnalyzer) ObserveUpdate(ts time.Time, peer uint32, upd *bgp.Update) {
 	a.mu.Lock()
 	a.updates = analysis.ExpandUpdate(a.updates, ts, peer, upd)
+	a.flowUpdates = analysis.ExpandFlowSpec(a.flowUpdates, ts, peer, upd)
 	if ts.After(a.watermark) {
 		a.watermark = ts
 	}
@@ -147,6 +153,18 @@ func (a *OnlineAnalyzer) ObserveUpdate(ts time.Time, peer uint32, upd *bgp.Updat
 func (a *OnlineAnalyzer) ObserveControl(u ControlUpdate) {
 	a.mu.Lock()
 	a.updates = append(a.updates, u)
+	if u.Time.After(a.watermark) {
+		a.watermark = u.Time
+	}
+	a.mu.Unlock()
+}
+
+// ObserveFlowSpec ingests one already-expanded FlowSpec action (the
+// archive replay counterpart of ObserveControl; live mode extracts
+// FlowSpec actions from ObserveUpdate).
+func (a *OnlineAnalyzer) ObserveFlowSpec(u analysis.FlowUpdate) {
+	a.mu.Lock()
+	a.flowUpdates = append(a.flowUpdates, u)
 	if u.Time.After(a.watermark) {
 		a.watermark = u.Time
 	}
@@ -195,10 +213,10 @@ func (a *OnlineAnalyzer) Period() (start, end time.Time) {
 // ingestView returns a consistent view of the ingest state: the slices
 // are stable prefixes (elements are never mutated and appends either
 // write past the view or relocate the backing array).
-func (a *OnlineAnalyzer) ingestView() (updates []analysis.ControlUpdate, pend []ipfix.FlowRecord, w time.Time) {
+func (a *OnlineAnalyzer) ingestView() (updates []analysis.ControlUpdate, flows []analysis.FlowUpdate, pend []ipfix.FlowRecord, w time.Time) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.updates, a.pending, a.watermark
+	return a.updates, a.flowUpdates, a.pending, a.watermark
 }
 
 // advanceLocked brings the operator state up to date: it rebuilds the
@@ -209,7 +227,7 @@ func (a *OnlineAnalyzer) advanceLocked() {
 	if a.ops == nil {
 		return
 	}
-	updates, pend, w := a.ingestView()
+	updates, flows, pend, w := a.ingestView()
 
 	if len(updates) != a.opUpdates {
 		// The batch parser sorts by time after reading the archive; the
@@ -222,6 +240,17 @@ func (a *OnlineAnalyzer) advanceLocked() {
 		a.ops.Rebind(evs, ix)
 		a.sortedUpdates = sorted
 		a.opUpdates = len(updates)
+	}
+
+	if len(flows) != a.opFlows {
+		// Same rebuild discipline for the FlowSpec view: records seal only
+		// once every FlowSpec update that can cover them has arrived, so
+		// rebinding never invalidates a sealed observation.
+		sorted := append([]analysis.FlowUpdate(nil), flows...)
+		analysis.SortFlowUpdates(sorted)
+		a.ops.BindFlow(mitigation.NewIndex(sorted, a.meta.End))
+		a.sortedFlows = sorted
+		a.opFlows = len(flows)
 	}
 
 	// Seal strictly in arrival order from the head: a young head record
@@ -285,7 +314,7 @@ func (a *OnlineAnalyzer) Snapshot(opts Options) (*Report, error) {
 	// Copy-on-snapshot: clone the compact operator state and replay the
 	// unsealed tail through the clone, giving the exact state of a batch
 	// pass over the full prefix while a.ops keeps accepting seals.
-	_, pend, _ := a.ingestView()
+	_, _, pend, _ := a.ingestView()
 	clone := a.ops.Clone()
 	for i := a.head; i < len(pend); i++ {
 		clone.Observe(&pend[i])
@@ -320,7 +349,7 @@ func (a *OnlineAnalyzer) FederationState(ixp int, seq uint64, clockOffset time.D
 	defer a.opMu.Unlock()
 	a.advanceLocked()
 
-	_, pend, _ := a.ingestView()
+	_, _, pend, _ := a.ingestView()
 	clone := a.ops.Clone()
 	for i := a.head; i < len(pend); i++ {
 		clone.Observe(&pend[i])

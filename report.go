@@ -116,6 +116,9 @@ func composeReport(meta *analysis.Metadata, updates []analysis.ControlUpdate, p 
 	// Collateral damage and use cases.
 	r.Fig18 = p.ComposeCollateral(profiles).Result()
 	r.Fig19 = usecase.Classify(p.Events, r.Verdicts, meta.End)
+
+	// Table 5: the RTBH-vs-FlowSpec mitigation comparison.
+	r.Table5 = p.Mit.Compose()
 	return r
 }
 

@@ -125,6 +125,7 @@ func TestServeGoldenEndpoints(t *testing.T) {
 		path string
 	}{
 		{"summary", "/api/summary"},
+		{"mitigation_rtbh_only", "/api/mitigation"},
 		{"events", "/api/events"},
 		{"active", "/api/active"},
 		{"collateral", "/api/collateral"},
@@ -138,35 +139,89 @@ func TestServeGoldenEndpoints(t *testing.T) {
 	}
 	for _, ep := range endpoints {
 		t.Run(ep.name, func(t *testing.T) {
-			req := httptest.NewRequest(http.MethodGet, ep.path, nil)
-			rr := httptest.NewRecorder()
-			srv.Handler().ServeHTTP(rr, req)
-			if rr.Code != http.StatusOK {
-				t.Fatalf("GET %s: status %d\n%s", ep.path, rr.Code, rr.Body.Bytes())
-			}
-			got, err := io.ReadAll(rr.Result().Body)
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			fixture := filepath.Join(serveGoldenDir, ep.name+".json")
-			if *updateGolden {
-				if err := os.MkdirAll(serveGoldenDir, 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(fixture, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("rewrote %s (%d bytes)", fixture, len(got))
-			}
-			want, err := os.ReadFile(fixture)
-			if err != nil {
-				t.Fatalf("%v (run with -update to create the fixture)", err)
-			}
-			if !bytes.Equal(got, want) {
-				diffLines(t, want, got)
-				t.Fatalf("GET %s does not match %s (run with -update after intended changes)", ep.path, fixture)
-			}
+			checkServeFixture(t, srv, ep.path, ep.name)
 		})
 	}
+}
+
+// checkServeFixture GETs path from srv and byte-compares the body
+// against testdata/golden/serve/<name>.json, rewriting it under -update.
+func checkServeFixture(t *testing.T, srv *serve.Server, path, name string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, rr.Code, rr.Body.Bytes())
+	}
+	got, err := io.ReadAll(rr.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixture := filepath.Join(serveGoldenDir, name+".json")
+	if *updateGolden {
+		if err := os.MkdirAll(serveGoldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", fixture, len(got))
+	}
+	want, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		diffLines(t, want, got)
+		t.Fatalf("GET %s does not match %s (run with -update after intended changes)", path, fixture)
+	}
+}
+
+// TestServeGoldenMitigation fixtures /api/mitigation over a world where
+// the fine-grained path actually fires: the golden scenario re-run under
+// the escalating mitigation policy, replayed through the online analyzer
+// the way an archive replay would (control, FlowSpec and flow streams
+// interleaved by the analyzer's own sealing discipline).
+func TestServeGoldenMitigation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates and analyzes a full test-scale world")
+	}
+	dir := t.TempDir()
+	cfg := goldenConfig()
+	cfg.MitigationPolicy = "escalate"
+	if _, err := rtbh.Simulate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rtbh.NewOnlineAnalyzer(ds.Meta)
+	for i := range ds.Updates {
+		a.ObserveControl(ds.Updates[i])
+	}
+	for i := range ds.FlowUpdates {
+		a.ObserveFlowSpec(ds.FlowUpdates[i])
+	}
+	if err := ds.EachFlow(func(rec *rtbh.FlowRecord) error {
+		a.ObserveFlow(rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := &serveClock{t: time.Date(2026, 1, 2, 3, 0, 0, 0, time.UTC)}
+	srv, err := serve.New(serve.Config{
+		Source:  a,
+		Options: onlineTestOpts(),
+		MaxAge:  time.Hour,
+		Clock:   clock.now,
+		Info:    map[string]string{"scale": "test", "fixture": "golden-mitigation"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkServeFixture(t, srv, "/api/mitigation", "mitigation")
 }
