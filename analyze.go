@@ -282,7 +282,7 @@ func (d *Dataset) Analyze(opts Options) (*Report, error) {
 		pp.Instrument(opts.Metrics)
 	}
 	tm := newStageTimers(opts.Metrics, d)
-	if err := span(tm.observe, func() error { return pp.Run(d.EachFlow) }); err != nil {
+	if err := span(tm.observe, func() error { return pp.RunBatches(d.EachFlowBatch) }); err != nil {
 		return nil, err
 	}
 	var report *Report
@@ -302,8 +302,8 @@ func (d *Dataset) analyzeSequential(opts Options) (*Report, error) {
 	}
 	tm := newStageTimers(opts.Metrics, d)
 	err = span(tm.observe, func() error {
-		return d.EachFlow(func(rec *flowRecord) error {
-			p.Observe(rec)
+		return d.EachFlowBatch(func(b *recordBatch) error {
+			p.ObserveBatch(b)
 			return nil
 		})
 	})

@@ -38,7 +38,8 @@ import (
 func main() {
 	runIDs := flag.String("run", "all", "comma-separated experiment ids (fig2..fig19, table1..table5) or 'all'")
 	data := flag.String("data", "", "dataset directory; empty means -simulate")
-	simulate := flag.String("simulate", "test", "simulate a fresh world at this scale (test, bench, full) when -data is empty")
+	simulate := flag.String("simulate", "test", "simulate a fresh world at this scale (test, bench, full, or a traffic multiplier like 50 = the full world at paper magnitudes) when -data is empty")
+	trafficScale := flag.Float64("traffic-scale", 0, "override the traffic-magnitude multiplier for -simulate (0 keeps the scale default)")
 	seed := flag.Uint64("seed", 0, "override scenario seed for -simulate")
 	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy for -simulate: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH; see table5)`)
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -92,17 +93,32 @@ func main() {
 
 	dir := *data
 	if dir == "" {
+		world, worldTraffic, err := cliutil.ParseScale(*simulate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-experiments: %v\n", err)
+			os.Exit(2)
+		}
 		var cfg rtbh.Config
-		switch *simulate {
+		switch world {
 		case "test":
 			cfg = rtbh.TestConfig()
 		case "bench":
 			cfg = rtbh.BenchConfig()
 		case "full":
 			cfg = rtbh.DefaultConfig()
-		default:
-			fmt.Fprintf(os.Stderr, "rtbh-experiments: unknown scale %q\n", *simulate)
+		}
+		cfg.TrafficScale = worldTraffic
+		if worldTraffic != 0 {
+			// The paper configuration: sampling coarsens with the traffic
+			// so the sampled stream stays scale-1 sized (see ParseScale).
+			cfg.SamplingRate = int64(float64(cfg.SamplingRate)*worldTraffic + 0.5)
+		}
+		if err := cliutil.CheckTrafficScale(*trafficScale); err != nil {
+			fmt.Fprintf(os.Stderr, "rtbh-experiments: %v\n", err)
 			os.Exit(2)
+		}
+		if *trafficScale != 0 {
+			cfg.TrafficScale = *trafficScale
 		}
 		if *seed != 0 {
 			cfg.Seed = *seed

@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	rtbh-live -out DIR [-scale test|bench|full] [-seed N] [-days N]
+//	rtbh-live -out DIR [-scale test|bench|full|MULTIPLIER] [-seed N] [-days N]
+//	          [-traffic-scale X]
 //	          [-snapshot-every 30s] [-report=false] [-metrics PATH]
 //	          [-pprof ADDR] [-chaos-profile NAME] [-chaos-seed N]
 //	          [-ixps N] [-snapshot-chaos-profile NAME]
@@ -78,7 +79,8 @@ import (
 
 func main() {
 	out := flag.String("out", "dataset", "output directory for the dataset files")
-	scale := flag.String("scale", "test", "world scale: test, bench, or full (the paper's 104 days)")
+	scale := flag.String("scale", "test", "world scale: test, bench, full, or a traffic multiplier (e.g. 50 = the full 104-day world at the paper's absolute traffic magnitudes)")
+	trafficScale := flag.Float64("traffic-scale", 0, "override the traffic-magnitude multiplier on any world scale (0 keeps the scale default)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (0 keeps the scale default)")
 	days := flag.Int("days", 0, "override the measurement-period length in days (0 keeps the scale default)")
 	snapEvery := flag.Duration("snapshot-every", 0, "print a partial analysis snapshot at this interval (0 disables)")
@@ -100,8 +102,8 @@ func main() {
 	serveHistoryDepth := flag.Int("serve-history-depth", serve.DefaultHistoryDepth,
 		"how many periodic snapshots the looking-glass history ring retains")
 	detectOn := flag.Bool("detect", false, "run the closed-loop DRDoS detector: originate RTBH for detected victims through the route server")
-	detectThreshold := flag.Float64("detect-threshold", detect.DefaultThreshold,
-		"estimated packet rate (pps) over the detection window that fires a detection")
+	detectThreshold := flag.Float64("detect-threshold", 0,
+		"estimated packet rate (pps) over the detection window that fires a detection (0 derives detect.DefaultThreshold x the traffic scale)")
 	detectWindow := flag.Duration("detect-window", detect.DefaultWindow,
 		"sliding window the detector rates victims over")
 	detectCooldown := flag.Duration("detect-cooldown", detect.DefaultCooldown,
@@ -109,17 +111,32 @@ func main() {
 	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH; see the table5 report section)`)
 	flag.Parse()
 
+	world, worldTraffic, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
+		os.Exit(2)
+	}
 	var cfg rtbh.Config
-	switch *scale {
+	switch world {
 	case "test":
 		cfg = rtbh.TestConfig()
 	case "bench":
 		cfg = rtbh.BenchConfig()
 	case "full":
 		cfg = rtbh.DefaultConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "rtbh-live: unknown scale %q (want test, bench, or full)\n", *scale)
+	}
+	cfg.TrafficScale = worldTraffic
+	if worldTraffic != 0 {
+		// The paper configuration: sampling coarsens with the traffic so
+		// the sampled stream stays scale-1 sized (see ParseScale).
+		cfg.SamplingRate = int64(float64(cfg.SamplingRate)*worldTraffic + 0.5)
+	}
+	if err := cliutil.CheckTrafficScale(*trafficScale); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)
 		os.Exit(2)
+	}
+	if *trafficScale != 0 {
+		cfg.TrafficScale = *trafficScale
 	}
 	if err := cliutil.CheckDays(*days); err != nil {
 		fmt.Fprintf(os.Stderr, "rtbh-live: %v\n", err)

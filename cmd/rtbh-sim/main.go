@@ -5,8 +5,18 @@
 //
 // Usage:
 //
-//	rtbh-sim -out DIR [-scale test|bench|full] [-seed N] [-days N]
-//	         [-metrics PATH] [-pprof ADDR]
+//	rtbh-sim -out DIR [-scale test|bench|full|MULTIPLIER] [-seed N] [-days N]
+//	         [-traffic-scale X] [-metrics PATH] [-pprof ADDR]
+//
+// A numeric -scale selects the full 104-day world at that
+// traffic-magnitude multiplier AND coarsens the 1:N sampling by the
+// same factor: -scale 50 restores the paper's absolute attack rates and
+// host baselines (≈50x the documented scaled-down defaults) at 1:500000
+// sampling, so every estimated rate lands at paper magnitude while the
+// sampled record stream — and the run time — stays at the scale-1 size.
+// -traffic-scale applies the raw traffic multiplier to any named world
+// size without touching the sampling (e.g. -scale test -traffic-scale
+// 50 for a smoke world with 50x the sampled volume).
 //
 // With -metrics, a JSON snapshot of the route server's and the fabric's
 // observability metrics is written after the run ("-" for stderr); the
@@ -28,7 +38,8 @@ import (
 
 func main() {
 	out := flag.String("out", "dataset", "output directory for the dataset files")
-	scale := flag.String("scale", "test", "world scale: test, bench, or full (the paper's 104 days)")
+	scale := flag.String("scale", "test", "world scale: test, bench, full, or a traffic multiplier (e.g. 50 = the full 104-day world at the paper's absolute traffic magnitudes)")
+	trafficScale := flag.Float64("traffic-scale", 0, "override the traffic-magnitude multiplier on any world scale (0 keeps the scale default)")
 	seed := flag.Uint64("seed", 0, "override the scenario seed (0 keeps the scale default)")
 	days := flag.Int("days", 0, "override the measurement-period length in days (0 keeps the scale default)")
 	mitigation := flag.String("mitigation", "", `fine-grained mitigation policy: "flowspec", "escalate" or "mixed" (empty keeps pure RTBH)`)
@@ -36,19 +47,31 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	world, worldTraffic, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
+		os.Exit(2)
+	}
 	var cfg rtbh.Config
-	switch *scale {
+	switch world {
 	case "test":
 		cfg = rtbh.TestConfig()
 	case "bench":
 		cfg = rtbh.BenchConfig()
 	case "full":
 		cfg = rtbh.DefaultConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "rtbh-sim: unknown scale %q (want test, bench, or full)\n", *scale)
-		os.Exit(2)
+	}
+	cfg.TrafficScale = worldTraffic
+	if worldTraffic != 0 {
+		// The paper configuration: sampling coarsens with the traffic so
+		// the sampled stream stays scale-1 sized (see ParseScale).
+		cfg.SamplingRate = int64(float64(cfg.SamplingRate)*worldTraffic + 0.5)
 	}
 	if err := cliutil.CheckDays(*days); err != nil {
+		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.CheckTrafficScale(*trafficScale); err != nil {
 		fmt.Fprintf(os.Stderr, "rtbh-sim: %v\n", err)
 		os.Exit(2)
 	}
@@ -57,6 +80,9 @@ func main() {
 	}
 	if *days != 0 {
 		cfg.Days = *days
+	}
+	if *trafficScale != 0 {
+		cfg.TrafficScale = *trafficScale
 	}
 	cfg.MitigationPolicy = *mitigation
 	if err := cfg.Validate(); err != nil {
@@ -82,8 +108,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("dataset written to %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("period: %s + %d days, seed %d, sampling 1:%d\n",
-		cfg.Start.Format("2006-01-02"), cfg.Days, cfg.Seed, cfg.SamplingRate)
+	fmt.Printf("period: %s + %d days, seed %d, sampling 1:%d, traffic x%g\n",
+		cfg.Start.Format("2006-01-02"), cfg.Days, cfg.Seed, cfg.SamplingRate, cfg.Scale())
 	fmt.Printf("members: %d, blackholed hosts: %d, RTBH events: %d\n",
 		sum.Members, sum.Hosts, sum.Events)
 	fmt.Printf("control plane: %d messages (%d announcements, %d withdrawals)\n",

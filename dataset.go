@@ -30,7 +30,7 @@ type Dataset struct {
 	// analysis never consumes it, the experiment harness does.
 	Truth *scenario.GroundTruth
 
-	eachFlow func(fn func(*ipfix.FlowRecord) error) error
+	eachBatch func(fn ipfix.BatchSink) error
 }
 
 // OpenDataset loads the dataset written by Simulate from dir.
@@ -41,6 +41,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 	}
 	meta := &analysis.Metadata{
 		SamplingRate: dm.SamplingRate,
+		TrafficScale: dm.TrafficScale,
 		Start:        dm.Start,
 		End:          dm.End,
 		MemberByMAC:  make(map[ipfix.MAC]uint32, len(dm.Members)),
@@ -88,7 +89,7 @@ func OpenDataset(dir string) (*Dataset, error) {
 		Meta:        meta,
 		Updates:     updates,
 		FlowUpdates: flowUpdates,
-		eachFlow: func(fn func(*ipfix.FlowRecord) error) error {
+		eachBatch: func(fn ipfix.BatchSink) error {
 			f, err := os.Open(filepath.Join(dir, FileFlows))
 			if err != nil {
 				return fmt.Errorf("rtbh: %w", err)
@@ -96,14 +97,17 @@ func OpenDataset(dir string) (*Dataset, error) {
 			defer f.Close()
 			rd := ipfix.NewReader(f)
 			for {
-				rec, err := rd.Next()
-				if errors.Is(err, io.EOF) {
-					return nil
-				}
-				if err != nil {
+				b := ipfix.GetBatch()
+				if err := rd.NextBatch(b); err != nil {
+					b.Release()
+					if errors.Is(err, io.EOF) {
+						return nil
+					}
 					return err
 				}
-				if err := fn(rec); err != nil {
+				err := fn(b)
+				b.Release()
+				if err != nil {
 					return err
 				}
 			}
@@ -129,9 +133,18 @@ func NewDataset(meta *analysis.Metadata, updates []analysis.ControlUpdate, flows
 	return &Dataset{
 		Meta:    meta,
 		Updates: updates,
-		eachFlow: func(fn func(*ipfix.FlowRecord) error) error {
-			for i := range flows {
-				if err := fn(&flows[i]); err != nil {
+		eachBatch: func(fn ipfix.BatchSink) error {
+			const chunk = 1024
+			for off := 0; off < len(flows); off += chunk {
+				end := off + chunk
+				if end > len(flows) {
+					end = len(flows)
+				}
+				b := ipfix.GetBatch()
+				b.Recs = append(b.Recs, flows[off:end]...)
+				err := fn(b)
+				b.Release()
+				if err != nil {
 					return err
 				}
 			}
@@ -142,7 +155,16 @@ func NewDataset(meta *analysis.Metadata, updates []analysis.ControlUpdate, flows
 
 // EachFlow streams the flow records to fn; callable repeatedly.
 func (d *Dataset) EachFlow(fn func(*ipfix.FlowRecord) error) error {
-	return d.eachFlow(fn)
+	return d.eachBatch(ipfix.EachRecord(fn))
+}
+
+// EachFlowBatch streams the flow records to fn in batches — one batch
+// per archived IPFIX message for on-disk datasets — handing each batch
+// per the ipfix.RecordBatch contract; callable repeatedly. This is the
+// hot-path seam: the pooled batches make a full pass allocation-free per
+// record.
+func (d *Dataset) EachFlowBatch(fn ipfix.BatchSink) error {
+	return d.eachBatch(fn)
 }
 
 func readJSON(path string, v any) error {

@@ -107,7 +107,7 @@ func runScenario(mitigate func(*routeserver.Server) error) outcome {
 	}
 
 	var o outcome
-	fb, err := fabric.New(rs, 1 /* sample everything */, stats.NewRNG(42), func(r *ipfix.FlowRecord) error {
+	fb, err := fabric.New(rs, 1 /* sample everything */, stats.NewRNG(42), ipfix.EachRecord(func(r *ipfix.FlowRecord) error {
 		dropped := r.DstMAC == fabric.BlackholeMAC
 		attack := r.Proto == netgen.ProtoUDP && netgen.IsAmplificationPort(r.Proto, r.SrcPort)
 		switch {
@@ -121,7 +121,7 @@ func runScenario(mitigate func(*routeserver.Server) error) outcome {
 			o.legitForwarded++
 		}
 		return nil
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -92,7 +92,7 @@ func SimulateFederated(cfg Config, dir string) (*FederatedSummary, error) {
 				}
 				_ = mrtW.WriteRecord(&rec)
 			},
-			Flow: f.flowW.WriteRecord,
+			Flow: f.flowW.WriteBatch,
 		}
 	}
 
@@ -174,8 +174,8 @@ func snapshotDataset(ds *Dataset, ixp int, seq uint64, opts Options) (*federatio
 	if err != nil {
 		return nil, err
 	}
-	err = ds.EachFlow(func(rec *flowRecord) error {
-		p.Observe(rec)
+	err = ds.EachFlowBatch(func(b *recordBatch) error {
+		p.ObserveBatch(b)
 		return nil
 	})
 	if err != nil {

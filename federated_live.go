@@ -198,11 +198,11 @@ func (flr *FederatedLiveRun) Run(ctx context.Context) (*FederatedSummary, error)
 			s.rs.PeerDown(peer)
 			s.rsMu.Unlock()
 		}
-		flowSink := func(rec *ipfix.FlowRecord) error {
-			if err := s.flowW.WriteRecord(rec); err != nil {
+		flowSink := func(b *ipfix.RecordBatch) error {
+			if err := s.flowW.WriteBatch(b); err != nil {
 				return err
 			}
-			analyzer.ObserveFlow(rec)
+			analyzer.ObserveFlowBatch(b)
 			return nil
 		}
 		rcfg := live.RunnerConfig{}
@@ -240,9 +240,9 @@ func (flr *FederatedLiveRun) Run(ctx context.Context) (*FederatedSummary, error)
 				_ = mrtW.WriteRecord(&rec)
 			})
 			runner := s.runner
-			if s.fb, err = fabric.NewWithSource(s.rs, src, func(rec *ipfix.FlowRecord) error {
-				s.flowCount++
-				return runner.ExportFlow(rec)
+			if s.fb, err = fabric.NewWithSource(s.rs, src, func(b *ipfix.RecordBatch) error {
+				s.flowCount += int64(b.Len())
+				return runner.ExportFlowBatch(b)
 			}); err != nil {
 				return nil, err
 			}

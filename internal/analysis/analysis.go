@@ -175,6 +175,10 @@ func ParseMRTAll(r io.Reader) ([]ControlUpdate, []FlowUpdate, error) {
 type Metadata struct {
 	// SamplingRate is the data plane's 1:N sampling denominator.
 	SamplingRate int64
+	// TrafficScale is the dataset's traffic-magnitude multiplier relative
+	// to the repo's scaled-down defaults (zero means 1; ~50 is paper
+	// magnitude). Volume-calibrated thresholds derive from it via Scale.
+	TrafficScale float64
 	// Start/End bound the measurement period.
 	Start, End time.Time
 	// MemberByMAC maps router MACs on the peering LAN to member ASNs.
@@ -203,6 +207,39 @@ func (m *Metadata) Validate() error {
 		return fmt.Errorf("analysis: invalid period %v..%v", m.Start, m.End)
 	}
 	return nil
+}
+
+// Scale returns the effective traffic-magnitude multiplier, normalizing
+// the zero value (metadata predating the knob) to 1.
+func (m *Metadata) Scale() float64 {
+	if m.TrafficScale == 0 {
+		return 1
+	}
+	return m.TrafficScale
+}
+
+// CalibratedSamplingRate is the 1:N sampling denominator at which the
+// repo's sampled-count constants (anomaly.MinMagnitude) were tuned;
+// every shipped world preset samples at this rate unless a numeric
+// -scale coarsens it together with the traffic multiplier.
+const CalibratedSamplingRate = 10000
+
+// MagnitudeScale returns the factor by which per-slot *sampled* packet
+// counts exceed the calibration point (TrafficScale 1 at 1:10000
+// sampling): traffic multiplies sampled counts linearly, a coarser
+// sampling denominator divides them, so the paper configuration
+// (`-scale 50` = 50x traffic at 1:500000) leaves sampled magnitudes —
+// and the constants derived from them — exactly where scale 1 put
+// them. Scale-1 datasets always return 1: their constants are the
+// calibration itself whatever their sampling rate (the sampling-rate
+// ablation deliberately sweeps the denominator and must not have its
+// thresholds re-derived under it).
+func (m *Metadata) MagnitudeScale() float64 {
+	s := m.Scale()
+	if s == 1 {
+		return 1
+	}
+	return s * CalibratedSamplingRate / float64(m.SamplingRate)
 }
 
 // MemberOf resolves a router MAC to its member ASN (0 if unknown).

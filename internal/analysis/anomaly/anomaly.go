@@ -39,14 +39,32 @@ const (
 	// DefaultThreshold is the anomaly threshold in standard deviations.
 	DefaultThreshold = 2.5
 	// MinMagnitude is the minimum feature value for a slot to count as
-	// anomalous. The paper's vantage point carries enough baseline
-	// traffic that the EWMA's standard deviation absorbs isolated
-	// samples; at this reproduction's scaled-down volumes a lone sampled
-	// packet in an otherwise empty window would trivially exceed
-	// mean + 2.5*SD, so anomalies must additionally be supported by a
-	// handful of samples (see DESIGN.md, substitutions).
+	// anomalous, calibrated to TrafficScale 1. The paper's vantage point
+	// carries enough baseline traffic that the EWMA's standard deviation
+	// absorbs isolated samples; at this reproduction's scaled-down
+	// volumes a lone sampled packet in an otherwise empty window would
+	// trivially exceed mean + 2.5*SD, so anomalies must additionally be
+	// supported by a handful of samples (see DESIGN.md, substitutions).
+	// Sampled feature magnitudes grow linearly with the sampled-volume
+	// scale (traffic multiplier x sampling-denominator ratio — see
+	// analysis.Metadata.MagnitudeScale), so the support floor scales
+	// linearly too — see MinMagnitudeAt.
 	MinMagnitude = 4
 )
+
+// MinMagnitudeAt derives the anomaly support floor for a dataset's
+// sampled-magnitude scale (analysis.Metadata.MagnitudeScale, NOT the
+// raw traffic multiplier: the paper configuration coarsens sampling in
+// step with traffic, leaving sampled counts — and this floor — at their
+// scale-1 values): MinMagnitude at scale 1, growing linearly with the
+// sampled volumes, and never below the scale-1 floor — sub-scale worlds
+// still need a handful of samples before a slot counts.
+func MinMagnitudeAt(scale float64) float64 {
+	if scale <= 1 {
+		return MinMagnitude
+	}
+	return MinMagnitude * scale
+}
 
 // slotKey identifies one prefix's five-minute slot.
 type slotKey struct {
@@ -183,9 +201,19 @@ type Verdict struct {
 	EventPackets int64
 }
 
-// Analyze runs the detector for every event. threshold is in standard
-// deviations (the paper uses 2.5 and reports stability up to 10).
+// Analyze runs the detector for every event at traffic scale 1.
+// threshold is in standard deviations (the paper uses 2.5 and reports
+// stability up to 10).
 func (a *Aggregator) Analyze(evs []*events.Event, periodEnd time.Time, threshold float64) []Verdict {
+	return a.AnalyzeScaled(evs, periodEnd, threshold, 1)
+}
+
+// AnalyzeScaled is Analyze with the dataset's sampled-magnitude scale
+// (analysis.Metadata.MagnitudeScale), which sets the anomaly support
+// floor (MinMagnitudeAt): the EWMA threshold is relative (standard
+// deviations) and needs no scaling, the absolute magnitude floor does.
+func (a *Aggregator) AnalyzeScaled(evs []*events.Event, periodEnd time.Time, threshold, scale float64) []Verdict {
+	minMag := MinMagnitudeAt(scale)
 	verdicts := make([]Verdict, 0, len(evs))
 	detectors := [NumFeatures]*stats.EWMA{}
 	for f := range detectors {
@@ -223,7 +251,7 @@ func (a *Aggregator) Analyze(evs []*events.Event, periodEnd time.Time, threshold
 			slotsBefore := int(startSlot - s)
 			level := 0
 			for f := range feats {
-				if detectors[f].Observe(feats[f]) && feats[f] >= MinMagnitude {
+				if detectors[f].Observe(feats[f]) && feats[f] >= minMag {
 					level++
 				}
 				if s < startSlot {

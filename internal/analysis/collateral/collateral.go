@@ -116,13 +116,6 @@ func (a *Aggregator) AddCounts(eventID int, dstIP uint32, portKey uint32, all, d
 	c.dropped += dropped
 }
 
-// pendingKey identifies one (event, destination, proto/port) tally cell.
-type pendingKey struct {
-	eventID int
-	dstIP   uint32
-	portKey uint32 // proto<<16|port
-}
-
 // Pending accumulates during-event traffic toward blackholed destinations
 // *before* the server profiles exist, keyed by (event, dstIP,
 // proto<<16|port). It is the compact per-event aggregate that lets the
@@ -132,23 +125,48 @@ type pendingKey struct {
 // (Materialize) is exact. State is bounded by the distinct (event, host,
 // port) combinations with during-event traffic — far below the raw record
 // count — and is what the online analyzer retains for open events.
+//
+// Cells are stored two-level — event ID, then dstIP<<32|proto<<16|port —
+// so the hot Add resolves the event once per run of same-event records
+// (the lastID memo) and probes a single integer-keyed map per record.
 type Pending struct {
-	cells map[pendingKey]*counts
+	cells map[int]map[uint64]*counts
+	n     int
+
+	// lastID/lastInner memoize the inner map of the most recent Add;
+	// attributed records arrive in long same-event runs.
+	lastID    int
+	lastInner map[uint64]*counts
 }
 
 // NewPending returns an empty pending store.
 func NewPending() *Pending {
-	return &Pending{cells: make(map[pendingKey]*counts)}
+	return &Pending{cells: make(map[int]map[uint64]*counts)}
+}
+
+// cellKey packs (dstIP, proto, dstPort) into the inner map key.
+func cellKey(dstIP uint32, dstPort uint16, proto uint8) uint64 {
+	return uint64(dstIP)<<32 | uint64(proto)<<16 | uint64(dstPort)
 }
 
 // Add tallies one sampled packet observed during eventID's window toward
 // dstIP on (proto, dstPort).
 func (p *Pending) Add(eventID int, dstIP uint32, dstPort uint16, proto uint8, dropped bool, pkts int64) {
-	key := pendingKey{eventID: eventID, dstIP: dstIP, portKey: uint32(proto)<<16 | uint32(dstPort)}
-	c := p.cells[key]
+	inner := p.lastInner
+	if inner == nil || p.lastID != eventID {
+		inner = p.cells[eventID]
+		if inner == nil {
+			inner = make(map[uint64]*counts)
+			p.cells[eventID] = inner
+		}
+		p.lastID, p.lastInner = eventID, inner
+	}
+	key := cellKey(dstIP, dstPort, proto)
+	c := inner[key]
 	if c == nil {
 		c = &counts{}
-		p.cells[key] = c
+		inner[key] = c
+		p.n++
 	}
 	c.all += pkts
 	if dropped {
@@ -157,39 +175,58 @@ func (p *Pending) Add(eventID int, dstIP uint32, dstPort uint16, proto uint8, dr
 }
 
 // Merge folds o's cells into p, summing colliding cells. Exact regardless
-// of sharding: cell sums are commutative. o must not be used afterwards.
+// of sharding: cell sums are commutative. o must not be used afterwards:
+// p may adopt its internal structures.
 func (p *Pending) Merge(o *Pending) {
-	for k, oc := range o.cells {
-		c := p.cells[k]
-		if c == nil {
-			p.cells[k] = oc
+	for id, oinner := range o.cells {
+		inner := p.cells[id]
+		if inner == nil {
+			p.cells[id] = oinner
+			p.n += len(oinner)
 			continue
 		}
-		c.all += oc.all
-		c.dropped += oc.dropped
+		for k, oc := range oinner {
+			c := inner[k]
+			if c == nil {
+				inner[k] = oc
+				p.n++
+				continue
+			}
+			c.all += oc.all
+			c.dropped += oc.dropped
+		}
 	}
+	// Adopted maps may have replaced the memoized inner map.
+	p.lastInner = nil
 }
 
 // Snapshot returns an independent deep copy (Operator contract in
 // internal/analysis).
 func (p *Pending) Snapshot() *Pending {
 	s := NewPending()
-	for k, c := range p.cells {
-		cp := *c
-		s.cells[k] = &cp
+	s.n = p.n
+	for id, inner := range p.cells {
+		si := make(map[uint64]*counts, len(inner))
+		for k, c := range inner {
+			cp := *c
+			si[k] = &cp
+		}
+		s.cells[id] = si
 	}
 	return s
 }
 
 // Len returns the number of tally cells retained.
-func (p *Pending) Len() int { return len(p.cells) }
+func (p *Pending) Len() int { return p.n }
 
 // Materialize filters the pending tallies through agg's top-port sets,
 // producing the same per-event damage counters a dedicated second pass
 // over the raw records would have.
 func (p *Pending) Materialize(agg *Aggregator) {
-	for k, c := range p.cells {
-		agg.AddCounts(k.eventID, k.dstIP, k.portKey, c.all, c.dropped)
+	for id, inner := range p.cells {
+		for k, c := range inner {
+			agg.AddCounts(id, uint32(k>>32), uint32(k&0xffffffff), c.all, c.dropped)
+		}
 	}
 }
 

@@ -87,32 +87,34 @@ func (a *Aggregator) UnmarshalBinary(data []byte) error {
 }
 
 // MarshalBinary encodes the pending store canonically: cells sorted by
-// (event ID, destination, port key).
+// (event ID, destination, port key) — the packed inner key sorts
+// exactly by (destination, port key), so the byte stream is unchanged
+// from the flat-keyed encoding.
 func (p *Pending) MarshalBinary() ([]byte, error) {
 	w := analysis.NewWireWriter()
 	w.Byte(pendingWireVersion)
-	keys := make([]pendingKey, 0, len(p.cells))
-	for k := range p.cells {
-		keys = append(keys, k)
+	ids := make([]int, 0, len(p.cells))
+	for id := range p.cells {
+		ids = append(ids, id)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.eventID != b.eventID {
-			return a.eventID < b.eventID
+	sort.Ints(ids)
+	w.Uvarint(uint64(p.n))
+	var inner []uint64
+	for _, id := range ids {
+		cells := p.cells[id]
+		inner = inner[:0]
+		for k := range cells {
+			inner = append(inner, k)
 		}
-		if a.dstIP != b.dstIP {
-			return a.dstIP < b.dstIP
+		sort.Slice(inner, func(i, j int) bool { return inner[i] < inner[j] })
+		for _, k := range inner {
+			c := cells[k]
+			w.Uvarint(uint64(id))
+			w.Uvarint(uint64(uint32(k >> 32)))
+			w.Uvarint(uint64(uint32(k & 0xffffffff)))
+			w.Varint(c.all)
+			w.Varint(c.dropped)
 		}
-		return a.portKey < b.portKey
-	})
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		c := p.cells[k]
-		w.Uvarint(uint64(k.eventID))
-		w.Uvarint(uint64(k.dstIP))
-		w.Uvarint(uint64(k.portKey))
-		w.Varint(c.all)
-		w.Varint(c.dropped)
 	}
 	return w.Bytes(), nil
 }
@@ -123,19 +125,28 @@ func (p *Pending) UnmarshalBinary(data []byte) error {
 	r := analysis.NewWireReader(data)
 	r.Version(pendingWireVersion)
 	n := r.Count(5)
-	cells := make(map[pendingKey]*counts, n)
+	cells := make(map[int]map[uint64]*counts)
 	for i := 0; i < n; i++ {
-		k := pendingKey{
-			eventID: r.Int(),
-			dstIP:   r.U32(),
-			portKey: r.U32(),
+		id := r.Int()
+		dstIP := r.U32()
+		portKey := r.U32()
+		c := &counts{all: r.Varint(), dropped: r.Varint()}
+		if r.Err() != nil {
+			break
 		}
-		cells[k] = &counts{all: r.Varint(), dropped: r.Varint()}
+		inner := cells[id]
+		if inner == nil {
+			inner = make(map[uint64]*counts)
+			cells[id] = inner
+		}
+		inner[uint64(dstIP)<<32|uint64(portKey)] = c
 	}
 	if err := r.Done(); err != nil {
 		return fmt.Errorf("collateral: pending: %w", err)
 	}
 	p.cells = cells
+	p.n = n
+	p.lastInner = nil
 	return nil
 }
 
@@ -143,20 +154,31 @@ func (p *Pending) UnmarshalBinary(data []byte) error {
 // ID), summing cells that land on the same new key. Every present event
 // must be mapped.
 func (p *Pending) RemapEvents(m map[int]int) error {
-	out := make(map[pendingKey]*counts, len(p.cells))
-	for k, c := range p.cells {
-		nid, ok := m[k.eventID]
+	out := make(map[int]map[uint64]*counts, len(p.cells))
+	n := 0
+	for id, inner := range p.cells {
+		nid, ok := m[id]
 		if !ok {
-			return fmt.Errorf("collateral: pending: no mapping for event %d", k.eventID)
+			return fmt.Errorf("collateral: pending: no mapping for event %d", id)
 		}
-		nk := pendingKey{eventID: nid, dstIP: k.dstIP, portKey: k.portKey}
-		if cur := out[nk]; cur != nil {
-			cur.all += c.all
-			cur.dropped += c.dropped
-		} else {
-			out[nk] = c
+		dst := out[nid]
+		if dst == nil {
+			out[nid] = inner
+			n += len(inner)
+			continue
+		}
+		for k, c := range inner {
+			if cur := dst[k]; cur != nil {
+				cur.all += c.all
+				cur.dropped += c.dropped
+			} else {
+				dst[k] = c
+				n++
+			}
 		}
 	}
 	p.cells = out
+	p.n = n
+	p.lastInner = nil
 	return nil
 }

@@ -68,6 +68,13 @@ type Aggregator struct {
 	byLen    [33]Counter
 	byEvent  map[int]*eventCounter
 	bySource map[uint32]*Counter // ingress member -> /32 counter
+
+	// Run memos: attributed records arrive in long runs sharing the
+	// event and ingress member, so the map probes resolve once per run.
+	lastEventID int
+	lastEvent   *eventCounter
+	lastMember  uint32
+	lastSource  *Counter
 }
 
 type eventCounter struct {
@@ -92,18 +99,26 @@ func (a *Aggregator) Add(eventID int, prefixLen uint8, srcMember uint32, dropped
 	}
 	a.byLen[prefixLen].add(dropped, pkts, bytes)
 
-	ec := a.byEvent[eventID]
-	if ec == nil {
-		ec = &eventCounter{prefixLen: prefixLen}
-		a.byEvent[eventID] = ec
+	ec := a.lastEvent
+	if ec == nil || a.lastEventID != eventID {
+		ec = a.byEvent[eventID]
+		if ec == nil {
+			ec = &eventCounter{prefixLen: prefixLen}
+			a.byEvent[eventID] = ec
+		}
+		a.lastEventID, a.lastEvent = eventID, ec
 	}
 	ec.c.add(dropped, pkts, bytes)
 
 	if prefixLen == 32 && srcMember != 0 {
-		sc := a.bySource[srcMember]
-		if sc == nil {
-			sc = &Counter{}
-			a.bySource[srcMember] = sc
+		sc := a.lastSource
+		if sc == nil || a.lastMember != srcMember {
+			sc = a.bySource[srcMember]
+			if sc == nil {
+				sc = &Counter{}
+				a.bySource[srcMember] = sc
+			}
+			a.lastMember, a.lastSource = srcMember, sc
 		}
 		sc.add(dropped, pkts, bytes)
 	}
@@ -132,6 +147,8 @@ func (a *Aggregator) Merge(o *Aggregator) {
 			a.bySource[m] = oc
 		}
 	}
+	// Adoption may have replaced memoized entries.
+	a.lastEvent, a.lastSource = nil, nil
 }
 
 // Snapshot returns an independent deep copy of the aggregator; further

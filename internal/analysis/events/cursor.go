@@ -1,0 +1,137 @@
+package events
+
+import (
+	"time"
+
+	"repro/internal/bgp"
+)
+
+// Candidate is one blackhole prefix covering a cursor's current address
+// together with its start-sorted merged-event list. Candidates are held
+// longest prefix first — the order the Index methods scan in.
+type Candidate struct {
+	Prefix bgp.Prefix
+	Events []*Event
+	// spans carries the same events with nanosecond-resolved bounds for
+	// the cursor's time-dependent scans.
+	spans []eventSpan
+}
+
+// Cursor is a single-address memo over an Index. The flow stream has
+// strong address locality — the records of one injected traffic batch
+// arrive back to back, all sharing endpoints — so resolving the
+// per-length prefix-map probes once per run of identical addresses and
+// replaying the cached candidate lists for the time-dependent queries
+// removes nearly all map hashing from the streaming pass. Every query
+// answers exactly like the Index method of the same name: the index is
+// immutable after construction, so a cached resolution can only go
+// stale through Rebind, which drops the memo.
+//
+// A cursor is single-goroutine state; every pipeline shard owns its
+// own pair (destination- and source-keyed).
+type Cursor struct {
+	ix    *Index
+	valid bool
+	ip    uint32
+	cands []Candidate
+}
+
+// NewCursor returns a cursor over ix with an empty memo.
+func NewCursor(ix *Index) *Cursor { return &Cursor{ix: ix} }
+
+// Rebind points the cursor at a rebuilt index and drops the memo.
+func (c *Cursor) Rebind(ix *Index) {
+	c.ix = ix
+	c.valid = false
+}
+
+// seek resolves the candidate lists covering ip, reusing the memo when
+// the previous query asked about the same address.
+func (c *Cursor) seek(ip uint32) {
+	if c.valid && c.ip == ip {
+		return
+	}
+	c.valid, c.ip = true, ip
+	c.cands = c.cands[:0]
+	for _, l := range c.ix.lengths {
+		p := bgp.MakePrefix(ip, l)
+		if lst, ok := c.ix.byPrefix[pkey(p)]; ok {
+			c.cands = append(c.cands, Candidate{Prefix: p, Events: lst, spans: c.ix.spans[pkey(p)]})
+		}
+	}
+}
+
+// Candidates returns the blackhole prefixes covering ip, longest first,
+// with their event lists. The slice is the cursor's memo: valid only
+// until the next cursor call, callers must not retain or modify it.
+func (c *Cursor) Candidates(ip uint32) []Candidate {
+	c.seek(ip)
+	return c.cands
+}
+
+// EverBlackholed answers Index.EverBlackholed through the memo.
+func (c *Cursor) EverBlackholed(ip uint32) (bgp.Prefix, bool) {
+	c.seek(ip)
+	if len(c.cands) == 0 {
+		return bgp.Prefix{}, false
+	}
+	return c.cands[0].Prefix, true
+}
+
+// Lookup answers Index.Lookup through the memo: the longest prefix with
+// an active episode wins; otherwise the longest with a covering merged
+// window.
+func (c *Cursor) Lookup(ip uint32, t time.Time) Match {
+	c.seek(ip)
+	if len(c.cands) == 0 {
+		return Match{}
+	}
+	tn := t.UnixNano()
+	var m Match
+	for i := range c.cands {
+		cand := &c.cands[i]
+		for j := range cand.spans {
+			sp := &cand.spans[j]
+			if tn < sp.start {
+				break // spans sorted by start; later events start later
+			}
+			if tn > sp.end {
+				continue
+			}
+			for _, ep := range sp.eps {
+				if tn >= ep.ann && tn < ep.wd {
+					return Match{Event: sp.ev, Active: true, Prefix: cand.Prefix}
+				}
+			}
+			if m.Event == nil {
+				m = Match{Event: sp.ev, Prefix: cand.Prefix}
+			}
+		}
+	}
+	return m
+}
+
+// Interesting answers Index.Interesting through the memo: whether (ip,
+// t) falls inside any event's analysis range — the pre-window plus the
+// merged event window — returning the matched (longest) prefix.
+func (c *Cursor) Interesting(ip uint32, t time.Time) (bgp.Prefix, bool) {
+	c.seek(ip)
+	if len(c.cands) == 0 {
+		return bgp.Prefix{}, false
+	}
+	tn := t.UnixNano()
+	pre := int64(PreWindow)
+	for i := range c.cands {
+		cand := &c.cands[i]
+		for j := range cand.spans {
+			sp := &cand.spans[j]
+			if tn < sp.start-pre {
+				break
+			}
+			if tn <= sp.end {
+				return cand.Prefix, true
+			}
+		}
+	}
+	return bgp.Prefix{}, false
+}

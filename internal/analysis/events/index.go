@@ -25,22 +25,67 @@ type Match struct {
 // Build once with NewIndex, then query from the streaming pass.
 type Index struct {
 	periodEnd time.Time
-	// byPrefix holds the per-prefix event lists sorted by start time.
-	byPrefix map[bgp.Prefix][]*Event
+	// byPrefix holds the per-prefix event lists sorted by start time,
+	// keyed by the packed prefix (see pkey).
+	byPrefix map[uint64][]*Event
+	// spans mirrors byPrefix with the events' window and episode bounds
+	// resolved to unix nanoseconds — the representation the Cursor scans:
+	// integer comparisons instead of time.Time's wall/monotonic decode,
+	// which the streaming pass performs several times per record.
+	spans map[uint64][]eventSpan
 	// lengths lists the distinct prefix lengths present, descending, so
 	// longest-prefix-match scans only real candidates.
 	lengths []uint8
 }
 
+// episodeSpan is one announce/withdraw interval in unix nanoseconds,
+// with an open-ended withdraw resolved to the period end.
+type episodeSpan struct{ ann, wd int64 }
+
+// eventSpan is one event's merged window [start, end] in unix
+// nanoseconds plus its resolved episodes, ordered like the *Event lists.
+type eventSpan struct {
+	start, end int64
+	ev         *Event
+	eps        []episodeSpan
+}
+
+// newEventSpan resolves e's bounds against periodEnd. Nanosecond
+// comparisons order exactly like time.Time for the in-range wall-clock
+// timestamps the archives carry.
+func newEventSpan(e *Event, periodEnd time.Time) eventSpan {
+	sp := eventSpan{
+		start: e.Start().UnixNano(),
+		end:   e.End(periodEnd).UnixNano(),
+		ev:    e,
+		eps:   make([]episodeSpan, len(e.Episodes)),
+	}
+	for i, ep := range e.Episodes {
+		wd := ep.Withdraw
+		if wd.IsZero() {
+			wd = periodEnd
+		}
+		sp.eps[i] = episodeSpan{ann: ep.Announce.UnixNano(), wd: wd.UnixNano()}
+	}
+	return sp
+}
+
+// pkey packs a canonical prefix into one integer map key: the masked
+// address shifted above the length. uint64 keys take the runtime's
+// specialized hash path, which matters here — the attribution maps are
+// probed several times per flow record, and the generated struct hash
+// for a composite key dominated the pass profile.
+func pkey(p bgp.Prefix) uint64 { return uint64(p.Addr)<<8 | uint64(p.Len) }
+
 // NewIndex builds the attribution index.
 func NewIndex(evs []*Event, periodEnd time.Time) *Index {
 	ix := &Index{
 		periodEnd: periodEnd,
-		byPrefix:  make(map[bgp.Prefix][]*Event),
+		byPrefix:  make(map[uint64][]*Event),
 	}
 	seen := make(map[uint8]bool)
 	for _, e := range evs {
-		ix.byPrefix[e.Prefix] = append(ix.byPrefix[e.Prefix], e)
+		ix.byPrefix[pkey(e.Prefix)] = append(ix.byPrefix[pkey(e.Prefix)], e)
 		seen[e.Prefix.Len] = true
 	}
 	for l := 32; l >= 0; l-- {
@@ -52,6 +97,14 @@ func NewIndex(evs []*Event, periodEnd time.Time) *Index {
 		lst := ix.byPrefix[p]
 		sort.Slice(lst, func(i, j int) bool { return lst[i].Start().Before(lst[j].Start()) })
 	}
+	ix.spans = make(map[uint64][]eventSpan, len(ix.byPrefix))
+	for p, lst := range ix.byPrefix {
+		sps := make([]eventSpan, len(lst))
+		for i, e := range lst {
+			sps[i] = newEventSpan(e, periodEnd)
+		}
+		ix.spans[p] = sps
+	}
 	return ix
 }
 
@@ -60,7 +113,7 @@ func NewIndex(evs []*Event, periodEnd time.Time) *Index {
 func (ix *Index) EverBlackholed(ip uint32) (bgp.Prefix, bool) {
 	for _, l := range ix.lengths {
 		p := bgp.MakePrefix(ip, l)
-		if _, ok := ix.byPrefix[p]; ok {
+		if _, ok := ix.byPrefix[pkey(p)]; ok {
 			return p, true
 		}
 	}
@@ -73,26 +126,38 @@ func (ix *Index) Lookup(ip uint32, t time.Time) Match {
 	var windowMatch Match
 	for _, l := range ix.lengths {
 		p := bgp.MakePrefix(ip, l)
-		lst, ok := ix.byPrefix[p]
+		lst, ok := ix.byPrefix[pkey(p)]
 		if !ok {
 			continue
 		}
-		for _, e := range lst {
-			if t.Before(e.Start()) {
-				break // list sorted by start; later events start later
-			}
-			if t.After(e.End(ix.periodEnd)) {
-				continue
-			}
-			if e.ActiveAt(t, ix.periodEnd) {
-				return Match{Event: e, Active: true, Prefix: p}
-			}
-			if windowMatch.Event == nil {
-				windowMatch = Match{Event: e, Prefix: p}
-			}
+		scanLookup(p, lst, t, ix.periodEnd, &windowMatch)
+		if windowMatch.Active {
+			return windowMatch
 		}
 	}
 	return windowMatch
+}
+
+// scanLookup scans one start-sorted event list for t. An active episode
+// match is written to m and reported; otherwise the first (longest-
+// prefix, since callers scan longest first) covering window is retained
+// in m.
+func scanLookup(p bgp.Prefix, lst []*Event, t, periodEnd time.Time, m *Match) {
+	for _, e := range lst {
+		if t.Before(e.Start()) {
+			break // list sorted by start; later events start later
+		}
+		if t.After(e.End(periodEnd)) {
+			continue
+		}
+		if e.ActiveAt(t, periodEnd) {
+			*m = Match{Event: e, Active: true, Prefix: p}
+			return
+		}
+		if m.Event == nil {
+			*m = Match{Event: e, Prefix: p}
+		}
+	}
 }
 
 // PreEventOf returns the events whose 72-hour pre-window covers (ip, t),
@@ -101,7 +166,7 @@ func (ix *Index) Lookup(ip uint32, t time.Time) Match {
 func (ix *Index) PreEventOf(dst []*Event, ip uint32, t time.Time) []*Event {
 	for _, l := range ix.lengths {
 		p := bgp.MakePrefix(ip, l)
-		lst, ok := ix.byPrefix[p]
+		lst, ok := ix.byPrefix[pkey(p)]
 		if !ok {
 			continue
 		}
@@ -124,25 +189,34 @@ func (ix *Index) PreEventOf(dst []*Event, ip uint32, t time.Time) []*Event {
 func (ix *Index) Interesting(ip uint32, t time.Time) (bgp.Prefix, bool) {
 	for _, l := range ix.lengths {
 		p := bgp.MakePrefix(ip, l)
-		lst, ok := ix.byPrefix[p]
+		lst, ok := ix.byPrefix[pkey(p)]
 		if !ok {
 			continue
 		}
-		for _, e := range lst {
-			if t.Before(e.Start().Add(-PreWindow)) {
-				break
-			}
-			if !t.After(e.End(ix.periodEnd)) {
-				return p, true
-			}
+		if scanInteresting(lst, t, ix.periodEnd) {
+			return p, true
 		}
 	}
 	return bgp.Prefix{}, false
 }
 
+// scanInteresting reports whether t falls inside any event's analysis
+// range (pre-window plus merged window) of one start-sorted list.
+func scanInteresting(lst []*Event, t, periodEnd time.Time) bool {
+	for _, e := range lst {
+		if t.Before(e.Start().Add(-PreWindow)) {
+			break
+		}
+		if !t.After(e.End(periodEnd)) {
+			return true
+		}
+	}
+	return false
+}
+
 // Events returns the event lists per prefix (shared; callers must not
 // modify).
-func (ix *Index) EventsFor(p bgp.Prefix) []*Event { return ix.byPrefix[p] }
+func (ix *Index) EventsFor(p bgp.Prefix) []*Event { return ix.byPrefix[pkey(p)] }
 
 // PeriodEnd returns the period end used for open-ended events.
 func (ix *Index) PeriodEnd() time.Time { return ix.periodEnd }

@@ -102,6 +102,12 @@ func (cs *cells) merge(o *cells) {
 // event structure at all.
 type Aggregator struct {
 	byPrefix map[bgp.Prefix]*cells
+
+	// lastPrefix/lastCells memoize the most recent Add: records under a
+	// mitigation arrive in long same-prefix runs, so the composite-key
+	// map probe resolves once per run.
+	lastPrefix bgp.Prefix
+	lastCells  *cells
 }
 
 // New returns an empty aggregator.
@@ -117,10 +123,14 @@ func (a *Aggregator) Add(prefix bgp.Prefix, phase Phase, proto uint8, srcPort ui
 	if phase >= numPhases {
 		return
 	}
-	cs := a.byPrefix[prefix]
-	if cs == nil {
-		cs = &cells{}
-		a.byPrefix[prefix] = cs
+	cs := a.lastCells
+	if cs == nil || a.lastPrefix != prefix {
+		cs = a.byPrefix[prefix]
+		if cs == nil {
+			cs = &cells{}
+			a.byPrefix[prefix] = cs
+		}
+		a.lastPrefix, a.lastCells = prefix, cs
 	}
 	if netgen.IsAmplificationPort(proto, srcPort) {
 		cs.attack[phase].add(dropped, pkts, bytes)
@@ -140,6 +150,8 @@ func (a *Aggregator) Merge(o *Aggregator) {
 			a.byPrefix[p] = oc
 		}
 	}
+	// Adoption may have replaced the memoized entry.
+	a.lastCells = nil
 }
 
 // Snapshot returns an independent deep copy of the aggregator (Operator

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis/events"
+	"repro/internal/ipfix"
+)
+
+// chunkBatches packs recs into static record batches of the given size.
+// Each batch holds one permanent reference so the runner's retain/release
+// cycles never return it to the pool.
+func chunkBatches(recs []ipfix.FlowRecord, size int) []*ipfix.RecordBatch {
+	var batches []*ipfix.RecordBatch
+	for i := 0; i < len(recs); i += size {
+		j := i + size
+		if j > len(recs) {
+			j = len(recs)
+		}
+		b := &ipfix.RecordBatch{Recs: recs[i:j]}
+		b.Retain()
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+func batchSource(batches []*ipfix.RecordBatch) BatchSource {
+	return func(fn ipfix.BatchSink) error {
+		for _, b := range batches {
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestObserveBatchParity pins the batch contract to the per-record one:
+// ObserveBatch over a chunked stream must leave the exact state Observe
+// leaves, and the zero-copy parallel dispatch (RunBatches) must merge to
+// that same state at every worker count. This is the aggregator-level
+// face of the byte-identical-reports guarantee the root-package golden
+// and parity suites pin end to end.
+func TestObserveBatchParity(t *testing.T) {
+	recs := parityStream(30000)
+	batches := chunkBatches(recs, 512)
+
+	seq, err := New(testMeta(), parityUpdates(), events.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		seq.Observe(&recs[i])
+	}
+	ref := snap(seq)
+	if ref.Attributed == 0 || ref.Dropped == 0 || len(ref.Profiles) == 0 {
+		t.Fatalf("fixture too thin: %+v", ref.Cleaning)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		p, err := New(testMeta(), parityUpdates(), events.DefaultDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			p.ObserveBatch(b)
+		}
+		snap(p).mustEqual(t, ref, "ObserveBatch")
+	})
+
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pp, err := NewParallel(testMeta(), parityUpdates(), events.DefaultDelta, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pp.RunBatches(batchSource(batches)); err != nil {
+				t.Fatal(err)
+			}
+			snap(pp.Pipeline()).mustEqual(t, ref, fmt.Sprintf("workers=%d", workers))
+		})
+	}
+}
+
+// TestObserveBatchAllocs gates the steady-state allocation rate of the
+// batch observation path: once the operator state for a stream exists
+// (maps populated, bounded structures saturated, memo cursors warm),
+// re-observing the same records must allocate essentially nothing per
+// record. First-pass allocations are state growth — proportional to
+// distinct cells, not to records — and are excluded by the warm-up pass.
+func TestObserveBatchAllocs(t *testing.T) {
+	recs := parityStream(30000)
+	batches := chunkBatches(recs, 512)
+
+	p, err := New(testMeta(), parityUpdates(), events.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observe := func() {
+		for _, b := range batches {
+			p.ObserveBatch(b)
+		}
+	}
+	observe() // warm-up: grow all keyed state once
+
+	perRun := testing.AllocsPerRun(3, observe)
+	perRecord := perRun / float64(len(recs))
+	t.Logf("allocs/record (warm) = %.4f (%.0f allocs over %d records)",
+		perRecord, perRun, len(recs))
+	// The only allowed steady-state allocations are the amortized growth
+	// of the time-alignment interval arrays, which keep extending across
+	// passes; everything else must be allocation-free.
+	if perRecord > 0.01 {
+		t.Fatalf("warm batch path allocates %.4f allocs/record, want ~0 (<= 0.01)", perRecord)
+	}
+}

@@ -41,17 +41,27 @@ const DefaultBatchSize = 4096
 // Source streams flow records to fn, exactly like Dataset.EachFlow.
 type Source func(fn func(*ipfix.FlowRecord) error) error
 
-// roles a record plays in its shard: destination-keyed processing
+// BatchSource streams pooled record batches to fn, exactly like
+// Dataset.EachFlowBatch. The runner retains each batch (per the
+// ipfix.RecordBatch contract) until every shard has processed its
+// records, so records are dispatched zero-copy.
+type BatchSource func(fn ipfix.BatchSink) error
+
+// Shard keys pack a record's index in its batch with the roles the
+// record plays at the receiving shard: destination-keyed processing
 // (counters, drop/proto/anomaly/align/incoming-host/pending state) and
 // source-keyed processing (outgoing-host state).
 const (
-	roleDst = 1 << iota
-	roleSrc
+	keyDst   = 1 << 30
+	keySrc   = 1 << 31
+	keyIndex = keyDst - 1
 )
 
-type batchEntry struct {
-	rec  ipfix.FlowRecord
-	role uint8
+// shardChunk hands one shared (retained) batch to a shard with the
+// packed keys of the records it owns, in stream order.
+type shardChunk struct {
+	batch *ipfix.RecordBatch
+	keys  []uint32
 }
 
 // Parallel runs the single-pass analysis across worker-owned operator
@@ -69,6 +79,7 @@ type Parallel struct {
 	// obs is the optional instrumentation installed by Instrument.
 	obs *parallelObs
 
+	// pool recycles the per-shard key slices of the dispatch path.
 	pool sync.Pool
 }
 
@@ -160,10 +171,38 @@ func (pp *Parallel) shardOf(ip uint32) int {
 	return int(key % uint64(pp.workers))
 }
 
-// Run streams src through the shards and merges the operator state into
-// the merged pipeline.
+// Run streams per-record src through the shards. The records are packed
+// into pooled batches (one copy, as any record source must materialize
+// them somewhere) and handed to the zero-copy batch path.
 func (pp *Parallel) Run(src Source) error {
-	if err := pp.run(src); err != nil {
+	return pp.RunBatches(func(fn ipfix.BatchSink) error {
+		b := ipfix.GetBatch()
+		err := src(func(rec *ipfix.FlowRecord) error {
+			b.Recs = append(b.Recs, *rec)
+			if len(b.Recs) >= pp.batchSize {
+				if err := fn(b); err != nil {
+					return err
+				}
+				b.Release()
+				b = ipfix.GetBatch()
+			}
+			return nil
+		})
+		if err == nil && len(b.Recs) > 0 {
+			err = fn(b)
+		}
+		b.Release()
+		return err
+	})
+}
+
+// RunBatches streams src through the shards and merges the operator
+// state into the merged pipeline. Batches are shared with the workers by
+// reference — each shard receives the packed indices of the records it
+// owns and the batch is released once every owning shard is done — so
+// no record is copied on the way to its operators.
+func (pp *Parallel) RunBatches(src BatchSource) error {
+	if err := pp.runBatches(src); err != nil {
 		return err
 	}
 	var tm *MergeTimers
@@ -184,73 +223,81 @@ func (pp *Parallel) Run(src Source) error {
 	return nil
 }
 
-// run streams records into per-shard batch channels and waits for the
-// workers to drain them. Per-shard record order equals stream order,
-// which the determinism argument relies on.
-func (pp *Parallel) run(src Source) error {
-	chans := make([]chan []batchEntry, pp.workers)
+// runBatches dispatches each batch's records to their owning shards and
+// waits for the workers to drain. Per-shard record order equals stream
+// order (chunks are sent in batch order, keys within a chunk in record
+// order), which the determinism argument relies on.
+func (pp *Parallel) runBatches(src BatchSource) error {
+	chans := make([]chan shardChunk, pp.workers)
 	var wg sync.WaitGroup
 	for i := range chans {
-		chans[i] = make(chan []batchEntry, 4)
+		chans[i] = make(chan shardChunk, 4)
 		wg.Add(1)
 		var recCount *obs.Counter
 		if pp.obs != nil {
 			recCount = pp.obs.shardRecords[i]
 		}
-		go func(sh *Pipeline, ch <-chan []batchEntry) {
+		go func(sh *Pipeline, ch <-chan shardChunk) {
 			defer wg.Done()
-			for batch := range ch {
-				for j := range batch {
-					e := &batch[j]
-					if e.role&roleDst != 0 {
-						sh.observeDst(&e.rec)
+			for ck := range ch {
+				recs := ck.batch.Recs
+				for _, k := range ck.keys {
+					rec := &recs[k&keyIndex]
+					if k&keyDst != 0 {
+						sh.observeDst(rec)
 					}
-					if e.role&roleSrc != 0 {
-						sh.observeSrc(&e.rec)
+					if k&keySrc != 0 {
+						sh.observeSrc(rec)
 					}
 				}
 				if recCount != nil {
-					recCount.Add(int64(len(batch)))
+					recCount.Add(int64(len(ck.keys)))
 				}
-				pp.pool.Put(batch[:0]) //nolint:staticcheck // slice reuse
+				ck.batch.Release()
+				pp.pool.Put(ck.keys[:0]) //nolint:staticcheck // slice reuse
 			}
 		}(pp.shards[i], chans[i])
 	}
 
-	pending := make([][]batchEntry, pp.workers)
-	newBatch := func() []batchEntry {
-		if b, ok := pp.pool.Get().([]batchEntry); ok {
-			return b
+	newKeys := func() []uint32 {
+		if ks, ok := pp.pool.Get().([]uint32); ok {
+			return ks
 		}
-		return make([]batchEntry, 0, pp.batchSize)
+		return make([]uint32, 0, pp.batchSize)
 	}
-	push := func(shard int, rec *ipfix.FlowRecord, role uint8) {
-		b := pending[shard]
-		if b == nil {
-			b = newBatch()
-		}
-		b = append(b, batchEntry{rec: *rec, role: role})
-		if len(b) >= pp.batchSize {
-			chans[shard] <- b
-			b = nil
-		}
-		pending[shard] = b
+	scratch := make([][]uint32, pp.workers)
+	for i := range scratch {
+		scratch[i] = newKeys()
 	}
 
-	err := src(func(rec *ipfix.FlowRecord) error {
-		sd := pp.shardOf(rec.DstIP)
-		if ss := pp.shardOf(rec.SrcIP); ss != sd {
-			push(sd, rec, roleDst)
-			push(ss, rec, roleSrc)
-		} else {
-			push(sd, rec, roleDst|roleSrc)
+	err := src(func(b *ipfix.RecordBatch) error {
+		recs := b.Recs
+		if len(recs) == 0 {
+			return nil
+		}
+		if len(recs) > keyIndex {
+			return fmt.Errorf("pipeline: batch of %d records exceeds dispatch key space", len(recs))
+		}
+		for i := range recs {
+			sd := pp.shardOf(recs[i].DstIP)
+			if ss := pp.shardOf(recs[i].SrcIP); ss != sd {
+				scratch[sd] = append(scratch[sd], uint32(i)|keyDst)
+				scratch[ss] = append(scratch[ss], uint32(i)|keySrc)
+			} else {
+				scratch[sd] = append(scratch[sd], uint32(i)|keyDst|keySrc)
+			}
+		}
+		for s, keys := range scratch {
+			if len(keys) == 0 {
+				continue
+			}
+			b.Retain()
+			chans[s] <- shardChunk{batch: b, keys: keys}
+			scratch[s] = newKeys()
 		}
 		return nil
 	})
-	for i, b := range pending {
-		if len(b) > 0 {
-			chans[i] <- b
-		}
+	for i := range chans {
 		close(chans[i])
 	}
 	wg.Wait()

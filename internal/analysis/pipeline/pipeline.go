@@ -83,6 +83,21 @@ type Pipeline struct {
 	AttributedRecords int64
 	DroppedRecords    int64
 
+	// curDst/curSrc memoize the attribution probes per address run (see
+	// events.Cursor): the flow stream arrives in long stretches sharing
+	// endpoints, so the prefix-map hashing that dominates a naive pass
+	// resolves once per stretch. Destination- and source-keyed queries
+	// get separate cursors because both address runs persist
+	// independently across records.
+	curDst, curSrc *events.Cursor
+
+	// MAC-derived metadata memo (IsInternal and the ingress member):
+	// records of one injected batch share both MACs.
+	lastSrcMAC, lastDstMAC ipfix.MAC
+	lastInternal           bool
+	lastMember             uint32
+	macValid               bool
+
 	// speculative marks a pipeline observing records before the control
 	// stream is complete (the online analyzer). It widens two gates that
 	// batch mode can evaluate eagerly because EverBlackholed grows
@@ -113,6 +128,7 @@ func New(meta *analysis.Metadata, updates []analysis.ControlUpdate, delta time.D
 	p.Events = evs
 	p.Index = ix
 	p.Align = timealign.New(ix)
+	p.bindCursors()
 	return p, nil
 }
 
@@ -129,7 +145,15 @@ func NewSpeculative(meta *analysis.Metadata) (*Pipeline, error) {
 	p.pairs = make(map[uint64]int64)
 	p.Index = events.NewIndex(nil, meta.End)
 	p.Align = timealign.New(p.Index)
+	p.bindCursors()
 	return p, nil
+}
+
+// bindCursors (re)creates the per-address attribution memos over the
+// current Index. Call whenever Index is (re)assigned.
+func (p *Pipeline) bindCursors() {
+	p.curDst = events.NewCursor(p.Index)
+	p.curSrc = events.NewCursor(p.Index)
 }
 
 func newEmpty(meta *analysis.Metadata) *Pipeline {
@@ -152,6 +176,9 @@ func (p *Pipeline) Rebind(evs []*events.Event, ix *events.Index) {
 	p.Events = evs
 	p.Index = ix
 	p.Align.Rebind(ix)
+	// Fresh cursors rather than Cursor.Rebind: wire-decoded pipelines
+	// (UnmarshalState) reach here with no cursors at all.
+	p.bindCursors()
 }
 
 // BindFlow points the pipeline at the FlowSpec mitigation view. Batch
@@ -190,6 +217,7 @@ func (p *Pipeline) Clone() *Pipeline {
 			c.pairs[k] = v
 		}
 	}
+	c.bindCursors()
 	return c
 }
 
@@ -202,6 +230,7 @@ func (p *Pipeline) newShard() *Pipeline {
 	s.Index = p.Index
 	s.FlowIx = p.FlowIx
 	s.Align = timealign.New(p.Index)
+	s.bindCursors()
 	s.speculative = p.speculative
 	if p.speculative {
 		s.pairs = make(map[uint64]int64)
@@ -287,12 +316,44 @@ func (p *Pipeline) Observe(rec *ipfix.FlowRecord) {
 	p.observeSrc(rec)
 }
 
+// ObserveRecords processes a slice of flow records in order through the
+// same two halves as Observe — the batch fast path. The per-run memos
+// (address cursors, MAC metadata) do the heavy lifting: consecutive
+// records overwhelmingly share endpoints, so the per-record map probes
+// that dominate a naive pass amortize across each run. State after
+// ObserveRecords(recs) is identical to calling Observe on each record.
+func (p *Pipeline) ObserveRecords(recs []ipfix.FlowRecord) {
+	for i := range recs {
+		rec := &recs[i]
+		p.observeDst(rec)
+		p.observeSrc(rec)
+	}
+}
+
+// ObserveBatch processes one pooled record batch, borrowed for the
+// duration of the call per the ipfix.RecordBatch contract.
+func (p *Pipeline) ObserveBatch(b *ipfix.RecordBatch) { p.ObserveRecords(b.Recs) }
+
+// resolveMACs returns the MAC-derived metadata for rec through the
+// one-entry memo: whether the record touches an internal system and the
+// ingress (source-MAC) member ASN.
+func (p *Pipeline) resolveMACs(rec *ipfix.FlowRecord) (internal bool, srcMember uint32) {
+	if !p.macValid || rec.SrcMAC != p.lastSrcMAC || rec.DstMAC != p.lastDstMAC {
+		p.macValid = true
+		p.lastSrcMAC, p.lastDstMAC = rec.SrcMAC, rec.DstMAC
+		p.lastInternal = p.Meta.IsInternal(rec)
+		p.lastMember = p.Meta.MemberOf(rec.SrcMAC)
+	}
+	return p.lastInternal, p.lastMember
+}
+
 // observeDst handles the cleaning counters and all aggregations keyed by
 // the destination address (drop stats, protocol mix, anomaly features,
 // time alignment, incoming host traffic, pending collateral tallies).
 func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	p.TotalRecords++
-	if p.Meta.IsInternal(rec) {
+	internal, srcMember := p.resolveMACs(rec)
+	if internal {
 		p.InternalRecords++
 		return
 	}
@@ -301,7 +362,6 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 		p.DroppedRecords++
 		p.Align.AddDropped(rec.DstIP, rec.Start)
 	}
-	srcMember := p.Meta.MemberOf(rec.SrcMAC)
 	pkts := int64(rec.Packets)
 	bytes := int64(rec.Bytes)
 
@@ -315,8 +375,8 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 		p.Mit.Add(fsPrefix, mitigation.PhaseFlowSpec, rec.Proto, rec.SrcPort, dropped, pkts, bytes)
 	}
 
-	_, dstBH := p.Index.EverBlackholed(rec.DstIP)
-	_, srcBH := p.Index.EverBlackholed(rec.SrcIP)
+	_, dstBH := p.curDst.EverBlackholed(rec.DstIP)
+	_, srcBH := p.curSrc.EverBlackholed(rec.SrcIP)
 	if dstBH || srcBH {
 		p.AttributedRecords++
 	} else if p.speculative {
@@ -332,7 +392,7 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	}
 	day := int32(analysis.Day(p.Meta.Start, rec.Start))
 
-	m := p.Index.Lookup(rec.DstIP, rec.Start)
+	m := p.curDst.Lookup(rec.DstIP, rec.Start)
 	if dstBH {
 		if m.Active {
 			p.Drop.Add(m.Event.ID, m.Prefix.Len, srcMember, dropped, pkts, bytes)
@@ -345,7 +405,7 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 			p.Proto.Add(m.Event.ID, rec.Proto, rec.SrcIP, rec.SrcPort, pkts, originAS, srcMember)
 			p.Pending.Add(m.Event.ID, rec.DstIP, rec.DstPort, rec.Proto, dropped, pkts)
 		}
-		if prefix, ok := p.Index.Interesting(rec.DstIP, rec.Start); ok {
+		if prefix, ok := p.curDst.Interesting(rec.DstIP, rec.Start); ok {
 			p.Anomaly.Add(prefix, rec.Start, rec.SrcIP, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
 		}
 	}
@@ -355,7 +415,7 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 	// final) predicate to ComposeProfiles. The event-window gates
 	// evaluate identically either way: once a record is old enough to
 	// be observed here, no future event can still cover it.
-	if m.Event == nil && p.legitAt(rec.DstIP, rec.Start) {
+	if m.Event == nil && p.legitAt(p.curDst, rec.DstIP, rec.Start) {
 		p.Hosts.AddIncoming(rec.DstIP, day, rec.SrcPort, rec.DstPort, rec.Proto, pkts)
 	}
 }
@@ -364,14 +424,15 @@ func (p *Pipeline) observeDst(rec *ipfix.FlowRecord) {
 // (outgoing host traffic). Counters are owned by observeDst so that a
 // record dispatched to two shards is counted once.
 func (p *Pipeline) observeSrc(rec *ipfix.FlowRecord) {
-	if p.Meta.IsInternal(rec) {
+	internal, _ := p.resolveMACs(rec)
+	if internal {
 		return
 	}
-	if _, srcBH := p.Index.EverBlackholed(rec.SrcIP); !srcBH && !p.speculative {
+	if _, srcBH := p.curSrc.EverBlackholed(rec.SrcIP); !srcBH && !p.speculative {
 		return
 	}
-	mSrc := p.Index.Lookup(rec.SrcIP, rec.Start)
-	if mSrc.Event == nil && p.legitAt(rec.SrcIP, rec.Start) {
+	mSrc := p.curSrc.Lookup(rec.SrcIP, rec.Start)
+	if mSrc.Event == nil && p.legitAt(p.curSrc, rec.SrcIP, rec.Start) {
 		day := int32(analysis.Day(p.Meta.Start, rec.Start))
 		p.Hosts.AddOutgoing(rec.SrcIP, day, rec.SrcPort, rec.DstPort, rec.Proto, int64(rec.Packets))
 	}
@@ -379,9 +440,10 @@ func (p *Pipeline) observeSrc(rec *ipfix.FlowRecord) {
 
 // legitAt reports that no event window starts within the reaction buffer
 // after t (the caller has already checked that t itself is outside any
-// window).
-func (p *Pipeline) legitAt(ip uint32, t time.Time) bool {
-	m := p.Index.Lookup(ip, t.Add(ReactionBuffer))
+// window). cur is the cursor already seeked to ip's address family of
+// queries (destination- or source-keyed).
+func (p *Pipeline) legitAt(cur *events.Cursor, ip uint32, t time.Time) bool {
+	m := cur.Lookup(ip, t.Add(ReactionBuffer))
 	return m.Event == nil
 }
 

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"repro/internal/analysis/events"
-	"repro/internal/bgp"
 )
 
 // SearchRange bounds the offsets considered. NTP-synchronized collectors
@@ -25,6 +24,10 @@ const SearchRange = 2 * time.Second
 // Aggregator accumulates dropped-record offset intervals.
 type Aggregator struct {
 	index *events.Index
+	// cur memoizes the covering-prefix resolution per destination run:
+	// dropped records arrive in long same-destination stretches, so the
+	// per-length prefix-map probes resolve once per stretch.
+	cur *events.Cursor
 	// starts/ends hold the per-record valid-offset interval bounds in
 	// seconds (clipped to the search range). Intervals are merged per
 	// record, so each record contributes at most once to any offset.
@@ -37,7 +40,7 @@ type span struct{ lo, hi float64 }
 
 // New returns an aggregator attributing against ix.
 func New(ix *events.Index) *Aggregator {
-	return &Aggregator{index: ix}
+	return &Aggregator{index: ix, cur: events.NewCursor(ix)}
 }
 
 // AddDropped registers one dropped record with destination dstIP observed
@@ -48,13 +51,20 @@ func New(ix *events.Index) *Aggregator {
 func (a *Aggregator) AddDropped(dstIP uint32, t time.Time) {
 	a.total++
 	a.scratch = a.scratch[:0]
-	for _, length := range a.index.Lengths() {
-		a.collect(bgp.MakePrefix(dstIP, length), t)
+	for _, cand := range a.cur.Candidates(dstIP) {
+		a.collect(cand.Events, t)
 	}
 	if len(a.scratch) == 0 {
 		return
 	}
-	sort.Slice(a.scratch, func(i, j int) bool { return a.scratch[i].lo < a.scratch[j].lo })
+	// Insertion sort: the span lists are tiny (episodes overlapping one
+	// record's ±2s window) and sort.Slice's closure allocates per call,
+	// which at one call per dropped record dominates the pass allocations.
+	for i := 1; i < len(a.scratch); i++ {
+		for j := i; j > 0 && a.scratch[j].lo < a.scratch[j-1].lo; j-- {
+			a.scratch[j], a.scratch[j-1] = a.scratch[j-1], a.scratch[j]
+		}
+	}
 	cur := a.scratch[0]
 	for _, s := range a.scratch[1:] {
 		if s.lo <= cur.hi {
@@ -71,10 +81,10 @@ func (a *Aggregator) AddDropped(dstIP uint32, t time.Time) {
 	a.ends = append(a.ends, cur.hi)
 }
 
-func (a *Aggregator) collect(prefix bgp.Prefix, t time.Time) {
+func (a *Aggregator) collect(evs []*events.Event, t time.Time) {
 	lo := t.Add(-SearchRange)
 	hi := t.Add(SearchRange)
-	for _, e := range a.index.EventsFor(prefix) {
+	for _, e := range evs {
 		if e.Start().After(hi) {
 			break
 		}
@@ -127,6 +137,7 @@ func (a *Aggregator) Merge(o *Aggregator) {
 func (a *Aggregator) Snapshot() *Aggregator {
 	return &Aggregator{
 		index:  a.index,
+		cur:    events.NewCursor(a.index),
 		starts: append([]float64(nil), a.starts...),
 		ends:   append([]float64(nil), a.ends...),
 		total:  a.total,
@@ -138,7 +149,15 @@ func (a *Aggregator) Snapshot() *Aggregator {
 // already-recorded offset intervals stay valid because sealed records are
 // only finalized once no event that could cover them can still appear
 // (see DESIGN.md, "Incremental analysis").
-func (a *Aggregator) Rebind(ix *events.Index) { a.index = ix }
+func (a *Aggregator) Rebind(ix *events.Index) {
+	a.index = ix
+	if a.cur == nil {
+		// Wire-decoded aggregators are built bare and bound here.
+		a.cur = events.NewCursor(ix)
+		return
+	}
+	a.cur.Rebind(ix)
+}
 
 // Point is one sample of the likelihood curve.
 type Point struct {

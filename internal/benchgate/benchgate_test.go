@@ -1,0 +1,179 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream builds a go test -json stream from raw benchmark output lines.
+func stream(lines ...string) string {
+	var sb strings.Builder
+	sb.WriteString(`{"Action":"start","Package":"repro"}` + "\n")
+	for _, l := range lines {
+		sb.WriteString(`{"Action":"output","Package":"repro","Output":"` + l + `\n"}` + "\n")
+	}
+	sb.WriteString(`{"Action":"pass","Package":"repro"}` + "\n")
+	return sb.String()
+}
+
+func TestParseGoTestJSON(t *testing.T) {
+	in := stream(
+		"goos: linux",
+		"BenchmarkPipelineSequential-8   2   500000 ns/op   1684012 records/s   1.01 allocs/record",
+		"BenchmarkPipelineParallel/workers=2-8   1   700000 ns/op   1330000 records/s   1.20 allocs/record",
+		"BenchmarkFig2TimeOffset-8   3   1234 ns/op",
+		"PASS",
+	)
+	results, err := ParseGoTestJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	seq := results[0]
+	if seq.Name != "BenchmarkPipelineSequential" {
+		t.Errorf("name = %q, want procs suffix stripped", seq.Name)
+	}
+	if seq.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", seq.Iterations)
+	}
+	if got := seq.Metrics["records/s"]; got != 1684012 {
+		t.Errorf("records/s = %g, want 1684012", got)
+	}
+	if results[1].Name != "BenchmarkPipelineParallel/workers=2" {
+		t.Errorf("subbench name = %q", results[1].Name)
+	}
+	if got := results[2].Metrics["ns/op"]; got != 1234 {
+		t.Errorf("ns/op = %g, want 1234", got)
+	}
+}
+
+// TestParseReassemblesSplitLines covers the real go test -json shape:
+// the runner flushes the benchmark name before timing, so the name and
+// the measurement arrive in separate Output events.
+func TestParseReassemblesSplitLines(t *testing.T) {
+	in := `{"Action":"output","Package":"repro","Test":"BenchmarkPipelineSequential","Output":"BenchmarkPipelineSequential\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkPipelineSequential","Output":"BenchmarkPipelineSequential \t"}
+{"Action":"output","Package":"other","Test":"BenchmarkOther","Output":"BenchmarkOther-8   1   5 ns/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkPipelineSequential","Output":"       1\t 259651831 ns/op\t         1.010 allocs/record\t   1279271 records/s\n"}
+`
+	results, err := ParseGoTestJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkOther" {
+		t.Errorf("interleaved package result = %q, want BenchmarkOther", results[0].Name)
+	}
+	seq := results[1]
+	if seq.Name != "BenchmarkPipelineSequential" {
+		t.Fatalf("reassembled name = %q", seq.Name)
+	}
+	if got := seq.Metrics["records/s"]; got != 1279271 {
+		t.Errorf("records/s = %g, want 1279271", got)
+	}
+	if got := seq.Metrics["allocs/record"]; got != 1.010 {
+		t.Errorf("allocs/record = %g, want 1.01", got)
+	}
+}
+
+func TestParseToleratesNoise(t *testing.T) {
+	in := "not json at all\n" + stream("BenchmarkX-4   1   10 ns/op") + "{broken\n"
+	results, err := ParseGoTestJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkX" {
+		t.Fatalf("results = %+v, want just BenchmarkX", results)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":            "BenchmarkFoo",
+		"BenchmarkFoo/workers=2-16": "BenchmarkFoo/workers=2",
+		"BenchmarkFoo":              "BenchmarkFoo",
+		"BenchmarkFoo-x8":           "BenchmarkFoo-x8",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func baseline() Baseline {
+	return Baseline{
+		MaxRegression:      0.20,
+		MaxAllocsPerRecord: 8,
+		RecordsPerSec: map[string]float64{
+			"BenchmarkPipelineSequential": 630000,
+		},
+	}
+}
+
+func seqResult(recsPerSec, allocs float64) Result {
+	return Result{
+		Name:       "BenchmarkPipelineSequential",
+		Iterations: 1,
+		Metrics:    map[string]float64{"records/s": recsPerSec, "allocs/record": allocs},
+	}
+}
+
+func TestCheckPassesAboveFloor(t *testing.T) {
+	// 20% budget below 630k = 504k floor; both the batch-path figure and
+	// a modest machine slowdown must pass.
+	for _, v := range []float64{1684012, 630000, 505000} {
+		if fails := Check([]Result{seqResult(v, 1.0)}, baseline()); len(fails) != 0 {
+			t.Errorf("records/s=%g should pass, got %v", v, fails)
+		}
+	}
+}
+
+func TestCheckFailsBelowFloor(t *testing.T) {
+	fails := Check([]Result{seqResult(500000, 1.0)}, baseline())
+	if len(fails) != 1 || !strings.Contains(fails[0], "regression floor") {
+		t.Fatalf("want one regression failure, got %v", fails)
+	}
+}
+
+func TestCheckFailsOnAllocs(t *testing.T) {
+	fails := Check([]Result{seqResult(1684012, 9.5)}, baseline())
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/record") {
+		t.Fatalf("want one allocs failure, got %v", fails)
+	}
+}
+
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	fails := Check(nil, baseline())
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("want one missing-benchmark failure, got %v", fails)
+	}
+}
+
+func TestReadBaselineRejectsBadBudget(t *testing.T) {
+	for _, doc := range []string{
+		`{"max_regression":0,"records_per_sec":{"B":1}}`,
+		`{"max_regression":1.5,"records_per_sec":{"B":1}}`,
+		`{"max_regression":0.2,"records_per_sec":{}}`,
+		`{"max_regression":0.2,"records_per_sec":{"B":1},"unknown_knob":true}`,
+	} {
+		if _, err := ReadBaseline(strings.NewReader(doc)); err == nil {
+			t.Errorf("baseline %s should be rejected", doc)
+		}
+	}
+}
+
+func TestHeadlineFilters(t *testing.T) {
+	results := []Result{
+		seqResult(1e6, 1),
+		{Name: "BenchmarkFig2TimeOffset", Iterations: 1, Metrics: map[string]float64{"ns/op": 12}},
+	}
+	head := Headline(results)
+	if len(head) != 1 || head[0].Name != "BenchmarkPipelineSequential" {
+		t.Fatalf("headline = %+v, want just the pipeline series", head)
+	}
+}

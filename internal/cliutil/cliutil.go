@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -86,13 +87,43 @@ func CheckServeHistory(every time.Duration, depth int) error {
 	return nil
 }
 
+// ParseScale interprets a -scale value. The named world sizes (test,
+// bench, full) pass through with a traffic scale of 0 (= the documented
+// scaled-down magnitudes); a positive number selects the full paper
+// world at that traffic-magnitude multiplier, so "-scale 50" is the
+// 104-day period at the paper's absolute traffic volumes. The binaries
+// couple a numeric scale with an equally coarser 1:N sampling
+// denominator — the paper configuration: rate estimates (samples x
+// denominator) land at absolute paper magnitudes while the sampled
+// record stream, and so the run time, stays at the scale-1 size.
+func ParseScale(spec string) (world string, trafficScale float64, err error) {
+	switch spec {
+	case "test", "bench", "full":
+		return spec, 0, nil
+	}
+	s, perr := strconv.ParseFloat(spec, 64)
+	if perr != nil || s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		return "", 0, fmt.Errorf("-scale must be test, bench, full, or a positive traffic multiplier (e.g. 50), got %q", spec)
+	}
+	return "full", s, nil
+}
+
+// CheckTrafficScale validates a -traffic-scale override: 0 keeps the
+// scale default, positive multipliers are taken literally.
+func CheckTrafficScale(s float64) error {
+	if s < 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		return fmt.Errorf("-traffic-scale must be >= 0 (0 keeps the scale default), got %v", s)
+	}
+	return nil
+}
+
 // CheckDetect validates the -detect-* flags: the attack threshold must
-// be a positive, finite packet rate, the detection window a positive
-// duration, and the withdraw cooldown non-negative (0 withdraws on the
-// first quiet tick).
+// be a non-negative finite packet rate (0 derives it from the world's
+// traffic scale), the detection window a positive duration, and the
+// withdraw cooldown non-negative (0 withdraws on the first quiet tick).
 func CheckDetect(threshold float64, window, cooldown time.Duration) error {
-	if threshold <= 0 || math.IsInf(threshold, 0) || math.IsNaN(threshold) {
-		return fmt.Errorf("-detect-threshold must be a positive packet rate (pps), got %v", threshold)
+	if threshold < 0 || math.IsInf(threshold, 0) || math.IsNaN(threshold) {
+		return fmt.Errorf("-detect-threshold must be a non-negative packet rate in pps (0 derives it from the traffic scale), got %v", threshold)
 	}
 	if window <= 0 {
 		return fmt.Errorf("-detect-window must be a positive duration, got %v", window)

@@ -93,12 +93,50 @@ func TestCheckServeHistory(t *testing.T) {
 	}
 }
 
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"test", "bench", "full"} {
+		world, ts, err := ParseScale(name)
+		if err != nil || world != name || ts != 0 {
+			t.Errorf("ParseScale(%q) = (%q, %g, %v), want (%q, 0, nil)", name, world, ts, err, name)
+		}
+	}
+	world, ts, err := ParseScale("50")
+	if err != nil || world != "full" || ts != 50 {
+		t.Errorf(`ParseScale("50") = (%q, %g, %v), want ("full", 50, nil)`, world, ts, err)
+	}
+	if _, ts, err := ParseScale("2.5"); err != nil || ts != 2.5 {
+		t.Errorf(`ParseScale("2.5") = (%g, %v), want 2.5`, ts, err)
+	}
+	for _, bad := range []string{"", "huge", "0", "-3", "Inf", "NaN"} {
+		if _, _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCheckTrafficScale(t *testing.T) {
+	for _, ok := range []float64{0, 1, 50, 0.1} {
+		if err := CheckTrafficScale(ok); err != nil {
+			t.Errorf("CheckTrafficScale(%g) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{-1, math.Inf(1), math.NaN()} {
+		if err := CheckTrafficScale(bad); err == nil {
+			t.Errorf("CheckTrafficScale(%g) accepted", bad)
+		}
+	}
+}
+
 func TestCheckDetect(t *testing.T) {
 	if err := CheckDetect(125, 5*time.Minute, 10*time.Minute); err != nil {
 		t.Errorf("CheckDetect(defaults) = %v, want nil", err)
 	}
 	if err := CheckDetect(0.5, time.Second, 0); err != nil {
 		t.Errorf("CheckDetect(0.5, 1s, 0) = %v, want nil", err)
+	}
+	// 0 is the derive-from-traffic-scale sentinel, not an error.
+	if err := CheckDetect(0, time.Minute, time.Minute); err != nil {
+		t.Errorf("CheckDetect(0, 1m, 1m) = %v, want nil (0 derives the threshold)", err)
 	}
 	inf := math.Inf(1)
 	for _, c := range []struct {
@@ -107,7 +145,6 @@ func TestCheckDetect(t *testing.T) {
 		cooldown  time.Duration
 		wantFlag  string
 	}{
-		{0, time.Minute, time.Minute, "-detect-threshold"},
 		{-10, time.Minute, time.Minute, "-detect-threshold"},
 		{inf, time.Minute, time.Minute, "-detect-threshold"},
 		{math.NaN(), time.Minute, time.Minute, "-detect-threshold"},

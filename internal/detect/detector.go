@@ -17,10 +17,14 @@ import (
 // 64500.
 const PeerASN uint32 = 64999
 
-// Defaults for Config zero values. The threshold is calibrated to the
-// repo's scaled-down traffic magnitudes (attack floor ~200 pps against
-// a baseline of at most a few pps per host — see DESIGN.md); production
-// rates would use the same machinery with a higher bar.
+// Defaults for Config zero values. The threshold is calibrated to
+// TrafficScale 1: it sits between the scaled-down attack floor (~200 pps
+// of original traffic) and the busiest host baseline (single-digit pps —
+// see DESIGN.md). Both bounds are traffic magnitudes and grow linearly
+// with the dataset's TrafficScale, so the derived threshold does too
+// (ThresholdAt): at paper magnitude (scale ~50, attack floor ~10k pps)
+// the bar rises to ~6250 pps, preserving the detector's operating point
+// between baseline and attack at every scale.
 const (
 	DefaultThreshold = 125.0
 	DefaultWindow    = 5 * time.Minute
@@ -33,13 +37,27 @@ const (
 	DefaultRetention = 26 * time.Hour
 )
 
+// ThresholdAt derives the detection threshold for a dataset's traffic
+// scale: DefaultThreshold at scale 1, scaling linearly with the traffic
+// magnitudes it separates (host baselines below, attack rates above).
+func ThresholdAt(scale float64) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	return DefaultThreshold * scale
+}
+
 // Config parameterizes a Detector.
 type Config struct {
 	// Threshold is the estimated inbound packet rate (packets/s of
 	// original traffic, i.e. sampled count scaled by SamplingRate) over
 	// one window at which a victim is declared under attack. Zero
-	// selects DefaultThreshold.
+	// selects DefaultThreshold scaled by TrafficScale (ThresholdAt).
 	Threshold float64
+	// TrafficScale is the dataset's traffic-magnitude multiplier (see
+	// scenario.Config.TrafficScale); zero means 1. It only affects the
+	// derived default threshold — an explicit Threshold wins.
+	TrafficScale float64
 	// Window is the sliding detection window. Zero selects
 	// DefaultWindow.
 	Window time.Duration
@@ -65,7 +83,7 @@ type Config struct {
 // nonsensical values.
 func (c Config) withDefaults() (Config, error) {
 	if c.Threshold == 0 {
-		c.Threshold = DefaultThreshold
+		c.Threshold = ThresholdAt(c.TrafficScale)
 	}
 	if c.Window == 0 {
 		c.Window = DefaultWindow
@@ -363,6 +381,25 @@ func (d *Detector) activeLocked() int {
 func (d *Detector) ObserveFlow(rec *ipfix.FlowRecord) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.observeFlowLocked(rec)
+}
+
+// ObserveFlowBatch folds one batch of collected records into the
+// sketches under a single lock acquisition, leaving the detector in
+// exactly the state per-record ObserveFlow calls in the same order
+// would. It borrows b per the ipfix.RecordBatch contract.
+func (d *Detector) ObserveFlowBatch(b *ipfix.RecordBatch) {
+	if b.Len() == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range b.Recs {
+		d.observeFlowLocked(&b.Recs[i])
+	}
+}
+
+func (d *Detector) observeFlowLocked(rec *ipfix.FlowRecord) {
 	d.m.records.Inc()
 	victim := rec.DstIP
 	pkts := int64(rec.Packets)

@@ -47,8 +47,8 @@ func BenchmarkFabricFlowSpec(b *testing.B) {
 				}
 			}
 			var sink int64
-			f, err := New(rs, 100, stats.NewRNG(1), func(r *ipfix.FlowRecord) error {
-				sink++
+			f, err := New(rs, 100, stats.NewRNG(1), func(b *ipfix.RecordBatch) error {
+				sink += int64(b.Len())
 				return nil
 			})
 			if err != nil {

@@ -176,7 +176,7 @@ type Fabric struct {
 	rs      *routeserver.Server
 	sampler *sampling.Sampler
 	rng     *stats.RNG
-	emit    func(*ipfix.FlowRecord) error
+	emit    ipfix.BatchSink
 	// ClockOffset is added to every data-plane timestamp, modeling NTP
 	// skew between the control- and data-plane measurement systems.
 	ClockOffset time.Duration
@@ -207,8 +207,10 @@ func NewSampleSource(rate int64, rng *stats.RNG) (*SampleSource, error) {
 }
 
 // New creates a fabric attached to route server rs, sampling at 1:rate,
-// emitting sampled flow records through emit.
-func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
+// emitting sampled flow records through emit — one RecordBatch per
+// injected packet batch, so all records of an emitted batch share their
+// headers by construction (modulo the per-packet variation hooks).
+func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit ipfix.BatchSink) (*Fabric, error) {
 	src, err := NewSampleSource(rate, rng)
 	if err != nil {
 		return nil, err
@@ -219,7 +221,7 @@ func New(rs *routeserver.Server, rate int64, rng *stats.RNG, emit func(*ipfix.Fl
 // NewWithSource creates a fabric drawing sampling and record randomness
 // from src, which may be shared with other fabrics. Shared-source
 // fabrics must be driven from a single goroutine.
-func NewWithSource(rs *routeserver.Server, src *SampleSource, emit func(*ipfix.FlowRecord) error) (*Fabric, error) {
+func NewWithSource(rs *routeserver.Server, src *SampleSource, emit ipfix.BatchSink) (*Fabric, error) {
 	if rs == nil {
 		return nil, fmt.Errorf("fabric: nil route server")
 	}
@@ -361,9 +363,12 @@ func (f *Fabric) Inject(b *Batch) error {
 	if dur <= 0 {
 		dur = time.Nanosecond
 	}
+	out := ipfix.GetBatch()
+	defer out.Release()
+	ingressMAC := MemberMAC(b.IngressAS)
 	for i := int64(0); i < n; i++ {
-		rec := ipfix.FlowRecord{
-			SrcMAC:  MemberMAC(b.IngressAS),
+		out.Recs = append(out.Recs, ipfix.FlowRecord{
+			SrcMAC:  ingressMAC,
 			DstMAC:  egressMAC,
 			SrcIP:   b.SrcIP,
 			DstIP:   b.DstIP,
@@ -372,7 +377,8 @@ func (f *Fabric) Inject(b *Batch) error {
 			Proto:   b.Proto,
 			Packets: 1,
 			Bytes:   uint64(b.PacketSize),
-		}
+		})
+		rec := &out.Recs[len(out.Recs)-1]
 		off := time.Duration(f.rng.Int63n(int64(dur)))
 		rec.Start = b.Time.Add(off + f.ClockOffset)
 		if b.VaryPorts != nil {
@@ -396,9 +402,9 @@ func (f *Fabric) Inject(b *Batch) error {
 		if rec.DstMAC == BlackholeMAC {
 			f.stats.DroppedSampled++
 		}
-		if err := f.emit(&rec); err != nil {
-			return fmt.Errorf("fabric: emitting record: %w", err)
-		}
+	}
+	if err := f.emit(out); err != nil {
+		return fmt.Errorf("fabric: emitting records: %w", err)
 	}
 	return nil
 }

@@ -27,8 +27,8 @@ func setup(t *testing.T, rate int64) (*routeserver.Server, *Fabric, *[]ipfix.Flo
 		}
 	}
 	var recs []ipfix.FlowRecord
-	f, err := New(rs, rate, stats.NewRNG(42), func(r *ipfix.FlowRecord) error {
-		recs = append(recs, *r)
+	f, err := New(rs, rate, stats.NewRNG(42), func(b *ipfix.RecordBatch) error {
+		recs = append(recs, b.Recs...)
 		return nil
 	})
 	if err != nil {
@@ -261,7 +261,7 @@ func TestInjectValidation(t *testing.T) {
 
 func TestNewValidation(t *testing.T) {
 	rs := routeserver.New(rsASN, 1)
-	sink := func(*ipfix.FlowRecord) error { return nil }
+	sink := func(*ipfix.RecordBatch) error { return nil }
 	if _, err := New(nil, 10, stats.NewRNG(1), sink); err == nil {
 		t.Fatal("nil route server accepted")
 	}
@@ -338,8 +338,8 @@ func TestFlowSpecDropsOnlyMatchingTraffic(t *testing.T) {
 		Standard: routeserver.AcceptFull, FlowSpec: routeserver.AcceptFull,
 	}})
 	var recs2 []ipfix.FlowRecord
-	f2, err := New(rs2, 1, stats.NewRNG(7), func(r *ipfix.FlowRecord) error {
-		recs2 = append(recs2, *r)
+	f2, err := New(rs2, 1, stats.NewRNG(7), func(b *ipfix.RecordBatch) error {
+		recs2 = append(recs2, b.Recs...)
 		return nil
 	})
 	if err != nil {

@@ -164,8 +164,8 @@ func TestFlowSpecMatchProperty(t *testing.T) {
 		// no RTBH route installed) is blackholed exactly when the
 		// reference matcher finds a discard rule.
 		var recs []ipfix.FlowRecord
-		f, err := New(rs, 1, stats.NewRNG(uint64(mask)+1), func(r *ipfix.FlowRecord) error {
-			recs = append(recs, *r)
+		f, err := New(rs, 1, stats.NewRNG(uint64(mask)+1), func(b *ipfix.RecordBatch) error {
+			recs = append(recs, b.Recs...)
 			return nil
 		})
 		if err != nil {
@@ -308,8 +308,8 @@ func TestFlowSpecOriginatorEgressEnforced(t *testing.T) {
 
 	// Ingress 300 has no FlowSpec support; egress 100 is the originator.
 	var recs []ipfix.FlowRecord
-	f, err := New(rs, 1, stats.NewRNG(11), func(r *ipfix.FlowRecord) error {
-		recs = append(recs, *r)
+	f, err := New(rs, 1, stats.NewRNG(11), func(b *ipfix.RecordBatch) error {
+		recs = append(recs, b.Recs...)
 		return nil
 	})
 	if err != nil {

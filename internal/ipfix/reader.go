@@ -46,6 +46,25 @@ func (rd *Reader) Next() (*FlowRecord, error) {
 	return &rec, nil
 }
 
+// NextBatch decodes the flow records of the next non-empty message into
+// b, replacing its contents, and returns io.EOF at end of stream. The
+// caller owns b and may reuse it across calls; backing storage grows once
+// to a full message and is then reused, so steady-state decoding does not
+// allocate per record.
+//
+// NextBatch and Next may be interleaved: any records still queued from a
+// message partially drained by Next are returned as a batch first.
+func (rd *Reader) NextBatch(b *RecordBatch) error {
+	for len(rd.queue) == 0 {
+		if err := rd.readMessage(); err != nil {
+			return err
+		}
+	}
+	b.Recs = append(b.Recs[:0], rd.queue...)
+	rd.queue = rd.queue[:0]
+	return nil
+}
+
 // msgErr decorates a decode error with the index and stream offset of the
 // message being read.
 func (rd *Reader) msgErr(msgStart int64, err error) error {

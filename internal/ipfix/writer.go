@@ -48,6 +48,30 @@ func (w *Writer) WriteRecord(r *FlowRecord) error {
 	return nil
 }
 
+// WriteBatch queues every record of b for export, emitting full messages
+// as the pending buffer fills. It borrows b per the RecordBatch contract.
+func (w *Writer) WriteBatch(b *RecordBatch) error {
+	recs := b.Recs
+	for len(recs) > 0 {
+		limit := w.BatchSize
+		if limit > maxRecordsPerMsg {
+			limit = maxRecordsPerMsg
+		}
+		room := limit - len(w.pending)
+		if room > len(recs) {
+			room = len(recs)
+		}
+		w.pending = append(w.pending, recs[:room]...)
+		recs = recs[room:]
+		if len(w.pending) >= limit {
+			if err := w.emit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Flush writes any pending records and flushes the underlying buffer.
 func (w *Writer) Flush() error {
 	if len(w.pending) > 0 {

@@ -22,14 +22,13 @@ import (
 // arrived.
 type Collector struct {
 	conn  *net.UDPConn
-	sink  func(*ipfix.FlowRecord) error
+	sink  ipfix.BatchSink
 	m     *Metrics
 	queue chan []byte
 
 	dec      *ipfix.MsgDecoder
 	expected map[uint32]uint32 // per observation domain: next expected seq
 	seen     map[uint32]bool
-	scratch  []ipfix.FlowRecord
 
 	mu      sync.Mutex
 	sinkErr error
@@ -39,8 +38,9 @@ type Collector struct {
 
 // NewCollector starts a collector on conn. queueLen bounds the ingest
 // queue (0 means 4096 datagrams). The sink is called from the single
-// decode goroutine.
-func NewCollector(conn *net.UDPConn, queueLen int, sink func(*ipfix.FlowRecord) error, m *Metrics) *Collector {
+// decode goroutine with one batch per decoded datagram, borrowed per the
+// ipfix.RecordBatch contract.
+func NewCollector(conn *net.UDPConn, queueLen int, sink ipfix.BatchSink, m *Metrics) *Collector {
 	if queueLen <= 0 {
 		queueLen = 4096
 	}
@@ -89,9 +89,11 @@ func (c *Collector) readLoop() {
 // decodeLoop decodes queued datagrams and feeds the sink.
 func (c *Collector) decodeLoop() {
 	defer c.wg.Done()
+	batch := ipfix.GetBatch()
+	defer batch.Release()
 	for dg := range c.queue {
-		recs, hdr, err := c.dec.Decode(dg, c.scratch[:0])
-		c.scratch = recs
+		recs, hdr, err := c.dec.Decode(dg, batch.Recs[:0])
+		batch.Recs = recs
 		if err != nil {
 			c.m.DecodeErrors.Inc()
 			continue
@@ -113,17 +115,18 @@ func (c *Collector) decodeLoop() {
 		c.seen[hdr.Domain] = true
 		c.expected[hdr.Domain] = hdr.SeqNum + uint32(len(recs))
 		c.m.CollectedMsgs.Inc()
-		for i := range recs {
-			if err := c.sink(&recs[i]); err != nil {
-				c.mu.Lock()
-				if c.sinkErr == nil {
-					c.sinkErr = err
-				}
-				c.mu.Unlock()
-				return
-			}
-			c.m.CollectedRecords.Inc()
+		if len(recs) == 0 {
+			continue
 		}
+		if err := c.sink(batch); err != nil {
+			c.mu.Lock()
+			if c.sinkErr == nil {
+				c.sinkErr = err
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.m.CollectedRecords.Add(int64(len(recs)))
 	}
 }
 

@@ -97,6 +97,27 @@ func (e *Exporter) Export(rec *ipfix.FlowRecord) error {
 	return nil
 }
 
+// ExportBatch queues every record of b, sending datagrams as messages
+// fill. It borrows b per the ipfix.RecordBatch contract; the datagram
+// packing is identical to per-record Export calls in the same order.
+func (e *Exporter) ExportBatch(b *ipfix.RecordBatch) error {
+	recs := b.Recs
+	for len(recs) > 0 {
+		room := e.perMsg - len(e.pending)
+		if room > len(recs) {
+			room = len(recs)
+		}
+		e.pending = append(e.pending, recs[:room]...)
+		recs = recs[room:]
+		if len(e.pending) >= e.perMsg {
+			if err := e.emit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Flush sends any partially filled message.
 func (e *Exporter) Flush() error {
 	if len(e.pending) == 0 {

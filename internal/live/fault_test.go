@@ -95,8 +95,8 @@ func TestExporterChaosAccounting(t *testing.T) {
 	plan := faultnet.NewPlan(4, faultnet.ProfileLossyUDP)
 	m := NewMetrics()
 	collected := 0
-	exp, col := newLoopbackPair(t, 0, func(r *ipfix.FlowRecord) error {
-		collected++
+	exp, col := newLoopbackPair(t, 0, func(b *ipfix.RecordBatch) error {
+		collected += b.Len()
 		return nil
 	}, m)
 	if err := exp.SetFault(plan.UDP()); err != nil {
@@ -162,8 +162,8 @@ func TestRunnerChaosDrainPartition(t *testing.T) {
 	plan := faultnet.NewPlan(5, faultnet.ProfilePartitionHeal)
 	m := NewMetrics()
 	collected := 0
-	exp, col := newLoopbackPair(t, 0, func(r *ipfix.FlowRecord) error {
-		collected++
+	exp, col := newLoopbackPair(t, 0, func(b *ipfix.RecordBatch) error {
+		collected += b.Len()
 		return nil
 	}, m)
 	if err := exp.SetFault(plan.UDP()); err != nil {

@@ -24,7 +24,7 @@ func flowRec(i int) ipfix.FlowRecord {
 	}
 }
 
-func newLoopbackPair(t *testing.T, queueLen int, sink func(*ipfix.FlowRecord) error, m *Metrics) (*Exporter, *Collector) {
+func newLoopbackPair(t *testing.T, queueLen int, sink ipfix.BatchSink, m *Metrics) (*Exporter, *Collector) {
 	t.Helper()
 	cc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -50,8 +50,8 @@ func TestExportCollectLoopback(t *testing.T) {
 	const n = 10_000
 	m := NewMetrics()
 	var got []ipfix.FlowRecord
-	exp, col := newLoopbackPair(t, 0, func(r *ipfix.FlowRecord) error {
-		got = append(got, *r)
+	exp, col := newLoopbackPair(t, 0, func(b *ipfix.RecordBatch) error {
+		got = append(got, b.Recs...)
 		return nil
 	}, m)
 
@@ -102,7 +102,7 @@ func TestCollectorGapAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col := NewCollector(cc, 0, func(*ipfix.FlowRecord) error { got++; return nil }, m)
+	col := NewCollector(cc, 0, func(b *ipfix.RecordBatch) error { got += b.Len(); return nil }, m)
 	defer col.Close()
 	ec, err := net.Dial("udp", cc.LocalAddr().String())
 	if err != nil {
@@ -151,7 +151,7 @@ func TestCollectorLateDatagram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	col := NewCollector(cc, 0, func(*ipfix.FlowRecord) error { got++; return nil }, m)
+	col := NewCollector(cc, 0, func(b *ipfix.RecordBatch) error { got += b.Len(); return nil }, m)
 	defer col.Close()
 	ec, err := net.Dial("udp", cc.LocalAddr().String())
 	if err != nil {
@@ -214,7 +214,7 @@ func TestRunnerEndToEnd(t *testing.T) {
 			return nil
 		},
 		nil,
-		func(*ipfix.FlowRecord) error { flows++; return nil },
+		func(b *ipfix.RecordBatch) error { flows += b.Len(); return nil },
 	)
 	if err != nil {
 		t.Fatal(err)

@@ -65,13 +65,14 @@ type Runner struct {
 // NewRunner starts the services on loopback: deliver receives totally
 // ordered updates (wire to routeserver.Process), onPeerFlush is invoked
 // for ungraceful session loss (wire to routeserver.PeerDown), flowSink
-// receives collected flow records in export order (wire to the archive
-// writer and the online analyzer). ctx aborts the run early: SendUpdate
-// and Barrier return ctx.Err() once it is cancelled.
+// receives collected flow records in export order, one batch per decoded
+// datagram (wire to the archive writer and the online analyzer). ctx
+// aborts the run early: SendUpdate and Barrier return ctx.Err() once it
+// is cancelled.
 func NewRunner(ctx context.Context, cfg RunnerConfig, m *Metrics,
 	deliver func(ts time.Time, peer uint32, upd *bgp.Update) error,
 	onPeerFlush func(peer uint32),
-	flowSink func(*ipfix.FlowRecord) error,
+	flowSink ipfix.BatchSink,
 ) (*Runner, error) {
 	cfg.fill()
 	if m == nil {
@@ -158,6 +159,11 @@ func (r *Runner) Barrier() error {
 
 // ExportFlow hands one sampled flow record to the IPFIX exporter.
 func (r *Runner) ExportFlow(rec *ipfix.FlowRecord) error { return r.exporter.Export(rec) }
+
+// ExportFlowBatch hands one batch of sampled flow records to the IPFIX
+// exporter; the datagram stream is identical to per-record ExportFlow
+// calls in the same order.
+func (r *Runner) ExportFlowBatch(b *ipfix.RecordBatch) error { return r.exporter.ExportBatch(b) }
 
 // Drain completes the streams without tearing sessions down: a final
 // barrier, an exporter flush, and a wait for the collector to account

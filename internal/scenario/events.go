@@ -280,8 +280,9 @@ func fewCycleEpisodes(r *stats.RNG, start, periodEnd time.Time, hold time.Durati
 // composition (Table 3 protocol-count distribution), and the reflector
 // origin-AS participation that yields Fig 15's skew.
 func buildAttack(w *World, r *stats.RNG) *Attack {
+	s := w.Cfg.Scale()
 	a := &Attack{
-		PPS:      logNormalMedian(r, w.Cfg.AttackPPSMedian, 1.2, 200, w.Cfg.AttackPPSMedian*150),
+		PPS:      logNormalMedian(r, w.Cfg.AttackPPSMedian*s, 1.2, 200*s, w.Cfg.AttackPPSMedian*s*150),
 		Duration: time.Duration(logNormalMedian(r, w.Cfg.AttackDurationMedian.Minutes(), 1.1, 4, 720) * float64(time.Minute)),
 	}
 	nProto := r.WeightedChoice(protocolCountDist)

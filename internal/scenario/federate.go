@@ -188,9 +188,9 @@ func RunFederated(w *World, sinks []Sinks) (*FederatedResult, error) {
 			if sinks[i].Control != nil {
 				rs.SetCollector(sinks[i].Control)
 			}
-			fb, err := fabric.NewWithSource(rs, src, func(rec *ipfix.FlowRecord) error {
-				res.FlowRecords[i]++
-				return sinks[i].Flow(rec)
+			fb, err := fabric.NewWithSource(rs, src, func(b *ipfix.RecordBatch) error {
+				res.FlowRecords[i] += int64(b.Len())
+				return sinks[i].Flow(b)
 			})
 			if err != nil {
 				return nil, err

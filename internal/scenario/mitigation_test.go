@@ -28,7 +28,7 @@ func TestMitigationEfficacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(w, Sinks{Flow: func(*ipfix.FlowRecord) error { return nil }})
+	res, err := Run(w, Sinks{Flow: func(*ipfix.RecordBatch) error { return nil }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestMitigationPolicyDefaultUntouched(t *testing.T) {
 			t.Fatalf("event %d planned a FlowSpec window under the default policy", e.ID)
 		}
 	}
-	res, err := Run(w, Sinks{Flow: func(*ipfix.FlowRecord) error { return nil }})
+	res, err := Run(w, Sinks{Flow: func(*ipfix.RecordBatch) error { return nil }})
 	if err != nil {
 		t.Fatal(err)
 	}

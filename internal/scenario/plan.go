@@ -349,6 +349,9 @@ func planHosts(w *World, r *stats.RNG) {
 		}
 		return days
 	}
+	// Traffic magnitudes scale, structural draws (kinds, services, active
+	// days) do not — the draw sequence is identical at every scale.
+	s := w.Cfg.Scale()
 
 	for i := 0; i < nServers; i++ {
 		vas := pickVictimAS(r, groups, allTypes, serverWeights)
@@ -366,9 +369,9 @@ func planHosts(w *World, r *stats.RNG) {
 				IP:           ip,
 				MemberAS:     w.VictimASes[vas].Peer,
 				Services:     services,
-				DailyPackets: int64(float64(w.Cfg.BaselineDailyPackets) * (0.5 + 3*r.Float64())),
+				DailyPackets: int64(s * float64(w.Cfg.BaselineDailyPackets) * (0.5 + 3*r.Float64())),
 			},
-			ScanDailyPackets: int64(r.Pareto(1.3, 200, 5000)),
+			ScanDailyPackets: int64(s * r.Pareto(1.3, 200, 5000)),
 		}
 		w.Hosts = append(w.Hosts, h)
 	}
@@ -389,10 +392,10 @@ func planHosts(w *World, r *stats.RNG) {
 				IP:             ip,
 				MemberAS:       w.VictimASes[vas].Peer,
 				SessionsPerDay: 3 + r.Intn(6),
-				DailyPackets:   int64(float64(w.Cfg.BaselineDailyPackets) * (0.5 + 1.5*r.Float64())),
+				DailyPackets:   int64(s * float64(w.Cfg.BaselineDailyPackets) * (0.5 + 1.5*r.Float64())),
 				Gaming:         gaming,
 			},
-			ScanDailyPackets: int64(r.Pareto(1.3, 100, 2000)),
+			ScanDailyPackets: int64(s * r.Pareto(1.3, 100, 2000)),
 		}
 		w.Hosts = append(w.Hosts, h)
 	}
@@ -405,7 +408,7 @@ func planHosts(w *World, r *stats.RNG) {
 			ActiveDays: activeDays(0.015), // a stray active day here and there
 		}
 		if r.Bool(0.5) {
-			h.ScanDailyPackets = int64(r.Pareto(1.5, 50, 500))
+			h.ScanDailyPackets = int64(s * r.Pareto(1.5, 50, 500))
 		}
 		w.Hosts = append(w.Hosts, h)
 	}

@@ -19,9 +19,11 @@ type Sinks struct {
 	// Control receives every BGP message at the route server (wired to
 	// an MRT writer in production use). May be nil.
 	Control routeserver.Collector
-	// Flow receives every sampled flow record (wired to an IPFIX
-	// writer). Required.
-	Flow func(*ipfix.FlowRecord) error
+	// Flow receives every sampled flow record, one batch per injected
+	// packet batch (wired to an IPFIX writer). The sink borrows each
+	// batch per the ipfix.RecordBatch contract. Required. Per-record
+	// consumers can adapt with ipfix.EachRecord.
+	Flow ipfix.BatchSink
 	// Metrics, when non-nil, receives the route server's and the
 	// fabric's observability metrics ("routeserver.*", "fabric.*").
 	// Snapshot after Run returns.
@@ -120,9 +122,9 @@ func Run(w *World, sinks Sinks) (*Result, error) {
 		if sinks.Control != nil {
 			rs.SetCollector(sinks.Control)
 		}
-		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(rec *ipfix.FlowRecord) error {
-			flowCount++
-			return sinks.Flow(rec)
+		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(b *ipfix.RecordBatch) error {
+			flowCount += int64(b.Len())
+			return sinks.Flow(b)
 		})
 		if err != nil {
 			return nil, err
@@ -686,7 +688,7 @@ func appendInternalBatches(dst []fabric.Batch, w *World, dayStart time.Time, r *
 	// Rough daily packet volume of the relevant traffic, from which the
 	// internal share is derived.
 	busy := len(w.Hosts) / 3
-	daily := float64(busy) * 2 * float64(w.Cfg.BaselineDailyPackets)
+	daily := float64(busy) * 2 * float64(w.Cfg.BaselineDailyPackets) * w.Cfg.Scale()
 	pkts := int64(daily * w.Cfg.InternalTrafficShare)
 	// Keep internal traffic visible even in miniature test worlds: at
 	// least ~0.4 expected samples per day.

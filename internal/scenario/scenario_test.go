@@ -308,8 +308,8 @@ func runSmall(t *testing.T) (*World, *Result, []ipfix.FlowRecord, []controlArchi
 		Control: func(ts time.Time, peerAS uint32, peerIP uint32, msg []byte) {
 			msgs = append(msgs, controlArchive{ts, peerAS, len(msg)})
 		},
-		Flow: func(r *ipfix.FlowRecord) error {
-			flows = append(flows, *r)
+		Flow: func(b *ipfix.RecordBatch) error {
+			flows = append(flows, b.Recs...)
 			return nil
 		},
 	})
@@ -408,12 +408,12 @@ func TestRunClockOffsetVisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	earliest := time.Time{}
-	_, err = Run(w, Sinks{Flow: func(r *ipfix.FlowRecord) error {
+	_, err = Run(w, Sinks{Flow: ipfix.EachRecord(func(r *ipfix.FlowRecord) error {
 		if earliest.IsZero() || r.Start.Before(earliest) {
 			earliest = r.Start
 		}
 		return nil
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +534,7 @@ func TestRunAcrossSeedsSanity(t *testing.T) {
 			t.Fatal(err)
 		}
 		var n int64
-		res, err := Run(w, Sinks{Flow: func(*ipfix.FlowRecord) error { n++; return nil }})
+		res, err := Run(w, Sinks{Flow: func(b *ipfix.RecordBatch) error { n += int64(b.Len()); return nil }})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -129,6 +129,9 @@ func (lr *LiveRun) EnableDetector(cfg detect.Config) error {
 	}
 	cfg.SamplingRate = lr.w.Cfg.SamplingRate
 	cfg.BlackholeMAC = fabric.BlackholeMAC
+	if cfg.TrafficScale == 0 {
+		cfg.TrafficScale = lr.w.Cfg.Scale()
+	}
 	d, err := detect.New(cfg)
 	if err != nil {
 		return err
@@ -265,13 +268,13 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 	}
 	// Collected flow records (in export order) feed the archive and the
 	// analyzer.
-	flowSink := func(rec *ipfix.FlowRecord) error {
-		if err := flowW.WriteRecord(rec); err != nil {
+	flowSink := func(b *ipfix.RecordBatch) error {
+		if err := flowW.WriteBatch(b); err != nil {
 			return err
 		}
-		lr.analyzer.ObserveFlow(rec)
+		lr.analyzer.ObserveFlowBatch(b)
 		if lr.det != nil {
-			lr.det.ObserveFlow(rec)
+			lr.det.ObserveFlowBatch(b)
 		}
 		return nil
 	}
@@ -318,9 +321,9 @@ func (lr *LiveRun) Run(ctx context.Context) (*SimulationSummary, error) {
 			// Write errors surface at Flush below, as in Simulate.
 			_ = mrtW.WriteRecord(&rec)
 		})
-		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(rec *ipfix.FlowRecord) error {
-			flowCount++
-			return runner.ExportFlow(rec)
+		fb, err = fabric.New(rs, w.Cfg.SamplingRate, fabricRNG, func(b *ipfix.RecordBatch) error {
+			flowCount += int64(b.Len())
+			return runner.ExportFlowBatch(b)
 		})
 		if err != nil {
 			return nil, err

@@ -188,6 +188,28 @@ func (a *OnlineAnalyzer) ObserveFlow(rec *ipfix.FlowRecord) {
 	}
 }
 
+// ObserveFlowBatch ingests one batch of collected flow records (copied;
+// the caller keeps ownership of b per the ipfix.RecordBatch contract).
+// The ingest lock is taken once per batch and the opportunistic seal
+// check fires at the same stream positions as per-record ingest, so the
+// analyzer state is identical to feeding the records one at a time.
+func (a *OnlineAnalyzer) ObserveFlowBatch(b *ipfix.RecordBatch) {
+	if b.Len() == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.pending = append(a.pending, b.Recs...)
+	before := a.flowCount
+	a.flowCount += int64(b.Len())
+	n := a.flowCount
+	a.mu.Unlock()
+
+	if n/sealCheckEvery != before/sealCheckEvery && a.opMu.TryLock() {
+		a.advanceLocked()
+		a.opMu.Unlock()
+	}
+}
+
 // Counts reports how much the analyzer has accumulated so far.
 func (a *OnlineAnalyzer) Counts() (updates int, flows int64) {
 	a.mu.Lock()

@@ -18,6 +18,9 @@ import (
 // flowRecord aliases the canonical data-plane record.
 type flowRecord = ipfix.FlowRecord
 
+// recordBatch aliases the pooled record batch of the hot streaming path.
+type recordBatch = ipfix.RecordBatch
+
 // FlowRecord is the public name of the sampled-packet record type.
 type FlowRecord = ipfix.FlowRecord
 
@@ -58,8 +61,9 @@ func composeReport(meta *analysis.Metadata, updates []analysis.ControlUpdate, p 
 	r.Fig7Classes = p.Drop.ClassifyTopSources(opts.TopSources)
 	r.Fig8 = p.Drop.TypesOfTopSources(opts.TopSources, meta.PDB)
 
-	// Anomaly analysis.
-	r.Verdicts = p.Anomaly.Analyze(p.Events, meta.End, opts.Threshold)
+	// Anomaly analysis. The EWMA threshold is relative; the absolute
+	// anomaly support floor derives from the dataset's traffic scale.
+	r.Verdicts = p.Anomaly.AnalyzeScaled(p.Events, meta.End, opts.Threshold, meta.MagnitudeScale())
 	r.Table2 = anomaly.Classify(r.Verdicts)
 	lastMax, withPreData := 0, 0
 	var anomalyAndDataIDs []int

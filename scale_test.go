@@ -1,0 +1,181 @@
+package rtbh_test
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	rtbh "repro"
+)
+
+// smokeConfig is a miniature world for the traffic-scale smoke test:
+// small enough that the x50 run stays test-sized, large enough for
+// stable shares.
+func smokeConfig() rtbh.Config {
+	cfg := rtbh.TestConfig()
+	cfg.Seed = 0x5CA1E
+	cfg.Days = 14
+	cfg.EventsTotal = 300
+	cfg.UniqueVictims = 150
+	cfg.Members = 60
+	cfg.RTBHUsers = 12
+	cfg.VictimOriginASes = 16
+	cfg.RemoteOriginASes = 200
+	return cfg
+}
+
+func simulateAnalyze(t *testing.T, cfg rtbh.Config) (*rtbh.SimulationSummary, *rtbh.Report, *rtbh.Dataset) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "rtbh-scale-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	sum, err := rtbh.Simulate(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := rtbh.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rtbh.DefaultOptions()
+	opts.SweepDeltas = nil
+	opts.OffsetStep = 100 * time.Millisecond
+	report, err := ds.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, report, ds
+}
+
+// sharePP fails if two share/rate figures diverge by more than tol.
+func sharePP(t *testing.T, name string, a, b, tol float64) {
+	t.Helper()
+	if math.Abs(a-b) > tol {
+		t.Errorf("%s diverged across scales: %.4f vs %.4f", name, a, b)
+	}
+}
+
+// assertStructureInvariant checks that a traffic multiplier did not
+// perturb the planned world or its control plane.
+func assertStructureInvariant(t *testing.T, sum1, sum2 *rtbh.SimulationSummary, r1, r2 *rtbh.Report) {
+	t.Helper()
+	if sum1.Events != sum2.Events || sum1.Hosts != sum2.Hosts || sum1.Members != sum2.Members {
+		t.Errorf("world structure diverged: events %d/%d hosts %d/%d members %d/%d",
+			sum1.Events, sum2.Events, sum1.Hosts, sum2.Hosts, sum1.Members, sum2.Members)
+	}
+	if sum1.ControlMsgs != sum2.ControlMsgs || sum1.Announcements != sum2.Announcements {
+		t.Errorf("control plane diverged: %d/%d messages, %d/%d announcements",
+			sum1.ControlMsgs, sum2.ControlMsgs, sum1.Announcements, sum2.Announcements)
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Errorf("merged events diverged: %d vs %d", len(r1.Events), len(r2.Events))
+	}
+}
+
+// assertSharesInvariant checks that the report's relative figures hold
+// across scales. The tolerances absorb sampling noise only.
+func assertSharesInvariant(t *testing.T, r1, r2 *rtbh.Report) {
+	t.Helper()
+	drop1 := float64(r1.DroppedRecords) / float64(r1.AttributedRecords)
+	drop2 := float64(r2.DroppedRecords) / float64(r2.AttributedRecords)
+	sharePP(t, "dropped/attributed share", drop1, drop2, 0.10)
+	sharePP(t, "avg drop rate (pkts)", r1.Fig5AvgPkts, r2.Fig5AvgPkts, 0.10)
+	sharePP(t, "fully filterable share", r1.Fig14FullyFilterable, r2.Fig14FullyFilterable, 0.15)
+	attrib1 := float64(r1.AttributedRecords) / float64(r1.TotalRecords)
+	attrib2 := float64(r2.AttributedRecords) / float64(r2.TotalRecords)
+	sharePP(t, "attributed/total share", attrib1, attrib2, 0.10)
+}
+
+// TestTrafficScaleSmoke runs the same world at TrafficScale 1 and 50
+// (the raw multiplier: sampling untouched) and asserts the scale knob's
+// contract: the world's structure — members, events, the whole control
+// plane — is untouched, absolute traffic volumes grow by the
+// multiplier, and the report's relative figures (drop-rate shares,
+// filtering shares) stay where they were. This is the guarantee that
+// lets the scale-1 golden suites vouch for paper-scale runs.
+func TestTrafficScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates two worlds, one at 50x traffic")
+	}
+	base := smokeConfig()
+	scaled := base
+	scaled.TrafficScale = 50
+
+	sum1, r1, ds1 := simulateAnalyze(t, base)
+	sum50, r50, ds50 := simulateAnalyze(t, scaled)
+
+	if s := ds1.Meta.Scale(); s != 1 {
+		t.Errorf("scale-1 metadata Scale() = %g, want 1", s)
+	}
+	if s := ds50.Meta.Scale(); s != 50 {
+		t.Errorf("scaled metadata Scale() = %g, want 50 (traffic_scale must round-trip)", s)
+	}
+	// Sampling kept at the calibration denominator, so sampled
+	// magnitudes are 50x and the anomaly floor must re-derive.
+	if ms := ds50.Meta.MagnitudeScale(); ms != 50 {
+		t.Errorf("MagnitudeScale() = %g, want 50 at unchanged sampling", ms)
+	}
+
+	assertStructureInvariant(t, sum1, sum50, r1, r50)
+
+	// Rate invariant: sampled record volume scales with the multiplier.
+	// Sampling is probabilistic per batch, so allow a generous band
+	// around the nominal 50x.
+	ratio := float64(sum50.FlowRecords) / float64(sum1.FlowRecords)
+	if ratio < 25 || ratio > 75 {
+		t.Errorf("flow-record volume scaled %.1fx, want ~50x (%d -> %d records)",
+			ratio, sum1.FlowRecords, sum50.FlowRecords)
+	}
+	pktRatio := float64(sum50.PacketsIn) / float64(sum1.PacketsIn)
+	if pktRatio < 25 || pktRatio > 75 {
+		t.Errorf("offered packet volume scaled %.1fx, want ~50x", pktRatio)
+	}
+
+	assertSharesInvariant(t, r1, r50)
+}
+
+// TestPaperConfigurationSmoke runs the paper configuration the numeric
+// -scale flag builds — TrafficScale 50 with the sampling denominator
+// coarsened by the same factor — and asserts its contract: the sampled
+// record stream stays at the scale-1 size (that is what keeps a full
+// 104-day paper-scale run in minutes), the sampled-magnitude scale is 1
+// (so detection constants calibrated at scale 1 apply unchanged), and
+// the report's relative figures still match the scale-1 world.
+func TestPaperConfigurationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates two worlds")
+	}
+	base := smokeConfig()
+	paper := base
+	paper.TrafficScale = 50
+	paper.SamplingRate = base.SamplingRate * 50
+
+	sum1, r1, _ := simulateAnalyze(t, base)
+	sumP, rP, dsP := simulateAnalyze(t, paper)
+
+	if ms := dsP.Meta.MagnitudeScale(); ms != 1 {
+		t.Errorf("MagnitudeScale() = %g, want 1 (sampling coarsened in step with traffic)", ms)
+	}
+	if s := dsP.Meta.Scale(); s != 50 {
+		t.Errorf("Scale() = %g, want 50", s)
+	}
+
+	assertStructureInvariant(t, sum1, sumP, r1, rP)
+
+	// The whole point of the coupled configuration: 50x the offered
+	// packets, roughly scale-1 record volume.
+	pktRatio := float64(sumP.PacketsIn) / float64(sum1.PacketsIn)
+	if pktRatio < 25 || pktRatio > 75 {
+		t.Errorf("offered packet volume scaled %.1fx, want ~50x", pktRatio)
+	}
+	recRatio := float64(sumP.FlowRecords) / float64(sum1.FlowRecords)
+	if recRatio < 0.5 || recRatio > 2 {
+		t.Errorf("sampled record volume scaled %.2fx, want ~1x (%d -> %d records)",
+			recRatio, sum1.FlowRecords, sumP.FlowRecords)
+	}
+
+	assertSharesInvariant(t, r1, rP)
+}

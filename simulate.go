@@ -40,9 +40,14 @@ type SimulationSummary struct {
 // datasetMeta is the JSON schema of metadata.json: everything an analyst
 // legitimately has (no ground truth).
 type datasetMeta struct {
-	SamplingRate int64        `json:"sampling_rate"`
-	Start        time.Time    `json:"start"`
-	End          time.Time    `json:"end"`
+	SamplingRate int64     `json:"sampling_rate"`
+	Start        time.Time `json:"start"`
+	End          time.Time `json:"end"`
+	// TrafficScale is the traffic-magnitude multiplier the world was
+	// simulated at; analysis thresholds calibrated to scale 1 derive
+	// from it. Omitted (0) means 1, so scale-1 metadata is byte-identical
+	// to metadata written before the knob existed.
+	TrafficScale float64      `json:"traffic_scale,omitempty"`
 	BlackholeMAC ipfix.MAC    `json:"blackhole_mac"`
 	InternalMACs []ipfix.MAC  `json:"internal_macs"`
 	RSASN        uint16       `json:"rs_asn"`
@@ -99,7 +104,7 @@ func SimulateObserved(cfg Config, dir string, reg *MetricsRegistry) (*Simulation
 			// control write errors surface at Flush below.
 			_ = mrtW.WriteRecord(&rec)
 		},
-		Flow:    flowW.WriteRecord,
+		Flow:    flowW.WriteBatch,
 		Metrics: reg,
 	})
 	if err != nil {
@@ -147,6 +152,9 @@ func metaOf(w *scenario.World) datasetMeta {
 		BlackholeMAC: fabric.BlackholeMAC,
 		InternalMACs: []ipfix.MAC{fabric.InternalMAC},
 		RSASN:        w.RSASN,
+	}
+	if s := w.Cfg.Scale(); s != 1 {
+		m.TrafficScale = s
 	}
 	for _, mem := range w.Members {
 		m.Members = append(m.Members, memberMeta{ASN: mem.ASN, MAC: fabric.MemberMAC(mem.ASN)})
